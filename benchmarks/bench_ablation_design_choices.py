@@ -1,0 +1,102 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These do not correspond to a paper figure; they quantify the impact of the
+mechanisms the paper credits for its results:
+
+* removing the phase barriers from the ring Allreduce (GASPI weak
+  synchronisation vs MPI-style phase synchronisation);
+* one-sided notification completion vs two-sided matching for the same
+  ring schedule;
+* the eventually consistent data threshold across its whole range;
+* gradient compression (the paper's stated future-work extension).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import REGISTRY, TopKCompressor
+from repro.core.allreduce_ring import ring_allreduce_schedule
+from repro.core.schedule import Protocol
+from repro.simulate import simulate_schedule, skylake_fdr
+
+from .conftest import run_once
+
+MACHINE = skylake_fdr(32)
+NBYTES = 1_000_000 * 8
+
+
+def test_ablation_phase_barriers(benchmark):
+    """Phase barriers (the thing GASPI removes) must cost measurable time."""
+
+    def run():
+        no_barrier = ring_allreduce_schedule(32, NBYTES, phase_barriers=False)
+        with_barrier = ring_allreduce_schedule(32, NBYTES, phase_barriers=True)
+        return (
+            simulate_schedule(no_barrier, MACHINE).total_time,
+            simulate_schedule(with_barrier, MACHINE).total_time,
+        )
+
+    no_sync, with_sync = run_once(benchmark, run)
+    print(f"\nring allreduce 1M doubles: no barriers {no_sync*1e6:.1f} us, "
+          f"with phase barriers {with_sync*1e6:.1f} us")
+    assert with_sync > no_sync
+
+
+def test_ablation_onesided_vs_twosided_same_schedule(benchmark):
+    """Same ring schedule, only the transport protocol changes."""
+
+    def run():
+        onesided = ring_allreduce_schedule(32, NBYTES, protocol=Protocol.ONESIDED)
+        twosided = ring_allreduce_schedule(32, NBYTES, protocol=Protocol.TWOSIDED)
+        return (
+            simulate_schedule(onesided, MACHINE).total_time,
+            simulate_schedule(twosided, MACHINE).total_time,
+        )
+
+    one, two = run_once(benchmark, run)
+    print(f"\nring allreduce 1M doubles: one-sided {one*1e6:.1f} us, two-sided {two*1e6:.1f} us "
+          f"({two/one:.2f}x)")
+    assert two > one
+
+
+@pytest.mark.parametrize("collective,algorithm", [("bcast", "gaspi_bcast_bst"), ("reduce", "gaspi_reduce_bst")])
+def test_ablation_threshold_sweep(benchmark, collective, algorithm):
+    """Figure 8/9 mechanism isolated: time should fall with the threshold."""
+
+    def run():
+        return {
+            th: simulate_schedule(
+                REGISTRY.build(algorithm, 32, NBYTES, threshold=th), MACHINE
+            ).total_time
+            for th in (0.125, 0.25, 0.5, 0.75, 1.0)
+        }
+
+    times = run_once(benchmark, run)
+    print(f"\n{algorithm} threshold sweep (us): "
+          + ", ".join(f"{int(t*100)}%={v*1e6:.1f}" for t, v in times.items()))
+    values = list(times.values())
+    assert values == sorted(values)
+
+
+def test_ablation_topk_compression(benchmark):
+    """The foreseen compression extension: bytes drop, error stays bounded."""
+
+    rng = np.random.default_rng(0)
+    gradient = rng.standard_normal(100_000)
+
+    def run():
+        out = {}
+        for k in (1_000, 10_000, 50_000):
+            comp = TopKCompressor(k).compress(gradient)
+            error = np.linalg.norm(gradient - comp.decompress()) / np.linalg.norm(gradient)
+            out[k] = (comp.compression_ratio, error)
+        return out
+
+    results = run_once(benchmark, run)
+    print("\ntop-k compression of a 100k gradient:")
+    for k, (ratio, error) in results.items():
+        print(f"  k={k:6d}: ratio {ratio:6.2f}x, relative L2 error {error:.3f}")
+    ratios = [r for r, _ in results.values()]
+    errors = [e for _, e in results.values()]
+    assert ratios == sorted(ratios, reverse=True)
+    assert errors == sorted(errors, reverse=True)

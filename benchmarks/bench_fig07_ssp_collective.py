@@ -1,0 +1,35 @@
+"""Figure 7 — allreduce_SSP collective execution time and waiting time.
+
+Left panel: simulated execution time of the SSP hypercube collective vs
+the GASPI ring and MPI default Allreduce.  Right panel: measured time per
+iteration spent waiting for fresh updates as slack grows.
+"""
+
+from repro.bench.experiments import fig07_ssp_collective
+from repro.bench.report import format_kv_table
+
+from .conftest import run_once
+
+
+def test_fig07_ssp_collective(benchmark, scale):
+    result = run_once(benchmark, fig07_ssp_collective, scale)
+
+    collective = result["series"]["collective_time"]
+    waits = result["series"]["wait_time_by_slack"]
+
+    print()
+    print(result["title"])
+    print(format_kv_table(
+        [{"algorithm": k, "time_us": v * 1e6} for k, v in collective.items()],
+        title="collective execution time (simulated)",
+    ))
+    print(format_kv_table(
+        [{"slack": s, "wait_per_iter_s": w} for s, w in sorted(waits.items())],
+        title="time waiting for fresh updates (threaded runtime)",
+    ))
+    print("paper expectation:", result["paper_expectation"])
+
+    # Shape checks from the paper.
+    assert collective["allreduce_ssp (hypercube)"] > collective["gaspi_allreduce_ring"]
+    slacks = sorted(waits)
+    assert waits[slacks[-1]] <= waits[slacks[0]]

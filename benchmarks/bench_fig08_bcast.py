@@ -1,0 +1,29 @@
+"""Figure 8 — eventually consistent Broadcast (data thresholds) vs MPI.
+
+Two panels: 10,000 and 1,000,000 double-precision elements, swept over the
+node count on the SkyLake/FDR machine model.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig08_bcast
+from repro.bench.report import format_series_table
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("elements", [10_000, 1_000_000])
+def test_fig08_bcast(benchmark, scale, elements):
+    result = run_once(benchmark, fig08_bcast, scale, elements)
+
+    print()
+    print(format_series_table(result["series"], "nodes", "us", result["title"]))
+    print("paper expectation:", result["paper_expectation"])
+
+    series = result["series"]
+    last = lambda label: series[label][-1].seconds  # largest node count
+    # 25% threshold is substantially cheaper than shipping everything.
+    assert last("100% gaspi") / last("25% gaspi") > 1.5
+    # The GASPI BST beats the MPI binomial for the 1M-element panel.
+    if elements >= 1_000_000:
+        assert last("100% gaspi") < last("100% mpi-bin")

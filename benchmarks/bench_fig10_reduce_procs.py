@@ -1,0 +1,23 @@
+"""Figure 10 — Reduce with the full data but a fraction of the processes."""
+
+from repro.bench.experiments import fig10_reduce_processes
+from repro.bench.report import format_series_table
+
+from .conftest import run_once
+
+
+def test_fig10_reduce_processes(benchmark, scale):
+    result = run_once(benchmark, fig10_reduce_processes, scale)
+
+    print()
+    print(format_series_table(result["series"], "nodes", "us", result["title"]))
+    print("paper expectation:", result["paper_expectation"])
+
+    series = result["series"]
+    last = lambda label: series[label][-1].seconds
+    # Engaging fewer processes helps, but 75% and 100% nearly coincide
+    # because half of all processes only join in the last BST stage.
+    assert last("25% procs gaspi") < last("100% procs gaspi")
+    assert last("75% procs gaspi") / last("100% procs gaspi") > 0.8
+    # Still better than the MPI binomial variant.
+    assert last("100% procs gaspi") < last("100% mpi-bin")

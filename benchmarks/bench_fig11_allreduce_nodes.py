@@ -1,0 +1,29 @@
+"""Figure 11 — gaspi_allreduce_ring vs the twelve MPI_Allreduce variants."""
+
+import pytest
+
+from repro.bench.experiments import fig11_allreduce_nodes
+from repro.bench.report import format_comparison, format_series_table
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("elements", [10_000, 1_000_000])
+def test_fig11_allreduce_nodes(benchmark, scale, elements):
+    result = run_once(benchmark, fig11_allreduce_nodes, scale, elements)
+
+    print()
+    print(format_series_table(result["series"], "nodes", "us", result["title"]))
+    print(format_comparison(result["series"], "gaspi"))
+    print("paper expectation:", result["paper_expectation"])
+
+    series = result["series"]
+    last = lambda label: series[label][-1].seconds
+    if elements <= 10_000:
+        # Small vectors: at least one MPI variant beats the GASPI ring.
+        assert min(last(l) for l in series if l != "gaspi") < last("gaspi")
+    else:
+        # Large vectors: the GASPI ring beats the ring-based MPI variants
+        # (paper: 1.78x vs Shumilin's ring, 2.26x vs ring).
+        assert last("mpi7") / last("gaspi") > 1.3
+        assert last("mpi8") / last("gaspi") > 1.3

@@ -1,0 +1,27 @@
+"""Figure 12 — Allreduce message-size sweep on 32 SkyLake nodes."""
+
+from repro.bench.experiments import fig12_allreduce_sizes
+from repro.bench.report import format_series_table
+
+from .conftest import run_once
+
+
+def test_fig12_allreduce_sizes(benchmark, scale):
+    result = run_once(benchmark, fig12_allreduce_sizes, scale)
+
+    print()
+    print(format_series_table(result["series"], "bytes", "us", result["title"]))
+    print("crossover (bytes) where gaspi overtakes each MPI variant:")
+    for label, crossover in sorted(result["crossover_bytes"].items()):
+        print(f"  {label:>8}: {crossover}")
+    print("paper expectation:", result["paper_expectation"])
+
+    series = result["series"]
+    small = min(p.parameter for p in series["gaspi"])
+    large = max(p.parameter for p in series["gaspi"])
+    at = lambda label, param: next(p.seconds for p in series[label] if p.parameter == param)
+    # MPI (best variant) wins at the smallest size; gaspi wins at the largest.
+    best_mpi_small = min(at(l, small) for l in series if l != "gaspi")
+    best_mpi_large = min(at(l, large) for l in series if l != "gaspi")
+    assert best_mpi_small < at("gaspi", small)
+    assert at("gaspi", large) < best_mpi_large

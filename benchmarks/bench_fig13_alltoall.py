@@ -1,0 +1,29 @@
+"""Figure 13 — GASPI AlltoAll vs MPI AlltoAll on Galileo (4 processes/node)."""
+
+from repro.bench.experiments import fig13_alltoall
+from repro.bench.report import format_series_table
+
+from .conftest import run_once
+
+
+def test_fig13_alltoall(benchmark, scale):
+    result = run_once(benchmark, fig13_alltoall, scale)
+
+    print()
+    for nodes, entry in result["series"].items():
+        print(format_series_table(entry["series"], "block bytes", "us",
+                                  f"{result['title']} — {nodes} nodes"))
+        print(f"  crossover where GASPI overtakes MPI: {entry['crossover_bytes']} bytes")
+    print("paper expectation:", result["paper_expectation"])
+
+    for nodes, entry in result["series"].items():
+        series = entry["series"]
+        gaspi_label = f"gaspi{nodes}"
+        mpi_label = f"mpi{nodes}"
+        at = lambda label, b: next(p.seconds for p in series[label] if p.parameter == b)
+        big = max(p.parameter for p in series[gaspi_label])
+        # GASPI wins for large blocks (paper: 2.85x-5.14x around 32 KiB).
+        assert at(mpi_label, big) / at(gaspi_label, big) > 1.5
+        # and the crossover exists somewhere in the low-kilobyte range.
+        assert entry["crossover_bytes"] is not None
+        assert entry["crossover_bytes"] <= 16 * 1024

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate the paper's timing figures from the command line.
+
+Thin CLI over repro.bench.experiments: pick a figure (8-13), a scale, and
+get the same rows the paper plots, rendered as text tables.
+
+Run with:  python examples/collective_comparison.py --figure fig12 --scale small
+           python examples/collective_comparison.py --all
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.report import format_series_table
+
+SIMULATED_FIGURES = ("fig08", "fig09", "fig10", "fig11", "fig12", "fig13")
+
+
+def render(figure: str, scale: str) -> None:
+    experiment = ALL_EXPERIMENTS[figure]
+    result = experiment(scale)
+    print(f"=== {result['figure']}: {result['title']} ===")
+    if figure == "fig13":
+        for nodes, entry in result["series"].items():
+            print(format_series_table(entry["series"], "block bytes", "us",
+                                      f"{nodes} nodes (4 processes per node)"))
+            print(f"  GASPI overtakes MPI at {entry['crossover_bytes']} bytes")
+    else:
+        print(format_series_table(result["series"], "nodes/bytes", "us"))
+        if "crossover_bytes" in result:
+            print("crossovers vs each MPI variant (bytes):", result["crossover_bytes"])
+    print("paper expectation:", result["paper_expectation"])
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=SIMULATED_FIGURES, default="fig12")
+    parser.add_argument("--scale", choices=("small", "paper"), default="small")
+    parser.add_argument("--all", action="store_true", help="render every simulated figure")
+    args = parser.parse_args()
+
+    figures = SIMULATED_FIGURES if args.all else (args.figure,)
+    for figure in figures:
+        render(figure, args.scale)
+
+
+if __name__ == "__main__":
+    main()

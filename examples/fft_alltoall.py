@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The HPC workload behind Figure 13: a distributed FFT whose transpose is
+an AlltoAll (the Quantum-Espresso pattern, 6-24 KB per-pair messages).
+
+Runs the slab-decomposed 2-D FFT mini-app on an in-process GASPI world,
+verifies it against numpy.fft.fft2, and then simulates the AlltoAll cost
+of its message sizes on the Galileo machine model for GASPI vs MPI.
+
+Run with:  python examples/fft_alltoall.py [--ranks 8] [--grid 64]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.apps import paper_message_range, run_distributed_fft
+from repro.bench.harness import time_algorithm
+from repro.bench.report import format_kv_table
+from repro.simulate import galileo
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--grid", type=int, default=64)
+    args = parser.parse_args()
+
+    stats = run_distributed_fft(args.ranks, args.grid)
+    print(
+        f"distributed {args.grid}x{args.grid} FFT over {args.ranks} ranks: "
+        f"max relative error vs numpy.fft.fft2 = {max(s.max_error for s in stats):.2e}, "
+        f"{stats[0].alltoall_calls} AlltoAll calls, "
+        f"{stats[0].alltoall_block_bytes} bytes per pair"
+    )
+
+    # Simulate the AlltoAll in the message range the paper quotes (6-24 KB).
+    nodes = max(args.ranks // 4, 1)
+    machine = galileo(nodes)
+    rows = []
+    for grid in paper_message_range(args.ranks):
+        block = 16 * (grid // args.ranks) ** 2
+        gaspi = time_algorithm("gaspi_alltoall", args.ranks, block, machine)
+        mpi = time_algorithm("mpi_alltoall_default", args.ranks, block, machine)
+        rows.append(
+            {
+                "grid": grid,
+                "block [bytes]": block,
+                "gaspi_alltoall [us]": round(gaspi * 1e6, 1),
+                "MPI_Alltoall [us]": round(mpi * 1e6, 1),
+                "speed-up": round(mpi / gaspi, 2),
+            }
+        )
+    print()
+    print(format_kv_table(rows, title="simulated AlltoAll in the paper's 6-24 KB message window"))
+    print(
+        "\npaper: MPI_Alltoall takes 20-40% of the FFT runtime; the GASPI AlltoAll "
+        "wins 2.85x-5.14x in exactly this message-size window (Figure 13)."
+    )
+
+
+if __name__ == "__main__":
+    main()

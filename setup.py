@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment for this reproduction is offline and ships an
+older setuptools without the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` via ``bdist_wheel``) are unavailable.  This
+``setup.py`` lets pip fall back to the legacy ``setup.py develop`` code
+path; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

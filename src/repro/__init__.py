@@ -1,0 +1,118 @@
+"""repro — reproduction of "Efficient and Eventually Consistent Collective Operations".
+
+The package is organised as follows (see DESIGN.md for the full map):
+
+* :mod:`repro.gaspi` — GASPI runtime substrate (segments, one-sided
+  write_notify, notifications, queues), executed by one thread per rank.
+* :mod:`repro.core` — the paper's collectives: eventually consistent
+  Broadcast/Reduce (data/process thresholds), the SSP Allreduce
+  (Algorithm 1), the segmented pipelined ring Allreduce, AlltoAll(V) and a
+  notification barrier — each with a functional implementation and a
+  communication-schedule builder.
+* :mod:`repro.mpi` — the Intel-MPI baseline algorithms the paper compares
+  against (twelve Allreduce variants, binomial/default Bcast and Reduce,
+  Bruck/pairwise/default AlltoAll) plus a two-sided messaging layer.
+* :mod:`repro.simulate` — the network timing model and machine presets
+  used to regenerate the paper's figures.
+* :mod:`repro.ssp`, :mod:`repro.ml` — the Stale Synchronous Parallel
+  machinery and the Matrix Factorization / SGD workload of Figures 6–7.
+* :mod:`repro.apps` — the FFT mini-app whose AlltoAll traffic motivates
+  Figure 13.
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+
+Quick start::
+
+    import numpy as np
+    from repro import run_spmd, Communicator
+
+    def worker(runtime):
+        comm = Communicator(runtime)
+        grad = np.random.default_rng(comm.rank).random(1 << 20)
+        return comm.allreduce(grad, op="sum", algorithm="ring")
+
+    results = run_spmd(8, worker)
+"""
+
+__version__ = "1.0.0"
+
+from .gaspi import (
+    GaspiError,
+    GaspiRuntime,
+    GaspiTimeoutError,
+    Group,
+    ThreadedRuntime,
+    ThreadedWorld,
+    WorldConfig,
+    run_spmd,
+)
+from .core import (
+    REGISTRY,
+    Communicator,
+    CommunicationSchedule,
+    Message,
+    Protocol,
+    ReductionOp,
+    SSPAllreduce,
+    alltoall,
+    alltoallv,
+    bst_bcast,
+    bst_reduce,
+    notification_barrier,
+    ring_allgather,
+    ring_allreduce,
+    ssp_allreduce_once,
+)
+from .simulate import (
+    MachineModel,
+    NetworkParameters,
+    ScheduleExecutor,
+    SimulationResult,
+    galileo,
+    get_machine,
+    marenostrum4,
+    simulate_schedule,
+    skylake_fdr,
+)
+
+# Importing repro.mpi registers the MPI baselines in REGISTRY.
+from . import mpi  # noqa: F401  (import for registration side effect)
+
+__all__ = [
+    "__version__",
+    # gaspi
+    "GaspiError",
+    "GaspiRuntime",
+    "GaspiTimeoutError",
+    "Group",
+    "ThreadedRuntime",
+    "ThreadedWorld",
+    "WorldConfig",
+    "run_spmd",
+    # core
+    "REGISTRY",
+    "Communicator",
+    "CommunicationSchedule",
+    "Message",
+    "Protocol",
+    "ReductionOp",
+    "SSPAllreduce",
+    "alltoall",
+    "alltoallv",
+    "bst_bcast",
+    "bst_reduce",
+    "notification_barrier",
+    "ring_allgather",
+    "ring_allreduce",
+    "ssp_allreduce_once",
+    # simulate
+    "MachineModel",
+    "NetworkParameters",
+    "ScheduleExecutor",
+    "SimulationResult",
+    "galileo",
+    "get_machine",
+    "marenostrum4",
+    "simulate_schedule",
+    "skylake_fdr",
+    "mpi",
+]

@@ -1,0 +1,16 @@
+"""HPC application workloads motivating the consistent collectives.
+
+Currently a single mini-app: the distributed FFT of
+:mod:`repro.apps.fft`, which reproduces the communication pattern of the
+Quantum Espresso FFT kernel the paper profiles (AlltoAll-dominated
+transpose with 6–24 KB per-pair messages).
+"""
+
+from .fft import (
+    DistributedFFT,
+    FFTStats,
+    paper_message_range,
+    run_distributed_fft,
+)
+
+__all__ = ["DistributedFFT", "FFTStats", "paper_message_range", "run_distributed_fft"]

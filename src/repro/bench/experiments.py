@@ -1,0 +1,411 @@
+"""Per-figure experiment definitions (the reproduction of Section V).
+
+Every public ``figNN_*`` function regenerates the data behind one figure
+of the paper.  Each returns a plain dictionary with:
+
+* ``figure`` / ``title`` — identification;
+* ``series`` — ``{line label: [SweepPoint...]}`` (timing figures) or
+  structured records (SSP figures);
+* ``paper_expectation`` — the qualitative claim from the paper that
+  EXPERIMENTS.md checks against.
+
+The ``scale`` argument keeps benchmark runtimes reasonable:
+
+* ``"paper"`` — the exact node counts / message sizes of the paper
+  (pure simulation figures only; the threaded SSP runs stay scaled down);
+* ``"small"`` — reduced sweeps for CI and pytest-benchmark runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.registry import REGISTRY
+from ..ml.datasets import movielens_like
+from ..ml.sgd import DistributedSGDConfig, run_slack_sweep
+from ..simulate.machine import galileo, marenostrum4, skylake_fdr
+from ..utils.validation import require
+from .harness import TimingExperiment, crossover_point, run_node_sweep, run_size_sweep
+
+DOUBLE = 8  # bytes per double-precision element
+
+
+def _node_counts(scale: str) -> List[int]:
+    return [2, 4, 8, 16, 32] if scale == "paper" else [2, 4, 8, 16]
+
+
+def _check_scale(scale: str) -> None:
+    require(scale in ("paper", "small"), f"scale must be 'paper' or 'small', got {scale!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6 — allreduce_SSP impact on MF-SGD convergence
+# --------------------------------------------------------------------------- #
+def fig06_ssp_convergence(scale: str = "small", seed: int = 0) -> Dict:
+    """Figure 6: convergence speed and iteration rate of MF-SGD vs slack.
+
+    The paper trains on MovieLens 25M with 32 workers and slack ∈
+    {0, 2, 32, 64}; the reproduction trains on a synthetic MovieLens-like
+    dataset with a scaled-down worker count and slack grid, preserving the
+    claim under test: *larger slack ⇒ more iterations per second and a
+    shorter time to the reference error*.
+    """
+    _check_scale(scale)
+    if scale == "paper":
+        workers, iterations, slacks = 8, 120, [0, 2, 8, 16]
+        dataset = movielens_like("medium", seed=seed)
+    else:
+        workers, iterations, slacks = 4, 40, [0, 2, 8]
+        dataset = movielens_like("small", seed=seed)
+
+    config = DistributedSGDConfig(
+        num_workers=workers,
+        iterations=iterations,
+        slack=0,
+        algorithm="ssp",
+        base_compute_time=0.0015,
+        perturbation="linear:1.8",
+        seed=seed,
+    )
+    sweep = run_slack_sweep(dataset, slacks, config)
+    records = {
+        slack: {
+            "iterations_per_second": entry.mean_iterations_per_second,
+            "wait_time_per_iteration": entry.mean_wait_time_per_iteration,
+            "final_rmse": entry.final_rmse,
+            "time_to_target": entry.time_to_target,
+            "iterations_to_target": entry.iterations_to_target,
+            "total_time": entry.total_time,
+            "error_curve": [
+                (r.elapsed, r.train_rmse) for r in entry.worker_results[0].records
+            ],
+            "iteration_curve": [
+                (r.elapsed, r.iteration) for r in entry.worker_results[0].records
+            ],
+        }
+        for slack, entry in sweep.items()
+    }
+    return {
+        "figure": "fig06",
+        "title": "allreduce_SSP impact on MF-SGD convergence (32 MareNostrum4 nodes in the paper)",
+        "workers": workers,
+        "slacks": slacks,
+        "series": records,
+        "paper_expectation": (
+            "higher slack gives more iterations per unit time and reaches the "
+            "reference error faster (paper: 6%/12.3%/19% faster for slack 2/32/64)"
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7 — allreduce_SSP collective execution time and wait time
+# --------------------------------------------------------------------------- #
+def fig07_ssp_collective(scale: str = "small", seed: int = 0) -> Dict:
+    """Figure 7: SSP collective execution time (left) and wait time (right).
+
+    Left: simulated collective execution time of the hypercube-based
+    ``allreduce_ssp`` against the MPI default Allreduce and
+    ``gaspi_allreduce_ring`` on the MareNostrum4 model (32 ranks, large
+    vector) — the paper finds the SSP hypercube ≥ ~1.6× slower because it
+    moves the whole vector every step.
+
+    Right: measured time waiting for fresh updates per iteration as a
+    function of slack, from the threaded SSP runtime with a straggler
+    profile — the paper finds it shrinks towards zero as slack grows.
+    """
+    _check_scale(scale)
+    num_ranks = 32 if scale == "paper" else 16
+    elements = 1_000_000 if scale == "paper" else 250_000
+    machine = marenostrum4(num_ranks).with_ranks(num_ranks)
+
+    from .harness import time_algorithm
+
+    left = {
+        "allreduce_ssp (hypercube)": time_algorithm(
+            "gaspi_allreduce_ssp_hypercube", num_ranks, elements * DOUBLE, machine
+        ),
+        "gaspi_allreduce_ring": time_algorithm(
+            "gaspi_allreduce_ring", num_ranks, elements * DOUBLE, machine
+        ),
+        "mpi_allreduce_default": time_algorithm(
+            "mpi_allreduce_default", num_ranks, elements * DOUBLE, machine
+        ),
+    }
+
+    if scale == "paper":
+        workers, iterations, slacks = 8, 80, [0, 1, 2, 4, 8, 16]
+    else:
+        workers, iterations, slacks = 4, 30, [0, 1, 2, 4]
+    dataset = movielens_like("small", seed=seed)
+    config = DistributedSGDConfig(
+        num_workers=workers,
+        iterations=iterations,
+        algorithm="ssp",
+        base_compute_time=0.0015,
+        perturbation="linear:1.8",
+        seed=seed,
+    )
+    sweep = run_slack_sweep(dataset, slacks, config)
+    right = {
+        slack: entry.mean_wait_time_per_iteration for slack, entry in sweep.items()
+    }
+    return {
+        "figure": "fig07",
+        "title": "allreduce_SSP collective execution speed and waiting time",
+        "series": {"collective_time": left, "wait_time_by_slack": right},
+        "paper_expectation": (
+            "allreduce_ssp is slower than the ring/MPI allreduce for large vectors "
+            "(~1.6x), but the time spent waiting for fresh updates decreases as "
+            "slack grows, vanishing for large slack"
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8 — eventually consistent Broadcast
+# --------------------------------------------------------------------------- #
+def fig08_bcast(scale: str = "small", elements: int = 10_000) -> Dict:
+    """Figure 8: BST broadcast with data thresholds vs MPI (SkyLake nodes).
+
+    The paper shows two panels (10 000 and 1 000 000 doubles); call this
+    once per panel with ``elements`` set accordingly.
+    """
+    _check_scale(scale)
+    experiment = TimingExperiment(
+        name="fig08_bcast",
+        machine=skylake_fdr(),
+        algorithms={
+            "25% gaspi": "gaspi_bcast_bst",
+            "50% gaspi": "gaspi_bcast_bst",
+            "75% gaspi": "gaspi_bcast_bst",
+            "100% gaspi": "gaspi_bcast_bst",
+            "100% mpi-def": "mpi_bcast_default",
+            "100% mpi-bin": "mpi_bcast_binomial",
+        },
+        algorithm_kwargs={
+            "25% gaspi": {"threshold": 0.25},
+            "50% gaspi": {"threshold": 0.50},
+            "75% gaspi": {"threshold": 0.75},
+            "100% gaspi": {"threshold": 1.0},
+        },
+    )
+    series = run_node_sweep(experiment, _node_counts(scale), elements * DOUBLE)
+    return {
+        "figure": "fig08",
+        "title": f"Broadcast on SkyLake nodes, {elements} doubles",
+        "elements": elements,
+        "series": series,
+        "paper_expectation": (
+            "shipping 25% of the data is ~3.2-3.6x faster than 100%; MPI wins for "
+            "small arrays while the GASPI BST becomes competitive for large arrays "
+            "and node counts"
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9 — eventually consistent Reduce (data threshold)
+# --------------------------------------------------------------------------- #
+def fig09_reduce(scale: str = "small", elements: int = 10_000) -> Dict:
+    """Figure 9: BST reduce with data thresholds vs MPI (SkyLake nodes)."""
+    _check_scale(scale)
+    experiment = TimingExperiment(
+        name="fig09_reduce",
+        machine=skylake_fdr(),
+        algorithms={
+            "25% gaspi": "gaspi_reduce_bst",
+            "50% gaspi": "gaspi_reduce_bst",
+            "75% gaspi": "gaspi_reduce_bst",
+            "100% gaspi": "gaspi_reduce_bst",
+            "100% mpi-def": "mpi_reduce_default",
+            "100% mpi-bin": "mpi_reduce_binomial",
+        },
+        algorithm_kwargs={
+            "25% gaspi": {"threshold": 0.25, "mode": "data"},
+            "50% gaspi": {"threshold": 0.50, "mode": "data"},
+            "75% gaspi": {"threshold": 0.75, "mode": "data"},
+            "100% gaspi": {"threshold": 1.0, "mode": "data"},
+        },
+    )
+    series = run_node_sweep(experiment, _node_counts(scale), elements * DOUBLE)
+    return {
+        "figure": "fig09",
+        "title": f"Reduce on SkyLake nodes, {elements} doubles",
+        "elements": elements,
+        "series": series,
+        "paper_expectation": (
+            "the 25% vs 100% gap grows with message size (~5x at 8 MB); the MPI "
+            "default stays fastest at full data while gaspi_reduce beats the MPI "
+            "binomial variant from ~10,000 elements"
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10 — Reduce with a fraction of the processes
+# --------------------------------------------------------------------------- #
+def fig10_reduce_processes(scale: str = "small", elements: int = 1_000_000) -> Dict:
+    """Figure 10: full-data reduce engaging only a fraction of the processes."""
+    _check_scale(scale)
+    experiment = TimingExperiment(
+        name="fig10_reduce_processes",
+        machine=skylake_fdr(),
+        algorithms={
+            "25% procs gaspi": "gaspi_reduce_bst",
+            "50% procs gaspi": "gaspi_reduce_bst",
+            "75% procs gaspi": "gaspi_reduce_bst",
+            "100% procs gaspi": "gaspi_reduce_bst",
+            "100% mpi-def": "mpi_reduce_default",
+            "100% mpi-bin": "mpi_reduce_binomial",
+        },
+        algorithm_kwargs={
+            "25% procs gaspi": {"threshold": 0.25, "mode": "processes"},
+            "50% procs gaspi": {"threshold": 0.50, "mode": "processes"},
+            "75% procs gaspi": {"threshold": 0.75, "mode": "processes"},
+            "100% procs gaspi": {"threshold": 1.0, "mode": "processes"},
+        },
+    )
+    series = run_node_sweep(experiment, _node_counts(scale), elements * DOUBLE)
+    return {
+        "figure": "fig10",
+        "title": f"Reduce with a fraction of processes, {elements} doubles",
+        "elements": elements,
+        "series": series,
+        "paper_expectation": (
+            "slower than the data-threshold reduce but still better than the MPI "
+            "binomial variant; the 75% and 100% lines coincide because half of all "
+            "processes join only in the last BST stage"
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 11 — consistent Allreduce vs the 12 MPI variants (node sweep)
+# --------------------------------------------------------------------------- #
+def fig11_allreduce_nodes(scale: str = "small", elements: int = 10_000) -> Dict:
+    """Figure 11: gaspi_allreduce_ring vs mpi1..mpi12 over the node count."""
+    _check_scale(scale)
+    algorithms = {"gaspi": "gaspi_allreduce_ring"}
+    for key in REGISTRY.names(collective="allreduce", family="mpi"):
+        if key.endswith("default"):
+            continue
+        short = key.replace("mpi_allreduce_", "").split("_")[0]  # mpi1..mpi12
+        algorithms[short] = key
+    experiment = TimingExperiment(
+        name="fig11_allreduce_nodes",
+        machine=skylake_fdr(),
+        algorithms=algorithms,
+    )
+    series = run_node_sweep(experiment, _node_counts(scale), elements * DOUBLE)
+    return {
+        "figure": "fig11",
+        "title": f"Allreduce on SkyLake nodes, {elements} doubles",
+        "elements": elements,
+        "series": series,
+        "paper_expectation": (
+            "MPI variants win for 10,000 doubles; gaspi_allreduce_ring wins for "
+            "1,000,000 doubles (paper: 1.78x vs Shumilin's ring, 2.26x vs ring)"
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 12 — consistent Allreduce message-size sweep on 32 nodes
+# --------------------------------------------------------------------------- #
+def fig12_allreduce_sizes(scale: str = "small") -> Dict:
+    """Figure 12: Allreduce time vs message size on 32 SkyLake nodes."""
+    _check_scale(scale)
+    num_nodes = 32 if scale == "paper" else 16
+    if scale == "paper":
+        element_counts: Sequence[int] = [2**k for k in range(10, 24)]  # 1 K .. 8.4 M
+    else:
+        element_counts = [2**k for k in range(10, 21, 2)]  # 1 K .. 1 M
+    algorithms = {"gaspi": "gaspi_allreduce_ring"}
+    for key in REGISTRY.names(collective="allreduce", family="mpi"):
+        if key.endswith("default"):
+            continue
+        short = key.replace("mpi_allreduce_", "").split("_")[0]
+        algorithms[short] = key
+    experiment = TimingExperiment(
+        name="fig12_allreduce_sizes",
+        machine=skylake_fdr(num_nodes),
+        algorithms=algorithms,
+    )
+    series = run_size_sweep(experiment, [n * DOUBLE for n in element_counts], num_nodes)
+    best_mpi = {
+        label: pts
+        for label, pts in series.items()
+        if label != "gaspi"
+    }
+    crossovers = {
+        label: crossover_point(series["gaspi"], pts) for label, pts in best_mpi.items()
+    }
+    return {
+        "figure": "fig12",
+        "title": f"Allreduce on {num_nodes} SkyLake nodes, message-size sweep",
+        "element_counts": list(element_counts),
+        "series": series,
+        "crossover_bytes": crossovers,
+        "paper_expectation": (
+            "MPI is faster up to ~1 MB; from ~2 MB the GASPI ring outperforms every "
+            "MPI variant, peaking around 2.1x against the ring variants at 64 MB"
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 13 — AlltoAll on Galileo (hybrid, 4 processes per node)
+# --------------------------------------------------------------------------- #
+def fig13_alltoall(scale: str = "small") -> Dict:
+    """Figure 13: GASPI AlltoAll vs MPI AlltoAll on Galileo, 4 ppn."""
+    _check_scale(scale)
+    node_counts = [4, 8, 16] if scale == "paper" else [4, 8]
+    if scale == "paper":
+        block_sizes: Sequence[int] = [2**k for k in range(2, 18)]  # 4 B .. 128 KiB
+    else:
+        block_sizes = [2**k for k in range(4, 17, 2)]
+    series_by_nodes: Dict[int, Dict] = {}
+    for nodes in node_counts:
+        experiment = TimingExperiment(
+            name=f"fig13_alltoall_{nodes}nodes",
+            machine=galileo(nodes),
+            algorithms={
+                f"gaspi{nodes}": "gaspi_alltoall",
+                f"mpi{nodes}": "mpi_alltoall_default",
+            },
+        )
+        series = run_size_sweep(experiment, block_sizes, nodes, ranks_per_node=4)
+        series_by_nodes[nodes] = {
+            "series": series,
+            "crossover_bytes": crossover_point(
+                series[f"gaspi{nodes}"], series[f"mpi{nodes}"]
+            ),
+        }
+    return {
+        "figure": "fig13",
+        "title": "AlltoAll on Galileo (4 processes per node)",
+        "block_sizes": list(block_sizes),
+        "series": series_by_nodes,
+        "paper_expectation": (
+            "GASPI and MPI are comparable up to ~1 KB blocks; from ~2 KB the GASPI "
+            "AlltoAll wins, reaching 2.85x/5.14x/5.07x on 4/8/16 nodes around 32 KB "
+            "blocks — the 6-24 KB range used by the Quantum Espresso FFT"
+        ),
+    }
+
+
+#: Figure id → experiment callable, used by the EXPERIMENTS.md generator and
+#: by the benchmark modules.
+ALL_EXPERIMENTS = {
+    "fig06": fig06_ssp_convergence,
+    "fig07": fig07_ssp_collective,
+    "fig08": fig08_bcast,
+    "fig09": fig09_reduce,
+    "fig10": fig10_reduce_processes,
+    "fig11": fig11_allreduce_nodes,
+    "fig12": fig12_allreduce_sizes,
+    "fig13": fig13_alltoall,
+}

@@ -1,0 +1,121 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the same rows/series the paper plots; since this is a
+terminal-first reproduction there is no plotting dependency — the report
+functions emit aligned text tables that can be diffed, pasted into
+EXPERIMENTS.md or loaded into any plotting tool from the returned rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from .harness import SweepPoint
+
+
+def series_to_rows(series: Mapping[str, Sequence[SweepPoint]]) -> List[dict]:
+    """Flatten ``{label: [SweepPoint...]}`` into a list of dict rows."""
+    rows: List[dict] = []
+    for label, points in series.items():
+        for p in points:
+            rows.append(
+                {
+                    "algorithm": label,
+                    "parameter": p.parameter,
+                    "num_ranks": p.num_ranks,
+                    "payload_bytes": p.payload_bytes,
+                    "seconds": p.seconds,
+                }
+            )
+    return rows
+
+
+def format_series_table(
+    series: Mapping[str, Sequence[SweepPoint]],
+    parameter_name: str = "nodes",
+    unit: str = "us",
+    title: str = "",
+) -> str:
+    """Render one table with the sweep parameter as rows and one column per line.
+
+    This is the textual equivalent of one subplot of the paper's figures.
+    """
+    labels = list(series.keys())
+    parameters = sorted({p.parameter for pts in series.values() for p in pts})
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+
+    by_label = {
+        label: {p.parameter: p.seconds for p in points} for label, points in series.items()
+    }
+    width = max(12, max((len(l) for l in labels), default=12) + 2)
+    header = f"{parameter_name:>12} " + " ".join(f"{label:>{width}}" for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(header))
+    lines.append(header)
+    for param in parameters:
+        cells = []
+        for label in labels:
+            value = by_label[label].get(param)
+            cells.append(f"{value * scale:>{width}.2f}" if value is not None else " " * width)
+        lines.append(f"{param:>12} " + " ".join(cells))
+    lines.append(f"(times in {unit})")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    series: Mapping[str, Sequence[SweepPoint]],
+    baseline_label: str,
+    unit: str = "x",
+) -> str:
+    """Render speed-ups of every line relative to ``baseline_label``.
+
+    Values above 1 mean the line is *slower* than the baseline at that
+    sweep point (time ratio), matching how the paper quotes "1.78x and
+    2.26x" improvements of GASPI over the MPI rings.
+    """
+    if baseline_label not in series:
+        raise KeyError(f"baseline {baseline_label!r} not among {sorted(series)}")
+    base = {p.parameter: p.seconds for p in series[baseline_label]}
+    labels = [l for l in series if l != baseline_label]
+    parameters = sorted(base.keys())
+    width = max(12, max((len(l) for l in labels), default=12) + 2)
+    lines = [
+        f"time relative to {baseline_label!r} (>1 means slower than the baseline)",
+        f"{'param':>12} " + " ".join(f"{label:>{width}}" for label in labels),
+    ]
+    for param in parameters:
+        cells = []
+        for label in labels:
+            other = {p.parameter: p.seconds for p in series[label]}.get(param)
+            if other is None or base[param] == 0:
+                cells.append(" " * width)
+            else:
+                cells.append(f"{other / base[param]:>{width}.2f}")
+        lines.append(f"{param:>12} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_kv_table(rows: Iterable[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of homogeneous dict rows as an aligned table."""
+    rows = list(rows)
+    if not rows:
+        return title
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), max(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(f"{c:>{widths[c]}}" for c in columns))
+    for r in rows:
+        lines.append("  ".join(f"{_fmt(r.get(c)):>{widths[c]}}" for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

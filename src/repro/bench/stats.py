@@ -1,0 +1,102 @@
+"""Statistics helpers matching the paper's reporting methodology.
+
+The paper reports, for every message size / node count, the average over
+100 executions together with a 95 % confidence interval.  The simulator is
+deterministic, so the figure benchmarks report single simulated values;
+the threaded-runtime experiments (SSP, functional collectives) are
+repeated and summarised with the same mean ± 95 % CI the paper uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..utils.validation import require
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Mean, spread and 95 % confidence half-width of a repeated measurement."""
+
+    mean: float
+    std: float
+    ci95: float
+    count: int
+    minimum: float
+    maximum: float
+
+    @property
+    def lower(self) -> float:
+        """Lower edge of the 95 % confidence interval."""
+        return self.mean - self.ci95
+
+    @property
+    def upper(self) -> float:
+        """Upper edge of the 95 % confidence interval."""
+        return self.mean + self.ci95
+
+    def __str__(self) -> str:
+        return f"{self.mean:.6g} ± {self.ci95:.2g} (n={self.count})"
+
+
+# Two-sided 97.5 % Student-t quantiles for small sample sizes; larger samples
+# fall back to the normal quantile 1.96.  Hard-coding the table keeps the
+# hot path free of a scipy dependency at import time.
+_T_TABLE = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145,
+    15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 100: 1.984,
+}
+
+
+def _t_quantile(dof: int) -> float:
+    if dof <= 0:
+        return float("nan")
+    best = 1.96
+    for key in sorted(_T_TABLE):
+        if dof <= key:
+            return _T_TABLE[key]
+        best = _T_TABLE[key]
+    return min(best, 1.984) if dof > 100 else best
+
+
+def confidence_interval_95(samples: Sequence[float]) -> float:
+    """Half-width of the 95 % confidence interval of the mean.
+
+    Uses the Student-t quantile for the sample size, as is standard for the
+    small repeat counts (10–100) used by the paper and these benchmarks.
+    Returns 0 for fewer than two samples.
+    """
+    samples = np.asarray(list(samples), dtype=np.float64)
+    if samples.size < 2:
+        return 0.0
+    std = float(np.std(samples, ddof=1))
+    return _t_quantile(samples.size - 1) * std / math.sqrt(samples.size)
+
+
+def summarize(samples: Sequence[float]) -> Measurement:
+    """Summarise repeated measurements (mean, std, 95 % CI, extrema)."""
+    samples = list(float(s) for s in samples)
+    require(bool(samples), "summarize needs at least one sample")
+    arr = np.asarray(samples)
+    return Measurement(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        ci95=confidence_interval_95(samples),
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used to aggregate speed-up ratios across sweep points)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    require(arr.size > 0, "geometric_mean needs at least one value")
+    require(bool(np.all(arr > 0)), "geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

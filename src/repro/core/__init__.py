@@ -1,0 +1,126 @@
+"""The paper's collectives: eventually consistent and consistent variants.
+
+Public surface:
+
+* :class:`~repro.core.api.Communicator` — high-level per-rank API.
+* Functional collectives: :func:`~repro.core.bcast.bst_bcast`,
+  :func:`~repro.core.reduce.bst_reduce`,
+  :func:`~repro.core.allreduce_ring.ring_allreduce`,
+  :class:`~repro.core.allreduce_ssp.SSPAllreduce`,
+  :func:`~repro.core.alltoall.alltoall` / ``alltoallv``,
+  :func:`~repro.core.allgather.ring_allgather`,
+  :class:`~repro.core.barrier.NotificationBarrier`.
+* Schedule builders for the timing simulator and the algorithm
+  :data:`~repro.core.registry.REGISTRY` the benchmark harness uses.
+"""
+
+from .api import Communicator
+from .allgather import ring_allgather, ring_allgather_schedule
+from .allreduce_ring import RingAllreduceStats, ring_allreduce, ring_allreduce_schedule
+from .allreduce_ssp import (
+    SSPAllreduce,
+    SSPAllreduceResult,
+    SSPCallStats,
+    SSPTotals,
+    hypercube_allreduce_schedule,
+    ssp_allreduce_once,
+)
+from .alltoall import alltoall, alltoall_schedule, alltoallv
+from .barrier import (
+    NotificationBarrier,
+    dissemination_barrier_schedule,
+    notification_barrier,
+)
+from .bcast import (
+    BroadcastResult,
+    bst_bcast,
+    bst_bcast_schedule,
+    flat_bcast,
+    flat_bcast_schedule,
+    threshold_elements,
+)
+from .compression import (
+    CompressedVector,
+    ThresholdCompressor,
+    TopKCompressor,
+    compression_error,
+)
+from .reduce import ReduceMode, ReduceResult, bst_reduce, bst_reduce_schedule
+from .reduction_ops import MAX, MIN, PROD, SUM, ReductionOp, available_ops, get_op, register_op
+from .registry import REGISTRY, AlgorithmInfo, AlgorithmRegistry
+from .schedule import (
+    CommunicationSchedule,
+    LocalCompute,
+    Message,
+    Protocol,
+    Round,
+    merge_sequential,
+)
+from .topology import (
+    BinomialTree,
+    Hypercube,
+    KnomialTree,
+    Ring,
+    chunk_bounds,
+    chunk_sizes,
+    dissemination_schedule,
+)
+
+__all__ = [
+    "Communicator",
+    "ring_allgather",
+    "ring_allgather_schedule",
+    "RingAllreduceStats",
+    "ring_allreduce",
+    "ring_allreduce_schedule",
+    "SSPAllreduce",
+    "SSPAllreduceResult",
+    "SSPCallStats",
+    "SSPTotals",
+    "hypercube_allreduce_schedule",
+    "ssp_allreduce_once",
+    "alltoall",
+    "alltoall_schedule",
+    "alltoallv",
+    "NotificationBarrier",
+    "dissemination_barrier_schedule",
+    "notification_barrier",
+    "BroadcastResult",
+    "bst_bcast",
+    "bst_bcast_schedule",
+    "flat_bcast",
+    "flat_bcast_schedule",
+    "threshold_elements",
+    "CompressedVector",
+    "ThresholdCompressor",
+    "TopKCompressor",
+    "compression_error",
+    "ReduceMode",
+    "ReduceResult",
+    "bst_reduce",
+    "bst_reduce_schedule",
+    "ReductionOp",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "available_ops",
+    "get_op",
+    "register_op",
+    "REGISTRY",
+    "AlgorithmInfo",
+    "AlgorithmRegistry",
+    "CommunicationSchedule",
+    "LocalCompute",
+    "Message",
+    "Protocol",
+    "Round",
+    "merge_sequential",
+    "BinomialTree",
+    "Hypercube",
+    "KnomialTree",
+    "Ring",
+    "chunk_bounds",
+    "chunk_sizes",
+    "dissemination_schedule",
+]

@@ -1,0 +1,331 @@
+"""Consistent Allreduce: segmented pipelined ring (paper Section IV-A).
+
+``gaspi_allreduce_ring`` targets the large messages typical of ML/DL
+gradient exchanges.  The algorithm has two stages (Figures 4 and 5 of the
+paper):
+
+1. **Scatter-Reduce** — P-1 steps; at step ``k`` rank ``i`` sends chunk
+   ``(i - k) mod P`` to its clockwise neighbour and reduces the incoming
+   chunk ``(i - k - 1) mod P`` into its local data.  Afterwards rank ``i``
+   owns the fully reduced chunk ``(i + 1) mod P``.
+2. **Allgather** — P-1 further steps circulating the finished chunks, so
+   every rank ends with the complete reduced vector.
+
+Each transfer is a ``write_notify`` into a per-step staging slot of the
+neighbour's segment; completion is detected with notifications only — no
+global synchronisation between or after the two stages, which is the key
+difference from the MPI ring implementations the paper compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..gaspi.constants import GASPI_BLOCK
+from ..gaspi.runtime import GaspiRuntime
+from ..utils.validation import require
+from .reduction_ops import ReductionOp, get_op
+from .schedule import CommunicationSchedule, Message, Protocol
+from .topology import Ring, chunk_bounds
+
+#: Default segment id used by the ring allreduce.
+RING_SEGMENT_ID = 120
+
+
+@dataclass
+class RingAllreduceStats:
+    """Instrumentation returned by :func:`ring_allreduce`."""
+
+    rank: int
+    num_chunks: int
+    steps: int
+    bytes_sent: int
+    bytes_received: int
+
+
+def ring_allreduce(
+    runtime: GaspiRuntime,
+    sendbuf: np.ndarray,
+    recvbuf: Optional[np.ndarray] = None,
+    op: str | ReductionOp = "sum",
+    segment_id: int = RING_SEGMENT_ID,
+    queue: int = 0,
+    timeout: float = GASPI_BLOCK,
+    manage_segment: bool = True,
+) -> RingAllreduceStats:
+    """Segmented pipelined ring allreduce over all ranks.
+
+    Parameters
+    ----------
+    sendbuf:
+        This rank's contribution (1-D, identical length and dtype on all
+        ranks).  Left unmodified.
+    recvbuf:
+        Output buffer; when ``None`` the reduction is written back into
+        ``sendbuf`` (in-place allreduce).
+    op:
+        Reduction operator ("sum" by default, as in the paper).
+
+    Returns
+    -------
+    RingAllreduceStats
+        Per-rank message/byte counters (useful for tests and examples).
+
+    Notes
+    -----
+    Works for any world size P >= 1 and any vector length >= P is not
+    required — chunks may be empty for tiny vectors; empty chunks skip the
+    transfer but still advance the notification protocol so the pipeline
+    stays aligned.
+    """
+    sendbuf = np.ascontiguousarray(sendbuf)
+    require(sendbuf.ndim == 1 and sendbuf.size > 0, "sendbuf must be a non-empty vector")
+    operator = get_op(op)
+    rank, size = runtime.rank, runtime.size
+
+    if recvbuf is None:
+        recvbuf = sendbuf
+    else:
+        recvbuf = np.asarray(recvbuf)
+        require(
+            recvbuf.shape == sendbuf.shape and recvbuf.dtype == sendbuf.dtype,
+            "recvbuf must match sendbuf in shape and dtype",
+        )
+
+    work = sendbuf.astype(sendbuf.dtype, copy=True)
+
+    if size == 1:
+        recvbuf[:] = work
+        return RingAllreduceStats(rank, 1, 0, 0, 0)
+
+    ring = Ring(size)
+    nxt = ring.next_rank(rank)
+    itemsize = work.itemsize
+    max_chunk = -(-work.size // size)  # ceil
+    slot_bytes = max(max_chunk * itemsize, itemsize)
+    total_steps = 2 * (size - 1)
+
+    # Segment layout: the lower half holds one *receive* slot per step (the
+    # predecessor writes into slot ``step``; notification id == step), the
+    # upper half holds one *send staging* slot per step.  Keeping the two
+    # regions disjoint is essential: a fast predecessor may deliver the
+    # step-k chunk before this rank has even staged its own step-k send, and
+    # the incoming data must not be clobbered.
+    if manage_segment:
+        runtime.segment_create(segment_id, slot_bytes * total_steps * 2)
+        runtime.barrier()
+    send_region = slot_bytes * total_steps
+
+    bytes_sent = 0
+    bytes_received = 0
+    try:
+        # ----------------------------- Scatter-Reduce ---------------------- #
+        for step in range(size - 1):
+            send_chunk = ring.scatter_reduce_send_chunk(rank, step)
+            recv_chunk = ring.scatter_reduce_recv_chunk(rank, step)
+            s_begin, s_end = chunk_bounds(work.size, size, send_chunk)
+            r_begin, r_end = chunk_bounds(work.size, size, recv_chunk)
+
+            _send_chunk(
+                runtime,
+                work[s_begin:s_end],
+                nxt,
+                segment_id,
+                step,
+                slot_bytes,
+                send_region,
+                queue,
+            )
+            bytes_sent += (s_end - s_begin) * itemsize
+
+            incoming = _recv_chunk(
+                runtime, segment_id, step, r_end - r_begin, work.dtype, slot_bytes, timeout
+            )
+            bytes_received += (r_end - r_begin) * itemsize
+            if incoming.size:
+                operator.reduce_into(work[r_begin:r_end], incoming)
+
+        # ----------------------------- Allgather --------------------------- #
+        for step in range(size - 1):
+            gstep = (size - 1) + step
+            send_chunk = ring.allgather_send_chunk(rank, step)
+            recv_chunk = ring.allgather_recv_chunk(rank, step)
+            s_begin, s_end = chunk_bounds(work.size, size, send_chunk)
+            r_begin, r_end = chunk_bounds(work.size, size, recv_chunk)
+
+            _send_chunk(
+                runtime,
+                work[s_begin:s_end],
+                nxt,
+                segment_id,
+                gstep,
+                slot_bytes,
+                send_region,
+                queue,
+            )
+            bytes_sent += (s_end - s_begin) * itemsize
+
+            incoming = _recv_chunk(
+                runtime, segment_id, gstep, r_end - r_begin, work.dtype, slot_bytes, timeout
+            )
+            bytes_received += (r_end - r_begin) * itemsize
+            if incoming.size:
+                work[r_begin:r_end] = incoming
+    finally:
+        if manage_segment:
+            runtime.barrier()
+            runtime.segment_delete(segment_id)
+
+    recvbuf[:] = work
+    return RingAllreduceStats(
+        rank=rank,
+        num_chunks=size,
+        steps=total_steps,
+        bytes_sent=bytes_sent,
+        bytes_received=bytes_received,
+    )
+
+
+def _send_chunk(
+    runtime: GaspiRuntime,
+    chunk: np.ndarray,
+    target: int,
+    segment_id: int,
+    step: int,
+    slot_bytes: int,
+    send_region: int,
+    queue: int,
+) -> None:
+    """Stage ``chunk`` in the local send slot and write_notify it to ``target``.
+
+    The staging slot lives in the send region of the local segment; the data
+    lands in the *receive* slot of the same step at the target.  Empty chunks
+    degenerate into a pure notification so the receiver's step counter still
+    advances.
+    """
+    if chunk.size:
+        local_offset = send_region + step * slot_bytes
+        staging = runtime.segment_view(
+            segment_id, dtype=chunk.dtype, offset=local_offset, count=chunk.size
+        )
+        staging[:] = chunk
+        runtime.write_notify(
+            segment_id_local=segment_id,
+            offset_local=local_offset,
+            target_rank=target,
+            segment_id_remote=segment_id,
+            offset_remote=step * slot_bytes,
+            size=chunk.nbytes,
+            notification_id=step,
+            queue=queue,
+        )
+    else:
+        runtime.notify(target, segment_id, step, queue=queue)
+    runtime.wait(queue)
+
+
+def _recv_chunk(
+    runtime: GaspiRuntime,
+    segment_id: int,
+    step: int,
+    count: int,
+    dtype,
+    slot_bytes: int,
+    timeout: float,
+) -> np.ndarray:
+    """Wait for the step's notification and return a copy of the staged chunk."""
+    got = runtime.notify_waitsome(segment_id, step, 1, timeout=timeout)
+    if got is None:
+        raise TimeoutError(f"rank {runtime.rank}: ring step {step} never completed")
+    runtime.notify_reset(segment_id, step)
+    if count == 0:
+        return np.empty(0, dtype=dtype)
+    return runtime.segment_read(
+        segment_id, dtype=dtype, offset=step * slot_bytes, count=count
+    )
+
+
+# --------------------------------------------------------------------------- #
+# schedule builder (Figures 11 and 12)
+# --------------------------------------------------------------------------- #
+def ring_allreduce_schedule(
+    num_ranks: int,
+    nbytes: int,
+    protocol: Protocol = Protocol.ONESIDED,
+    phase_barriers: bool = False,
+    segment_messages: int = 1,
+    name: str | None = None,
+) -> CommunicationSchedule:
+    """Schedule of the segmented pipelined ring allreduce.
+
+    Parameters
+    ----------
+    phase_barriers:
+        Insert a global synchronisation after the Scatter-Reduce and
+        Allgather phases.  The GASPI implementation does *not* do this
+        (that is one of its selling points); the MPI ring variants in
+        :mod:`repro.mpi.allreduce_variants` reuse this builder with
+        ``phase_barriers=True`` and two-sided protocol.
+    segment_messages:
+        Sub-split each 1/P chunk into this many messages (the paper notes
+        GPI-2 may split messages internally; 1 keeps one message per chunk).
+    """
+    require(num_ranks >= 1, "num_ranks must be >= 1")
+    require(nbytes >= 0, "nbytes must be non-negative")
+    require(segment_messages >= 1, "segment_messages must be >= 1")
+    sched = CommunicationSchedule(
+        name=name or "gaspi_allreduce_ring",
+        num_ranks=num_ranks,
+        metadata={
+            "payload_bytes": nbytes,
+            "algorithm": "segmented_pipelined_ring",
+            "phase_barriers": phase_barriers,
+        },
+    )
+    if num_ranks == 1 or nbytes == 0:
+        sched.validate()
+        return sched
+
+    ring = Ring(num_ranks)
+    chunk_nbytes = [
+        chunk_bounds(nbytes, num_ranks, c)[1] - chunk_bounds(nbytes, num_ranks, c)[0]
+        for c in range(num_ranks)
+    ]
+
+    def add_phase(phase: str, reduce: bool) -> None:
+        for step in range(num_ranks - 1):
+            messages = []
+            for rank in range(num_ranks):
+                if phase == "scatter-reduce":
+                    chunk = ring.scatter_reduce_send_chunk(rank, step)
+                else:
+                    chunk = ring.allgather_send_chunk(rank, step)
+                total = chunk_nbytes[chunk]
+                per_msg = -(-total // segment_messages)
+                remaining = total
+                for s in range(segment_messages):
+                    this = min(per_msg, remaining)
+                    remaining -= this
+                    if this <= 0 and s > 0:
+                        continue
+                    messages.append(
+                        Message(
+                            src=rank,
+                            dst=ring.next_rank(rank),
+                            nbytes=this,
+                            protocol=protocol,
+                            reduce_bytes=this if reduce else 0,
+                            tag=f"{phase}-step-{step}",
+                        )
+                    )
+            sched.add_round(messages, label=f"{phase}-{step}")
+        if phase_barriers and sched.rounds:
+            sched.rounds[-1].barrier_after = True
+
+    add_phase("scatter-reduce", reduce=True)
+    add_phase("allgather", reduce=False)
+    sched.validate()
+    return sched

@@ -1,0 +1,276 @@
+"""High-level user-facing API: the :class:`Communicator`.
+
+A :class:`Communicator` wraps one rank's GASPI runtime and exposes the
+paper's collectives with an mpi4py-flavoured interface::
+
+    from repro import run_spmd, Communicator
+
+    def worker(runtime):
+        comm = Communicator(runtime)
+        data = np.full(1_000, comm.rank, dtype=np.float64)
+        total = comm.allreduce(data, op="sum", algorithm="ring")
+        comm.bcast(data, root=0, threshold=0.25)     # eventually consistent
+        return total
+
+    results = run_spmd(8, worker)
+
+The communicator hands out non-overlapping segment ids to the collectives
+it invokes and keeps persistent state (the SSP mailboxes) alive across
+iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..gaspi.runtime import GaspiRuntime
+from ..utils.validation import require
+from .allgather import ring_allgather
+from .allreduce_ring import ring_allreduce
+from .allreduce_ssp import SSPAllreduce, SSPAllreduceResult, ssp_allreduce_once
+from .alltoall import alltoall as _alltoall
+from .alltoall import alltoallv as _alltoallv
+from .bcast import BroadcastResult, bst_bcast, flat_bcast
+from .reduce import ReduceMode, ReduceResult, bst_reduce
+from .reduction_ops import ReductionOp
+
+#: First segment id handed out by a communicator with ``segment_base=0``.
+_SEGMENT_BASE_DEFAULT = 200
+
+
+class Communicator:
+    """Per-rank facade over the collective library.
+
+    Parameters
+    ----------
+    runtime:
+        The rank's :class:`~repro.gaspi.runtime.GaspiRuntime`.
+    segment_base:
+        First segment id this communicator may use.  Two communicators
+        living on the same world must use disjoint ranges; every rank must
+        construct its communicators in the same order with the same bases.
+    """
+
+    def __init__(self, runtime: GaspiRuntime, segment_base: int = _SEGMENT_BASE_DEFAULT) -> None:
+        self.runtime = runtime
+        self._segment_base = int(segment_base)
+        self._next_segment = int(segment_base)
+        self._ssp_instances: Dict[int, SSPAllreduce] = {}
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self) -> int:
+        """This process's rank."""
+        return self.runtime.rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self.runtime.size
+
+    def _allocate_segment_id(self) -> int:
+        """Next unused segment id.
+
+        All ranks allocate in lock-step because they execute the same
+        sequence of collective calls (the usual SPMD contract).
+        """
+        sid = self._next_segment
+        self._next_segment += 1
+        return sid
+
+    # ------------------------------------------------------------------ #
+    # synchronisation
+    # ------------------------------------------------------------------ #
+    def barrier(self) -> None:
+        """Global barrier over all ranks."""
+        self.runtime.barrier()
+
+    # ------------------------------------------------------------------ #
+    # broadcast / reduce (eventually consistent)
+    # ------------------------------------------------------------------ #
+    def bcast(
+        self,
+        buffer: np.ndarray,
+        root: int = 0,
+        threshold: float = 1.0,
+        algorithm: str = "bst",
+    ) -> BroadcastResult:
+        """Broadcast ``buffer`` from ``root`` (in place on non-root ranks).
+
+        ``threshold < 1`` ships only the leading fraction of the payload —
+        the eventually consistent mode of the paper.
+        """
+        impl = {"bst": bst_bcast, "flat": flat_bcast}.get(algorithm)
+        require(impl is not None, f"unknown bcast algorithm {algorithm!r}")
+        return impl(
+            self.runtime,
+            buffer,
+            root=root,
+            threshold=threshold,
+            segment_id=self._allocate_segment_id(),
+        )
+
+    def reduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray] = None,
+        root: int = 0,
+        op: str | ReductionOp = "sum",
+        threshold: float = 1.0,
+        mode: ReduceMode | str = ReduceMode.DATA,
+    ) -> ReduceResult:
+        """Reduce ``sendbuf`` onto ``root`` with an optional threshold.
+
+        ``mode="data"`` reduces only the leading ``threshold`` fraction of
+        the vector; ``mode="processes"`` reduces the full vector over a
+        ``threshold`` fraction of the processes (paper Figures 9 and 10).
+        """
+        return bst_reduce(
+            self.runtime,
+            sendbuf,
+            recvbuf=recvbuf,
+            root=root,
+            op=op,
+            threshold=threshold,
+            mode=mode,
+            segment_id=self._allocate_segment_id(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # allreduce
+    # ------------------------------------------------------------------ #
+    def allreduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray] = None,
+        op: str | ReductionOp = "sum",
+        algorithm: str = "ring",
+    ) -> np.ndarray:
+        """Consistent allreduce.
+
+        ``algorithm="ring"`` is the paper's segmented pipelined ring (best
+        for large vectors); ``algorithm="hypercube"`` is the synchronous
+        hypercube (small vectors / reference).
+        """
+        require(
+            algorithm in ("ring", "hypercube"),
+            f"unknown allreduce algorithm {algorithm!r}",
+        )
+        if algorithm == "ring":
+            if recvbuf is None:
+                recvbuf = np.array(sendbuf, copy=True)
+            ring_allreduce(
+                self.runtime,
+                np.ascontiguousarray(sendbuf),
+                recvbuf,
+                op=op,
+                segment_id=self._allocate_segment_id(),
+            )
+            return recvbuf
+        result = ssp_allreduce_once(
+            self.runtime,
+            np.ascontiguousarray(sendbuf),
+            slack=0,
+            op=op,
+            segment_id=self._allocate_segment_id(),
+        )
+        if recvbuf is not None:
+            recvbuf[:] = result
+            return recvbuf
+        return result
+
+    def allreduce_ssp(
+        self,
+        contribution: np.ndarray,
+        slack: int,
+        op: str | ReductionOp = "sum",
+        key: int = 0,
+        clock: Optional[int] = None,
+    ) -> SSPAllreduceResult:
+        """Eventually consistent allreduce following the SSP model.
+
+        The first call with a given ``key`` creates the persistent mailbox
+        state (sized for ``contribution``); subsequent calls with the same
+        ``key`` advance the logical clock and reuse it.  Use
+        :meth:`close_ssp` when the iterative phase ends.
+        """
+        contribution = np.ascontiguousarray(contribution)
+        inst = self._ssp_instances.get(key)
+        if inst is None:
+            inst = SSPAllreduce(
+                self.runtime,
+                contribution.size,
+                slack=slack,
+                op=op,
+                dtype=contribution.dtype,
+                segment_id=self._allocate_segment_id(),
+            )
+            self._ssp_instances[key] = inst
+        return inst.reduce(contribution, clock=clock)
+
+    def ssp_state(self, key: int = 0) -> Optional[SSPAllreduce]:
+        """The persistent SSP collective for ``key`` (``None`` if not created)."""
+        return self._ssp_instances.get(key)
+
+    def close_ssp(self, key: int = 0) -> None:
+        """Tear down the persistent SSP state for ``key`` (collective call)."""
+        inst = self._ssp_instances.pop(key, None)
+        if inst is not None:
+            inst.close()
+
+    # ------------------------------------------------------------------ #
+    # allgather / alltoall
+    # ------------------------------------------------------------------ #
+    def allgather(
+        self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Gather equal-sized blocks from all ranks onto all ranks."""
+        return ring_allgather(
+            self.runtime, sendbuf, recvbuf, segment_id=self._allocate_segment_id()
+        )
+
+    def alltoall(
+        self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Exchange equal-sized blocks between every pair of ranks."""
+        return _alltoall(
+            self.runtime, sendbuf, recvbuf, segment_id=self._allocate_segment_id()
+        )
+
+    def alltoallv(
+        self,
+        sendbuf: np.ndarray,
+        send_counts: Sequence[int],
+        recv_counts: Sequence[int],
+        recvbuf: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Variable-size AlltoAll (``MPI_Alltoallv`` equivalent)."""
+        return _alltoallv(
+            self.runtime,
+            sendbuf,
+            send_counts,
+            recv_counts,
+            recvbuf,
+            segment_id=self._allocate_segment_id(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release all persistent collective state (SSP mailboxes)."""
+        for key in list(self._ssp_instances):
+            self.close_ssp(key)
+
+    def __enter__(self) -> "Communicator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator(rank={self.rank}, size={self.size})"

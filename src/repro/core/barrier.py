@@ -1,0 +1,129 @@
+"""Dissemination barrier built on GASPI notifications.
+
+The related-work section of the paper points to the Hensgen/Finkel/Manber
+dissemination algorithm (used e.g. by MPICH barriers).  This module
+implements it with pure notification traffic: in round ``k`` each rank
+notifies ``(rank + 2**k) mod P`` and waits for the notification from
+``(rank - 2**k) mod P``.  After ``⌈log2 P⌉`` rounds every rank has
+(transitively) heard from every other rank.
+
+The implementation is reusable: each instance owns a tiny segment whose
+notification slots encode ``(generation, round)`` so back-to-back barriers
+do not confuse each other.
+"""
+
+from __future__ import annotations
+
+from ..gaspi.constants import GASPI_BLOCK
+from ..gaspi.runtime import GaspiRuntime
+from ..utils.validation import ceil_log2, require
+from .schedule import CommunicationSchedule, Message, Protocol
+from .topology import dissemination_schedule
+
+#: Default segment id used by the notification barrier.
+BARRIER_SEGMENT_ID = 150
+
+#: Number of barrier generations tracked before notification ids wrap.
+_GENERATIONS = 4
+
+
+class NotificationBarrier:
+    """Reusable dissemination barrier over all ranks."""
+
+    def __init__(
+        self,
+        runtime: GaspiRuntime,
+        segment_id: int = BARRIER_SEGMENT_ID,
+        queue: int = 0,
+    ) -> None:
+        self.runtime = runtime
+        self.segment_id = int(segment_id)
+        self.queue = int(queue)
+        self.rounds = ceil_log2(runtime.size) if runtime.size > 1 else 0
+        self.generation = 0
+        # The segment only exists to carry notifications; 8 bytes suffice.
+        runtime.segment_create(self.segment_id, 8)
+        runtime.barrier()
+        self._closed = False
+
+    def wait(self, timeout: float = GASPI_BLOCK) -> None:
+        """Enter the barrier; returns when every rank has entered it."""
+        if self._closed:
+            raise RuntimeError("barrier already closed")
+        rank = self.runtime.rank
+        size = self.runtime.size
+        if size == 1:
+            self.generation += 1
+            return
+        gen_slot = self.generation % _GENERATIONS
+        for step in dissemination_schedule(size, rank):
+            notif = gen_slot * self.rounds + step.round_index
+            self.runtime.notify(step.send_to, self.segment_id, notif, queue=self.queue)
+            self.runtime.wait(self.queue)
+            got = self.runtime.notify_waitsome(self.segment_id, notif, 1, timeout=timeout)
+            if got is None:
+                raise TimeoutError(
+                    f"rank {rank}: dissemination barrier round {step.round_index} "
+                    f"timed out waiting for rank {step.recv_from}"
+                )
+            self.runtime.notify_reset(self.segment_id, got)
+        self.generation += 1
+
+    def close(self) -> None:
+        """Release the barrier segment (collective)."""
+        if self._closed:
+            return
+        self.runtime.barrier()
+        self.runtime.segment_delete(self.segment_id)
+        self._closed = True
+
+    def __enter__(self) -> "NotificationBarrier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def notification_barrier(
+    runtime: GaspiRuntime,
+    segment_id: int = BARRIER_SEGMENT_ID,
+    timeout: float = GASPI_BLOCK,
+) -> None:
+    """One-shot dissemination barrier (constructs and tears down its state)."""
+    barrier = NotificationBarrier(runtime, segment_id=segment_id)
+    try:
+        barrier.wait(timeout=timeout)
+    finally:
+        barrier.close()
+
+
+def dissemination_barrier_schedule(
+    num_ranks: int,
+    protocol: Protocol = Protocol.ONESIDED,
+    name: str | None = None,
+) -> CommunicationSchedule:
+    """Schedule of the dissemination barrier (zero-byte messages)."""
+    require(num_ranks >= 1, "num_ranks must be >= 1")
+    sched = CommunicationSchedule(
+        name=name or "gaspi_barrier_dissemination",
+        num_ranks=num_ranks,
+        metadata={"algorithm": "dissemination"},
+    )
+    rounds = ceil_log2(num_ranks) if num_ranks > 1 else 0
+    for k in range(rounds):
+        dist = 1 << k
+        sched.add_round(
+            [
+                Message(
+                    src=rank,
+                    dst=(rank + dist) % num_ranks,
+                    nbytes=0,
+                    protocol=protocol,
+                    tag=f"barrier-round-{k}",
+                )
+                for rank in range(num_ranks)
+            ],
+            label=f"round-{k}",
+        )
+    sched.validate()
+    return sched

@@ -1,0 +1,339 @@
+"""Eventually consistent Broadcast (paper Section III-B, Figures 3 & 8).
+
+Two GASPI broadcast algorithms are provided:
+
+* :func:`bst_bcast` — the binomial-spanning-tree broadcast the paper
+  evaluates (``gaspi_bcast``).  The *threshold* parameter controls which
+  fraction of the payload is actually shipped: with ``threshold = 0.25``
+  only the first quarter of the buffer reaches the non-root ranks, which is
+  the paper's way of mimicking eventual consistency ("the application can
+  proceed upon arrival of a part of the data").
+* :func:`flat_bcast` — the naive variant mentioned in the paper
+  (P-1 ``gaspi_write_notify`` calls issued by the root).
+
+Both also export communication-schedule builders for the timing simulator,
+used by the Figure 8 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gaspi.constants import GASPI_BLOCK
+from ..gaspi.runtime import GaspiRuntime
+from ..utils.validation import check_fraction, require
+from .schedule import CommunicationSchedule, Message, Protocol
+from .topology import BinomialTree
+
+#: Default segment id used by the broadcast collectives.
+BCAST_SEGMENT_ID = 100
+
+#: Notification ids inside the broadcast segment.
+_NOTIF_DATA = 0
+_NOTIF_ACK_BASE = 1
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of a broadcast call on one rank.
+
+    This plays the role of the *status* output parameter the paper proposes
+    for eventually consistent collectives: the caller can inspect how much
+    of the payload it actually received.
+    """
+
+    rank: int
+    root: int
+    elements_total: int
+    elements_received: int
+    bytes_received: int
+    threshold: float
+    stage: int
+
+    @property
+    def complete(self) -> bool:
+        """True when the full payload was delivered (threshold == 1)."""
+        return self.elements_received == self.elements_total
+
+
+def threshold_elements(num_elements: int, threshold: float) -> int:
+    """Number of leading elements shipped for a given data threshold.
+
+    At least one element is always shipped so a notification is never empty.
+    """
+    check_fraction(threshold, "threshold")
+    return max(1, int(np.floor(num_elements * threshold + 1e-9))) if num_elements else 0
+
+
+# --------------------------------------------------------------------------- #
+# functional implementations (threaded runtime)
+# --------------------------------------------------------------------------- #
+def bst_bcast(
+    runtime: GaspiRuntime,
+    buffer: np.ndarray,
+    root: int = 0,
+    threshold: float = 1.0,
+    segment_id: int = BCAST_SEGMENT_ID,
+    queue: int = 0,
+    timeout: float = GASPI_BLOCK,
+    manage_segment: bool = True,
+) -> BroadcastResult:
+    """Binomial-spanning-tree broadcast of ``buffer`` from ``root``.
+
+    Parameters
+    ----------
+    runtime:
+        Per-rank GASPI runtime.
+    buffer:
+        1-D contiguous NumPy array, same length and dtype on every rank.
+        On non-root ranks the first ``threshold`` fraction of elements is
+        overwritten with the root's data; the rest is left untouched.
+    root:
+        Broadcasting rank.
+    threshold:
+        Fraction of the payload (by element count) to ship, in (0, 1].
+    segment_id:
+        Segment id used as communication workspace (must be free on every
+        rank when ``manage_segment`` is true).
+    manage_segment:
+        When true (default) the function creates and deletes the workspace
+        segment and synchronises ranks around those operations.  Set to
+        false when the caller (e.g. :class:`repro.core.api.Communicator`)
+        manages a persistent workspace.
+
+    Returns
+    -------
+    BroadcastResult
+        Per-rank status, including how many elements were received.
+    """
+    buffer = _require_vector(buffer)
+    require(0 <= root < runtime.size, f"root {root} outside world of {runtime.size}")
+    send_elems = threshold_elements(buffer.size, threshold)
+    send_bytes = send_elems * buffer.itemsize
+
+    tree = BinomialTree(runtime.size, root)
+    rank = runtime.rank
+    children = tree.children(rank)
+    parent = tree.parent(rank)
+
+    if manage_segment:
+        runtime.segment_create(segment_id, max(buffer.nbytes, 8))
+        runtime.barrier()
+
+    try:
+        staging = runtime.segment_view(segment_id, dtype=buffer.dtype, count=buffer.size)
+
+        if rank == root:
+            staging[:send_elems] = buffer[:send_elems]
+        else:
+            # Wait for the parent's write_notify: GASPI guarantees the data is
+            # already visible once the notification is.
+            got = runtime.notify_waitsome(segment_id, _NOTIF_DATA, 1, timeout=timeout)
+            if got is None:
+                raise TimeoutError(
+                    f"rank {rank}: broadcast data from parent {parent} did not arrive"
+                )
+            runtime.notify_reset(segment_id, _NOTIF_DATA)
+            buffer[:send_elems] = staging[:send_elems]
+
+        # Forward the (possibly partial) payload down the tree.
+        for child in children:
+            runtime.write_notify(
+                segment_id_local=segment_id,
+                offset_local=0,
+                target_rank=child,
+                segment_id_remote=segment_id,
+                offset_remote=0,
+                size=send_bytes,
+                notification_id=_NOTIF_DATA,
+                queue=queue,
+            )
+        if children:
+            runtime.wait(queue)
+
+        # Outer (leaf) nodes acknowledge their parent; inner nodes wait for the
+        # acknowledgements of their leaf children (paper: "only acknowledge the
+        # data transfer from the outer nodes to their parents; the collective is
+        # considered complete when the outer nodes receive data").
+        if parent is not None and not children:
+            ack_slot = _NOTIF_ACK_BASE + tree.children(parent).index(rank)
+            runtime.notify(parent, segment_id, ack_slot, queue=queue)
+            runtime.wait(queue)
+        leaf_children = [c for c in children if not tree.children(c)]
+        for child in leaf_children:
+            ack_slot = _NOTIF_ACK_BASE + children.index(child)
+            got = runtime.notify_waitsome(segment_id, ack_slot, 1, timeout=timeout)
+            if got is None:
+                raise TimeoutError(f"rank {rank}: no ack from leaf child {child}")
+            runtime.notify_reset(segment_id, ack_slot)
+    finally:
+        if manage_segment:
+            runtime.barrier()
+            runtime.segment_delete(segment_id)
+
+    return BroadcastResult(
+        rank=rank,
+        root=root,
+        elements_total=buffer.size,
+        elements_received=buffer.size if rank == root else send_elems,
+        bytes_received=0 if rank == root else send_bytes,
+        threshold=threshold,
+        stage=tree.stage_of(rank),
+    )
+
+
+def flat_bcast(
+    runtime: GaspiRuntime,
+    buffer: np.ndarray,
+    root: int = 0,
+    threshold: float = 1.0,
+    segment_id: int = BCAST_SEGMENT_ID,
+    queue: int = 0,
+    timeout: float = GASPI_BLOCK,
+    manage_segment: bool = True,
+) -> BroadcastResult:
+    """Flat broadcast: the root issues P-1 ``write_notify`` calls directly.
+
+    Mentioned by the paper as the trivial alternative to the BST; it is the
+    better choice only for very small worlds.
+    """
+    buffer = _require_vector(buffer)
+    require(0 <= root < runtime.size, f"root {root} outside world of {runtime.size}")
+    send_elems = threshold_elements(buffer.size, threshold)
+    send_bytes = send_elems * buffer.itemsize
+    rank = runtime.rank
+
+    if manage_segment:
+        runtime.segment_create(segment_id, max(buffer.nbytes, 8))
+        runtime.barrier()
+    try:
+        staging = runtime.segment_view(segment_id, dtype=buffer.dtype, count=buffer.size)
+        if rank == root:
+            staging[:send_elems] = buffer[:send_elems]
+            for peer in range(runtime.size):
+                if peer == root:
+                    continue
+                runtime.write_notify(
+                    segment_id, 0, peer, segment_id, 0, send_bytes, _NOTIF_DATA, queue=queue
+                )
+            runtime.wait(queue)
+        else:
+            got = runtime.notify_waitsome(segment_id, _NOTIF_DATA, 1, timeout=timeout)
+            if got is None:
+                raise TimeoutError(f"rank {rank}: flat bcast data never arrived")
+            runtime.notify_reset(segment_id, _NOTIF_DATA)
+            buffer[:send_elems] = staging[:send_elems]
+    finally:
+        if manage_segment:
+            runtime.barrier()
+            runtime.segment_delete(segment_id)
+
+    return BroadcastResult(
+        rank=rank,
+        root=root,
+        elements_total=buffer.size,
+        elements_received=buffer.size if rank == root else send_elems,
+        bytes_received=0 if rank == root else send_bytes,
+        threshold=threshold,
+        stage=0 if rank == root else 1,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# schedule builders (timing simulator / Figure 8)
+# --------------------------------------------------------------------------- #
+def bst_bcast_schedule(
+    num_ranks: int,
+    nbytes: int,
+    threshold: float = 1.0,
+    root: int = 0,
+    protocol: Protocol = Protocol.ONESIDED,
+    include_acks: bool = True,
+    name: str | None = None,
+) -> CommunicationSchedule:
+    """Communication schedule of the BST broadcast for the timing simulator.
+
+    Round ``s`` carries the messages from every stage-``(s-1)``-or-earlier
+    parent to its stage-``s`` children; an optional final round models the
+    zero-byte leaf acknowledgements.
+    """
+    check_fraction(threshold, "threshold")
+    require(nbytes >= 0, "nbytes must be non-negative")
+    send_bytes = max(1, int(nbytes * threshold)) if nbytes else 0
+    tree = BinomialTree(num_ranks, root)
+    sched = CommunicationSchedule(
+        name=name or f"gaspi_bcast_bst[{int(threshold * 100)}%]",
+        num_ranks=num_ranks,
+        metadata={
+            "threshold": threshold,
+            "payload_bytes": nbytes,
+            "shipped_bytes": send_bytes,
+            "algorithm": "binomial_spanning_tree",
+        },
+    )
+    stages = tree.ranks_by_stage()
+    for stage in sorted(s for s in stages if s > 0):
+        messages = [
+            Message(
+                src=tree.parent(child),
+                dst=child,
+                nbytes=send_bytes,
+                protocol=protocol,
+                tag=f"bcast-stage-{stage}",
+            )
+            for child in stages[stage]
+        ]
+        sched.add_round(messages, label=f"stage-{stage}")
+    if include_acks and num_ranks > 1:
+        acks = [
+            Message(
+                src=leaf,
+                dst=tree.parent(leaf),
+                nbytes=0,
+                protocol=protocol,
+                tag="bcast-ack",
+            )
+            for leaf in tree.leaves()
+            if tree.parent(leaf) is not None
+        ]
+        if acks:
+            sched.add_round(acks, label="leaf-acks")
+    sched.validate()
+    return sched
+
+
+def flat_bcast_schedule(
+    num_ranks: int,
+    nbytes: int,
+    threshold: float = 1.0,
+    root: int = 0,
+    protocol: Protocol = Protocol.ONESIDED,
+    name: str | None = None,
+) -> CommunicationSchedule:
+    """Schedule of the flat (root-writes-to-everyone) broadcast."""
+    check_fraction(threshold, "threshold")
+    send_bytes = max(1, int(nbytes * threshold)) if nbytes else 0
+    sched = CommunicationSchedule(
+        name=name or f"gaspi_bcast_flat[{int(threshold * 100)}%]",
+        num_ranks=num_ranks,
+        metadata={"threshold": threshold, "payload_bytes": nbytes, "algorithm": "flat"},
+    )
+    messages = [
+        Message(src=root, dst=peer, nbytes=send_bytes, protocol=protocol, tag="bcast-flat")
+        for peer in range(num_ranks)
+        if peer != root
+    ]
+    if messages:
+        sched.add_round(messages, label="flat")
+    sched.validate()
+    return sched
+
+
+def _require_vector(buffer: np.ndarray) -> np.ndarray:
+    buffer = np.asarray(buffer)
+    require(buffer.ndim == 1, f"broadcast buffer must be 1-D, got shape {buffer.shape}")
+    require(buffer.flags["C_CONTIGUOUS"], "broadcast buffer must be C-contiguous")
+    require(buffer.size > 0, "broadcast buffer must not be empty")
+    return buffer

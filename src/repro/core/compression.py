@@ -1,0 +1,110 @@
+"""Gradient compression hooks (the paper's stated extension direction).
+
+Section IV-A of the paper: "Currently, we work on extending Allreduce
+towards eventually consistent collectives by coupling it with a
+compression technique.  Hence, we foresee to reduce the amount of data
+transferred as well as to crop some data."
+
+These compressors implement that foreseen extension so the library's
+Allreduce can optionally trade accuracy for bytes on the wire:
+
+* :class:`ThresholdCompressor` — drop every element whose magnitude is
+  below a user-defined threshold (the "crop some data" idea, matching the
+  threshold parameter of the eventually consistent Broadcast/Reduce).
+* :class:`TopKCompressor` — keep only the ``k`` largest-magnitude elements.
+
+Both return a sparse ``(indices, values)`` representation together with the
+achieved compression ratio, and can reconstruct a dense vector for the
+reduction.  They are exercised by the ablation benchmark
+``benchmarks/bench_ablation_compression.py`` and by the examples, but they
+are not part of any paper figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.validation import require
+
+
+@dataclass
+class CompressedVector:
+    """Sparse representation produced by a compressor."""
+
+    indices: np.ndarray
+    values: np.ndarray
+    original_size: int
+
+    @property
+    def nnz(self) -> int:
+        """Number of retained elements."""
+        return int(self.values.size)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original bytes divided by compressed bytes (>= 1 means smaller).
+
+        The compressed payload counts 4 bytes per index plus the value bytes.
+        """
+        original = self.original_size * self.values.dtype.itemsize
+        compressed = self.nnz * (4 + self.values.dtype.itemsize)
+        return float("inf") if compressed == 0 else original / compressed
+
+    def decompress(self) -> np.ndarray:
+        """Reconstruct the dense vector (dropped entries become zero)."""
+        dense = np.zeros(self.original_size, dtype=self.values.dtype)
+        dense[self.indices] = self.values
+        return dense
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of the compressed representation."""
+        return int(self.nnz * (4 + self.values.dtype.itemsize))
+
+
+class ThresholdCompressor:
+    """Keep only elements whose magnitude is at least ``threshold``."""
+
+    def __init__(self, threshold: float) -> None:
+        require(threshold >= 0.0, f"threshold must be non-negative, got {threshold}")
+        self.threshold = float(threshold)
+
+    def compress(self, vector: np.ndarray) -> CompressedVector:
+        vector = np.ascontiguousarray(vector)
+        require(vector.ndim == 1, "compression expects a 1-D vector")
+        mask = np.abs(vector) >= self.threshold
+        indices = np.nonzero(mask)[0].astype(np.int64)
+        return CompressedVector(
+            indices=indices, values=vector[indices].copy(), original_size=vector.size
+        )
+
+
+class TopKCompressor:
+    """Keep the ``k`` largest-magnitude elements of the vector."""
+
+    def __init__(self, k: int) -> None:
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.k = int(k)
+
+    def compress(self, vector: np.ndarray) -> CompressedVector:
+        vector = np.ascontiguousarray(vector)
+        require(vector.ndim == 1, "compression expects a 1-D vector")
+        k = min(self.k, vector.size)
+        # argpartition avoids a full sort of the vector (O(n) vs O(n log n)).
+        idx = np.argpartition(np.abs(vector), vector.size - k)[vector.size - k :]
+        idx = np.sort(idx).astype(np.int64)
+        return CompressedVector(
+            indices=idx, values=vector[idx].copy(), original_size=vector.size
+        )
+
+
+def compression_error(original: np.ndarray, compressed: CompressedVector) -> float:
+    """Relative L2 error introduced by the compression (0 means lossless)."""
+    original = np.ascontiguousarray(original, dtype=np.float64)
+    dense = compressed.decompress().astype(np.float64)
+    norm = np.linalg.norm(original)
+    if norm == 0.0:
+        return 0.0
+    return float(np.linalg.norm(original - dense) / norm)

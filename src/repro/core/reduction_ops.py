@@ -1,0 +1,106 @@
+"""Reduction operators used by Reduce/Allreduce collectives.
+
+The paper's consistent Allreduce uses a global sum and notes that any
+reduction whose compute cost stays below the communication cost can be
+hidden the same way (Section IV-A).  :class:`ReductionOp` wraps a NumPy
+binary operation together with its identity element so tree- and
+ring-based reductions can initialise partial results uniformly, and so the
+timing simulator can charge a per-element compute cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+ArrayOp = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ReductionOp:
+    """A binary, associative and commutative reduction operator.
+
+    Attributes
+    ----------
+    name:
+        Short identifier ("sum", "max", …).
+    func:
+        Callable combining two arrays elementwise into a new array.
+    identity:
+        Identity element (scalar) used to initialise accumulators.
+    flops_per_element:
+        Relative compute cost per element, used by the timing simulator.
+    commutative:
+        All built-in operators are commutative; user-defined operators can
+        declare otherwise, in which case order-sensitive algorithms refuse
+        to reorder contributions.
+    """
+
+    name: str
+    func: ArrayOp
+    identity: float
+    flops_per_element: float = 1.0
+    commutative: bool = True
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Combine two arrays, broadcasting per NumPy rules."""
+        return self.func(a, b)
+
+    def reduce_into(self, accumulator: np.ndarray, contribution: np.ndarray) -> None:
+        """In-place ``accumulator = op(accumulator, contribution)``.
+
+        In-place accumulation avoids temporary allocations in the inner loop
+        of ring/tree reductions (see the HPC guide on in-place operations).
+        """
+        np.copyto(accumulator, self.func(accumulator, contribution))
+
+    def identity_like(self, array: np.ndarray) -> np.ndarray:
+        """Array of the identity element with the same shape/dtype as ``array``."""
+        return np.full_like(array, self.identity)
+
+
+SUM = ReductionOp("sum", np.add, 0.0, flops_per_element=1.0)
+PROD = ReductionOp("prod", np.multiply, 1.0, flops_per_element=1.0)
+MIN = ReductionOp("min", np.minimum, float("inf"), flops_per_element=1.0)
+MAX = ReductionOp("max", np.maximum, float("-inf"), flops_per_element=1.0)
+
+_BUILTINS: Dict[str, ReductionOp] = {
+    op.name: op for op in (SUM, PROD, MIN, MAX)
+}
+
+
+def get_op(op: Union[str, ReductionOp]) -> ReductionOp:
+    """Resolve an operator name or pass through a :class:`ReductionOp`.
+
+    Raises
+    ------
+    ValueError
+        If ``op`` is a string that does not name a built-in operator.
+    """
+    if isinstance(op, ReductionOp):
+        return op
+    try:
+        return _BUILTINS[op]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown reduction op {op!r}; built-ins: {sorted(_BUILTINS)}"
+        ) from exc
+
+
+def register_op(op: ReductionOp, overwrite: bool = False) -> None:
+    """Register a user-defined reduction operator by name.
+
+    The paper highlights user-defined reductions on user-defined data
+    structures as a use case the pipelined ring can absorb for free; this
+    hook lets applications plug those in.
+    """
+    if not overwrite and op.name in _BUILTINS:
+        raise ValueError(f"reduction op {op.name!r} already registered")
+    _BUILTINS[op.name] = op
+
+
+def available_ops() -> list[str]:
+    """Names of all registered reduction operators."""
+    return sorted(_BUILTINS)

@@ -1,0 +1,256 @@
+"""Communication schedules: the timing-simulator view of a collective.
+
+Every collective in :mod:`repro.core` and every MPI baseline in
+:mod:`repro.mpi` can export its communication pattern as a
+:class:`CommunicationSchedule` — an ordered list of rounds, each round a
+list of point-to-point :class:`Message` transfers plus optional reduction
+work at the receiver.  The timing simulator
+(:mod:`repro.simulate.executor`) replays a schedule on a machine model to
+estimate the collective's completion time; the figure benchmarks compare
+schedules of the GASPI collectives against the MPI baselines exactly the
+way the paper compares implementations.
+
+The schedule is *data*, not code: it is derived from the same topology
+helpers the functional implementations use, so the simulated pattern is the
+pattern the threaded runtime actually executes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..utils.validation import require
+
+
+class Protocol(enum.Enum):
+    """Transfer protocol, which determines the simulator cost model.
+
+    * ``ONESIDED`` — GASPI ``write_notify``: the sender does not block on the
+      receiver; completion at the receiver is detected through a
+      notification (cheap).
+    * ``TWOSIDED`` — MPI send/recv: message matching overhead at both sides
+      and, above the eager threshold, a rendezvous handshake that couples
+      sender and receiver.
+    """
+
+    ONESIDED = "onesided"
+    TWOSIDED = "twosided"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point transfer inside a round.
+
+    Attributes
+    ----------
+    src, dst:
+        Global ranks of the producer and consumer.
+    nbytes:
+        Payload size in bytes (0 is allowed: a pure notification/ack).
+    protocol:
+        One-sided (GASPI) or two-sided (MPI) semantics.
+    reduce_bytes:
+        Number of payload bytes the *receiver* combines into a local
+        accumulator upon arrival (drives the compute term of the model).
+    tag:
+        Free-form label used in traces ("scatter-reduce", "bcast-stage-2", …).
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    protocol: Protocol = Protocol.ONESIDED
+    reduce_bytes: int = 0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        require(self.src >= 0 and self.dst >= 0, "ranks must be non-negative")
+        require(self.src != self.dst, f"self-message on rank {self.src} not allowed")
+        require(self.nbytes >= 0, f"nbytes must be >= 0, got {self.nbytes}")
+        require(self.reduce_bytes >= 0, "reduce_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class LocalCompute:
+    """Purely local work performed by one rank within a round (no transfer)."""
+
+    rank: int
+    compute_bytes: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        require(self.rank >= 0, "rank must be non-negative")
+        require(self.compute_bytes >= 0, "compute_bytes must be >= 0")
+
+
+@dataclass
+class Round:
+    """One round of a schedule: messages that may proceed concurrently.
+
+    A rank participating in round ``k`` may not start its round-``k``
+    operations before it finished its operations of rounds ``< k``; ranks
+    that do not appear in a round are unaffected by it.
+    """
+
+    messages: List[Message] = field(default_factory=list)
+    local_compute: List[LocalCompute] = field(default_factory=list)
+    #: If true, every rank of the schedule synchronises at the end of this
+    #: round (models the global phase barriers the paper removes from the
+    #: MPI ring Allreduce).
+    barrier_after: bool = False
+    label: str = ""
+
+    def participants(self) -> set[int]:
+        ranks: set[int] = set()
+        for m in self.messages:
+            ranks.add(m.src)
+            ranks.add(m.dst)
+        for c in self.local_compute:
+            ranks.add(c.rank)
+        return ranks
+
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+
+@dataclass
+class CommunicationSchedule:
+    """A named, ordered sequence of rounds over ``num_ranks`` processes."""
+
+    name: str
+    num_ranks: int
+    rounds: List[Round] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------- #
+    def add_round(
+        self,
+        messages: Iterable[Message] = (),
+        local_compute: Iterable[LocalCompute] = (),
+        barrier_after: bool = False,
+        label: str = "",
+    ) -> Round:
+        """Append a round and return it."""
+        rnd = Round(
+            messages=list(messages),
+            local_compute=list(local_compute),
+            barrier_after=barrier_after,
+            label=label,
+        )
+        self.rounds.append(rnd)
+        return rnd
+
+    # -- inspection -------------------------------------------------------- #
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def messages(self) -> Iterator[Message]:
+        """Iterate over every message of every round, in round order."""
+        for rnd in self.rounds:
+            yield from rnd.messages
+
+    def total_bytes(self) -> int:
+        """Total payload bytes moved by the collective."""
+        return sum(rnd.total_bytes() for rnd in self.rounds)
+
+    def total_messages(self) -> int:
+        return sum(len(rnd.messages) for rnd in self.rounds)
+
+    def bytes_sent_by(self, rank: int) -> int:
+        return sum(m.nbytes for m in self.messages() if m.src == rank)
+
+    def bytes_received_by(self, rank: int) -> int:
+        return sum(m.nbytes for m in self.messages() if m.dst == rank)
+
+    def max_rank_used(self) -> int:
+        ranks = [0]
+        for rnd in self.rounds:
+            parts = rnd.participants()
+            if parts:
+                ranks.append(max(parts))
+        return max(ranks)
+
+    def participants(self) -> set[int]:
+        """All ranks that appear in at least one round."""
+        ranks: set[int] = set()
+        for rnd in self.rounds:
+            ranks |= rnd.participants()
+        return ranks
+
+    # -- validation -------------------------------------------------------- #
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`ValueError` on violation.
+
+        Invariants:
+
+        * every rank referenced by a message/compute is < ``num_ranks``;
+        * payload sizes are non-negative (enforced at construction);
+        * ``reduce_bytes`` never exceeds the message payload.
+        """
+        require(self.num_ranks >= 1, "schedule needs at least one rank")
+        for i, rnd in enumerate(self.rounds):
+            for m in rnd.messages:
+                require(
+                    m.src < self.num_ranks and m.dst < self.num_ranks,
+                    f"round {i}: message {m} references rank >= {self.num_ranks}",
+                )
+                require(
+                    m.reduce_bytes <= m.nbytes,
+                    f"round {i}: reduce_bytes {m.reduce_bytes} exceeds payload {m.nbytes}",
+                )
+            for c in rnd.local_compute:
+                require(
+                    c.rank < self.num_ranks,
+                    f"round {i}: local compute references rank {c.rank} >= {self.num_ranks}",
+                )
+
+    def describe(self) -> str:
+        """Short human-readable summary used by reports and examples."""
+        lines = [
+            f"schedule {self.name!r}: {self.num_ranks} ranks, "
+            f"{self.num_rounds} rounds, {self.total_messages()} messages, "
+            f"{self.total_bytes()} bytes"
+        ]
+        for i, rnd in enumerate(self.rounds):
+            lines.append(
+                f"  round {i:3d} [{rnd.label or '-'}]: "
+                f"{len(rnd.messages)} msgs, {rnd.total_bytes()} bytes"
+                + (", barrier" if rnd.barrier_after else "")
+            )
+        return "\n".join(lines)
+
+
+def merge_sequential(
+    name: str, schedules: Sequence[CommunicationSchedule], barrier_between: bool = False
+) -> CommunicationSchedule:
+    """Concatenate schedules back-to-back (e.g. Reduce followed by Bcast).
+
+    All inputs must agree on ``num_ranks``.  With ``barrier_between`` a
+    global synchronisation is inserted after each component, modelling MPI
+    composite collectives that complete one phase before the next.
+    """
+    require(len(schedules) >= 1, "need at least one schedule to merge")
+    num_ranks = schedules[0].num_ranks
+    for s in schedules:
+        require(
+            s.num_ranks == num_ranks,
+            f"cannot merge schedules over different worlds: {s.num_ranks} vs {num_ranks}",
+        )
+    merged = CommunicationSchedule(name=name, num_ranks=num_ranks)
+    for idx, s in enumerate(schedules):
+        for rnd in s.rounds:
+            merged.rounds.append(
+                Round(
+                    messages=list(rnd.messages),
+                    local_compute=list(rnd.local_compute),
+                    barrier_after=rnd.barrier_after,
+                    label=f"{s.name}:{rnd.label}" if rnd.label else s.name,
+                )
+            )
+        if barrier_between and idx < len(schedules) - 1 and merged.rounds:
+            merged.rounds[-1].barrier_after = True
+        merged.metadata[f"component_{idx}"] = s.name
+    return merged

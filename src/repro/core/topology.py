@@ -1,0 +1,356 @@
+"""Virtual communication topologies used by the collectives.
+
+The paper's collectives are built on three logical structures:
+
+* the **binomial spanning tree** (BST) used by Broadcast/Reduce
+  (Figure 3): rank 0 is the root and the children of rank ``p0`` are
+  ``p0 + 2**i`` for all ``i`` with ``2**i > p0`` — i.e. the tree grows by
+  doubling the number of involved processes at every stage;
+* the **hypercube** used by ``allreduce_ssp`` (Figure 2): at step ``k``
+  rank ``r`` exchanges a partial reduction with ``r XOR 2**k``;
+* the **ring** used by the segmented pipelined Allreduce (Figures 4–5)
+  and the Allgather stage.
+
+This module also provides the k-nomial tree and the dissemination pattern
+needed by the MPI baseline variants and by the notification barrier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..utils.validation import ceil_log2, check_power_of_two, require
+
+
+# --------------------------------------------------------------------------- #
+# Binomial spanning tree (paper Figure 3)
+# --------------------------------------------------------------------------- #
+class BinomialTree:
+    """Binomial spanning tree rooted at rank 0 over ``num_ranks`` processes.
+
+    The construction follows the paper exactly: the children of rank ``p0``
+    are ``p0 + 2**i`` for every ``i`` such that ``2**i > p0`` and the child id
+    is below ``num_ranks``.  Stage ``s`` (1-based) adds the ranks in
+    ``[2**(s-1), 2**s)``, so each stage doubles the number of involved
+    processes; rank 0 is stage 0.
+
+    A non-zero ``root`` is supported by relabelling: virtual rank
+    ``v = (r - root) mod P``.
+    """
+
+    def __init__(self, num_ranks: int, root: int = 0) -> None:
+        require(num_ranks >= 1, f"num_ranks must be >= 1, got {num_ranks}")
+        require(0 <= root < num_ranks, f"root {root} outside [0, {num_ranks})")
+        self.num_ranks = int(num_ranks)
+        self.root = int(root)
+
+    # -- virtual <-> real rank mapping ---------------------------------- #
+    def to_virtual(self, rank: int) -> int:
+        """Map a real rank to its virtual id (root becomes 0)."""
+        self._check_rank(rank)
+        return (rank - self.root) % self.num_ranks
+
+    def to_real(self, virtual_rank: int) -> int:
+        """Map a virtual id back to the real rank."""
+        require(
+            0 <= virtual_rank < self.num_ranks,
+            f"virtual rank {virtual_rank} outside [0, {self.num_ranks})",
+        )
+        return (virtual_rank + self.root) % self.num_ranks
+
+    # -- structure -------------------------------------------------------- #
+    def parent(self, rank: int) -> int | None:
+        """Parent of ``rank`` in the tree, or ``None`` for the root.
+
+        In virtual numbering the parent of ``v`` is ``v`` with its highest
+        set bit cleared, which is exactly the inverse of the paper's child
+        rule.
+        """
+        v = self.to_virtual(rank)
+        if v == 0:
+            return None
+        parent_v = v & ~(1 << (v.bit_length() - 1))
+        return self.to_real(parent_v)
+
+    def children(self, rank: int) -> List[int]:
+        """Children of ``rank``, ordered by the stage at which they join."""
+        v = self.to_virtual(rank)
+        kids: List[int] = []
+        i = 0 if v == 0 else v.bit_length()
+        while True:
+            child_v = v + (1 << i)
+            if child_v >= self.num_ranks:
+                break
+            kids.append(self.to_real(child_v))
+            i += 1
+        return kids
+
+    def stage_of(self, rank: int) -> int:
+        """Stage at which ``rank`` first receives data (root is stage 0)."""
+        v = self.to_virtual(rank)
+        return 0 if v == 0 else v.bit_length()
+
+    def num_stages(self) -> int:
+        """Number of communication stages, ``⌈log2(P)⌉``."""
+        return ceil_log2(self.num_ranks) if self.num_ranks > 1 else 0
+
+    def ranks_by_stage(self) -> Dict[int, List[int]]:
+        """Mapping stage → ranks that join at that stage."""
+        stages: Dict[int, List[int]] = {}
+        for rank in range(self.num_ranks):
+            stages.setdefault(self.stage_of(rank), []).append(rank)
+        return stages
+
+    def descendants(self, rank: int) -> List[int]:
+        """All ranks in the subtree below ``rank`` (excluding ``rank``)."""
+        out: List[int] = []
+        frontier = list(self.children(rank))
+        while frontier:
+            node = frontier.pop()
+            out.append(node)
+            frontier.extend(self.children(node))
+        return sorted(out)
+
+    def leaves(self) -> List[int]:
+        """Ranks with no children."""
+        return [r for r in range(self.num_ranks) if not self.children(r)]
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (in edges)."""
+        return max(self.stage_of(r) for r in range(self.num_ranks))
+
+    def participating_ranks(self, process_fraction: float) -> List[int]:
+        """Subset of ranks engaged when only a fraction of processes contribute.
+
+        Implements the paper's process-threshold Reduce (Figure 10): drop
+        leaves farthest from the root (highest stage first, highest rank
+        first within a stage) while keeping at least
+        ``ceil(process_fraction * P)`` processes.  Because children always
+        live in later stages than their parent, dropping from the deepest
+        stage inward never disconnects the tree.
+        """
+        require(
+            0.0 < process_fraction <= 1.0,
+            f"process_fraction must be in (0, 1], got {process_fraction}",
+        )
+        keep_count = max(1, int(math.ceil(process_fraction * self.num_ranks - 1e-9)))
+        drop_order = sorted(
+            (r for r in range(self.num_ranks) if r != self.root),
+            key=lambda r: (self.stage_of(r), self.to_virtual(r)),
+            reverse=True,
+        )
+        kept = set(range(self.num_ranks))
+        for rank in drop_order:
+            if len(kept) <= keep_count:
+                break
+            kept.remove(rank)
+        return sorted(kept)
+
+    def _check_rank(self, rank: int) -> None:
+        require(
+            0 <= rank < self.num_ranks,
+            f"rank {rank} outside [0, {self.num_ranks})",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BinomialTree(P={self.num_ranks}, root={self.root})"
+
+
+# --------------------------------------------------------------------------- #
+# Hypercube (paper Figure 2)
+# --------------------------------------------------------------------------- #
+class Hypercube:
+    """d-dimensional hypercube over ``num_ranks = 2**d`` processes."""
+
+    def __init__(self, num_ranks: int) -> None:
+        check_power_of_two(num_ranks, "hypercube size")
+        self.num_ranks = int(num_ranks)
+        self.dimensions = ceil_log2(num_ranks) if num_ranks > 1 else 0
+
+    def partner(self, rank: int, step: int) -> int:
+        """Communication partner of ``rank`` at hypercube step ``step``."""
+        require(0 <= rank < self.num_ranks, f"rank {rank} out of range")
+        require(
+            0 <= step < max(self.dimensions, 1),
+            f"step {step} outside [0, {self.dimensions})",
+        )
+        return rank ^ (1 << step)
+
+    def partners(self, rank: int) -> List[int]:
+        """Partners of ``rank`` for every step, in step order."""
+        return [self.partner(rank, k) for k in range(self.dimensions)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Hypercube(P={self.num_ranks}, d={self.dimensions})"
+
+
+# --------------------------------------------------------------------------- #
+# Ring (paper Figures 4-5)
+# --------------------------------------------------------------------------- #
+class Ring:
+    """Directed ring over ``num_ranks`` processes (send clockwise)."""
+
+    def __init__(self, num_ranks: int) -> None:
+        require(num_ranks >= 1, f"num_ranks must be >= 1, got {num_ranks}")
+        self.num_ranks = int(num_ranks)
+
+    def next_rank(self, rank: int) -> int:
+        """Clockwise neighbour (the one this rank sends to)."""
+        return (rank + 1) % self.num_ranks
+
+    def prev_rank(self, rank: int) -> int:
+        """Counter-clockwise neighbour (the one this rank receives from)."""
+        return (rank - 1) % self.num_ranks
+
+    def scatter_reduce_send_chunk(self, rank: int, step: int) -> int:
+        """Chunk index sent by ``rank`` at step ``step`` of Scatter-Reduce.
+
+        The paper: "in the kth step, node i will send the (i - k)th chunk and
+        receive the (i - k - 1)th chunk".
+        """
+        return (rank - step) % self.num_ranks
+
+    def scatter_reduce_recv_chunk(self, rank: int, step: int) -> int:
+        return (rank - step - 1) % self.num_ranks
+
+    def allgather_send_chunk(self, rank: int, step: int) -> int:
+        """Chunk index sent by ``rank`` at step ``step`` of Allgather.
+
+        The paper: "At the kth step, node i will send chunk (i - k + 1) and
+        receive chunk (i - k)".
+        """
+        return (rank - step + 1) % self.num_ranks
+
+    def allgather_recv_chunk(self, rank: int, step: int) -> int:
+        return (rank - step) % self.num_ranks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ring(P={self.num_ranks})"
+
+
+# --------------------------------------------------------------------------- #
+# k-nomial tree (MPI baseline variants)
+# --------------------------------------------------------------------------- #
+class KnomialTree:
+    """k-nomial tree rooted at ``root`` (radix ``k`` generalises binomial)."""
+
+    def __init__(self, num_ranks: int, radix: int = 4, root: int = 0) -> None:
+        require(num_ranks >= 1, f"num_ranks must be >= 1, got {num_ranks}")
+        require(radix >= 2, f"radix must be >= 2, got {radix}")
+        require(0 <= root < num_ranks, f"root {root} outside [0, {num_ranks})")
+        self.num_ranks = int(num_ranks)
+        self.radix = int(radix)
+        self.root = int(root)
+        self._parent: Dict[int, int | None] = {0: None}
+        self._children: Dict[int, List[int]] = {v: [] for v in range(num_ranks)}
+        self._stage: Dict[int, int] = {0: 0}
+        self._build()
+
+    def _build(self) -> None:
+        """Breadth-first construction: at stage ``s`` every joined virtual rank
+        adopts up to ``radix - 1`` new children."""
+        joined = [0]
+        next_id = 1
+        stage = 1
+        while next_id < self.num_ranks:
+            new_nodes: List[int] = []
+            for parent in list(joined):
+                for _ in range(self.radix - 1):
+                    if next_id >= self.num_ranks:
+                        break
+                    child = next_id
+                    next_id += 1
+                    self._parent[child] = parent
+                    self._children[parent].append(child)
+                    self._stage[child] = stage
+                    new_nodes.append(child)
+                if next_id >= self.num_ranks:
+                    break
+            joined.extend(new_nodes)
+            stage += 1
+
+    def to_virtual(self, rank: int) -> int:
+        return (rank - self.root) % self.num_ranks
+
+    def to_real(self, virtual_rank: int) -> int:
+        return (virtual_rank + self.root) % self.num_ranks
+
+    def parent(self, rank: int) -> int | None:
+        parent_v = self._parent[self.to_virtual(rank)]
+        return None if parent_v is None else self.to_real(parent_v)
+
+    def children(self, rank: int) -> List[int]:
+        return [self.to_real(c) for c in self._children[self.to_virtual(rank)]]
+
+    def stage_of(self, rank: int) -> int:
+        return self._stage[self.to_virtual(rank)]
+
+    def num_stages(self) -> int:
+        return max(self._stage.values()) if self.num_ranks > 1 else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KnomialTree(P={self.num_ranks}, k={self.radix}, root={self.root})"
+
+
+# --------------------------------------------------------------------------- #
+# Dissemination pattern (barrier, small allreduce)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DisseminationStep:
+    """One round of the dissemination pattern for a specific rank."""
+
+    round_index: int
+    send_to: int
+    recv_from: int
+
+
+def dissemination_schedule(num_ranks: int, rank: int) -> List[DisseminationStep]:
+    """Hensgen/Finkel/Manber dissemination pattern for one rank.
+
+    In round ``k`` rank ``r`` sends to ``(r + 2**k) mod P`` and receives from
+    ``(r - 2**k) mod P``; ``⌈log2(P)⌉`` rounds synchronise every rank with
+    every other.  Used by the notification barrier and by the n-way
+    dissemination discussion in the related-work section.
+    """
+    require(num_ranks >= 1, f"num_ranks must be >= 1, got {num_ranks}")
+    require(0 <= rank < num_ranks, f"rank {rank} outside [0, {num_ranks})")
+    steps: List[DisseminationStep] = []
+    for k in range(ceil_log2(num_ranks) if num_ranks > 1 else 0):
+        dist = 1 << k
+        steps.append(
+            DisseminationStep(
+                round_index=k,
+                send_to=(rank + dist) % num_ranks,
+                recv_from=(rank - dist) % num_ranks,
+            )
+        )
+    return steps
+
+
+def chunk_bounds(total_elements: int, num_chunks: int, chunk_index: int) -> tuple[int, int]:
+    """Element range ``[begin, end)`` of chunk ``chunk_index`` of ``num_chunks``.
+
+    Chunks differ by at most one element, with the remainder spread over the
+    first chunks — the usual block distribution used by ring algorithms.
+    """
+    require(num_chunks >= 1, f"num_chunks must be >= 1, got {num_chunks}")
+    require(
+        0 <= chunk_index < num_chunks,
+        f"chunk_index {chunk_index} outside [0, {num_chunks})",
+    )
+    base = total_elements // num_chunks
+    extra = total_elements % num_chunks
+    begin = chunk_index * base + min(chunk_index, extra)
+    size = base + (1 if chunk_index < extra else 0)
+    return begin, begin + size
+
+
+def chunk_sizes(total_elements: int, num_chunks: int) -> Sequence[int]:
+    """Sizes of all chunks of a block distribution."""
+    return [
+        chunk_bounds(total_elements, num_chunks, i)[1]
+        - chunk_bounds(total_elements, num_chunks, i)[0]
+        for i in range(num_chunks)
+    ]

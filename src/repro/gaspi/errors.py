@@ -1,0 +1,32 @@
+"""Exception hierarchy for the GASPI runtime substrate."""
+
+from __future__ import annotations
+
+
+class GaspiError(RuntimeError):
+    """Base class for every error raised by the GASPI substrate."""
+
+
+class GaspiTimeoutError(GaspiError):
+    """A blocking call with a finite timeout expired before completion.
+
+    Mirrors ``GASPI_TIMEOUT`` in the GASPI specification.  Collectives use
+    finite timeouts to implement the "use stale data instead of waiting"
+    behaviour of the SSP allreduce.
+    """
+
+
+class GaspiInvalidArgumentError(GaspiError, ValueError):
+    """An argument violates the GASPI API contract (bad rank, offset, size…)."""
+
+
+class GaspiResourceError(GaspiError):
+    """A resource limit was exceeded (segments, notification slots, …)."""
+
+
+class GaspiQueueFullError(GaspiResourceError):
+    """Too many outstanding requests were posted to a communication queue."""
+
+
+class GaspiSegmentError(GaspiInvalidArgumentError):
+    """A segment id is unknown or a segment access is out of bounds."""

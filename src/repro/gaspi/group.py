@@ -1,0 +1,69 @@
+"""GASPI groups: subsets of ranks that participate in a collective."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .errors import GaspiInvalidArgumentError
+
+
+class Group:
+    """An ordered set of ranks.
+
+    The GASPI standard scopes collectives and barriers to a group;
+    ``GASPI_GROUP_ALL`` contains every rank.  Groups here are immutable
+    value objects.
+    """
+
+    def __init__(self, ranks: Iterable[int]) -> None:
+        ranks = list(ranks)
+        if not ranks:
+            raise GaspiInvalidArgumentError("a group must contain at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise GaspiInvalidArgumentError(f"duplicate ranks in group: {ranks}")
+        if any(r < 0 for r in ranks):
+            raise GaspiInvalidArgumentError(f"negative rank in group: {ranks}")
+        self._ranks: tuple[int, ...] = tuple(sorted(int(r) for r in ranks))
+
+    @classmethod
+    def world(cls, size: int) -> "Group":
+        """The group of all ranks ``0 .. size-1`` (``GASPI_GROUP_ALL``)."""
+        return cls(range(size))
+
+    @property
+    def ranks(self) -> Sequence[int]:
+        return self._ranks
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    def contains(self, rank: int) -> bool:
+        return rank in self._ranks
+
+    def index_of(self, rank: int) -> int:
+        """Position of ``rank`` within the group (its group-local rank)."""
+        try:
+            return self._ranks.index(rank)
+        except ValueError as exc:
+            raise GaspiInvalidArgumentError(
+                f"rank {rank} is not a member of group {self._ranks}"
+            ) from exc
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ranks)
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __contains__(self, rank: object) -> bool:
+        return rank in self._ranks
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and other._ranks == self._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    def __repr__(self) -> str:
+        return f"Group({list(self._ranks)})"

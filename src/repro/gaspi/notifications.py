@@ -1,0 +1,207 @@
+"""Notification board: GASPI's weak synchronisation primitive.
+
+GASPI complements one-sided writes with *notifications*: small integer
+values attached to a segment that a remote rank can set atomically.  The
+receiver polls or blocks on a range of notification ids
+(``gaspi_notify_waitsome``) and atomically resets a slot
+(``gaspi_notify_reset``), which returns the old value.
+
+The crucial guarantee — restated in Section II of the paper — is that when
+a notification posted by ``gaspi_write_notify`` becomes visible at the
+receiver, the data of the same request is already visible in the target
+segment.  :class:`NotificationBoard` enforces exactly this ordering because
+the threaded runtime always applies the data copy *before* calling
+:meth:`NotificationBoard.post`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional
+
+from .constants import DEFAULT_NOTIFICATION_COUNT, GASPI_BLOCK
+from .errors import GaspiInvalidArgumentError, GaspiTimeoutError
+
+
+class NotificationBoard:
+    """Thread-safe array of notification slots attached to one segment.
+
+    Parameters
+    ----------
+    num_slots:
+        Number of notification ids available (``0 .. num_slots - 1``).
+
+    Notes
+    -----
+    Slot values follow GASPI semantics:
+
+    * a value of ``0`` means "no notification pending";
+    * remote ranks post values ``> 0`` with :meth:`post`;
+    * :meth:`reset` atomically swaps a slot back to ``0`` and returns the
+      previous value, so a waiter can consume a notification exactly once
+      even when several threads race on the same slot.
+    """
+
+    def __init__(self, num_slots: int = DEFAULT_NOTIFICATION_COUNT) -> None:
+        if num_slots <= 0:
+            raise GaspiInvalidArgumentError(
+                f"notification board needs at least one slot, got {num_slots}"
+            )
+        self._num_slots = int(num_slots)
+        self._values: Dict[int, int] = {}
+        self._cond = threading.Condition()
+        #: Monotonic counter of post() calls, useful for tests and tracing.
+        self.posted_count = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_slots(self) -> int:
+        """Number of notification ids this board provides."""
+        return self._num_slots
+
+    def peek(self, notification_id: int) -> int:
+        """Return the current value of a slot without consuming it."""
+        self._check_id(notification_id)
+        with self._cond:
+            return self._values.get(notification_id, 0)
+
+    def pending_ids(self) -> list[int]:
+        """Return the sorted list of slots that currently hold a value > 0."""
+        with self._cond:
+            return sorted(nid for nid, val in self._values.items() if val > 0)
+
+    # ------------------------------------------------------------------ #
+    # GASPI operations
+    # ------------------------------------------------------------------ #
+    def post(self, notification_id: int, value: int = 1) -> None:
+        """Set a notification slot (remote side of ``gaspi_notify``).
+
+        GASPI requires notification values to be strictly positive; a zero
+        value would be indistinguishable from "not notified".
+        """
+        self._check_id(notification_id)
+        if value <= 0:
+            raise GaspiInvalidArgumentError(
+                f"notification values must be > 0, got {value}"
+            )
+        with self._cond:
+            self._values[notification_id] = int(value)
+            self.posted_count += 1
+            self._cond.notify_all()
+
+    def reset(self, notification_id: int) -> int:
+        """Atomically reset a slot to zero and return its previous value.
+
+        Mirrors ``gaspi_notify_reset``.  Returns 0 when the slot was empty.
+        """
+        self._check_id(notification_id)
+        with self._cond:
+            return self._values.pop(notification_id, 0)
+
+    def wait_some(
+        self,
+        begin: int = 0,
+        count: Optional[int] = None,
+        timeout: float = GASPI_BLOCK,
+    ) -> Optional[int]:
+        """Wait until any slot in ``[begin, begin + count)`` is non-zero.
+
+        Mirrors ``gaspi_notify_waitsome``.
+
+        Returns
+        -------
+        The id of one pending notification in the range, or ``None`` when a
+        finite ``timeout`` expired without any notification
+        (``GASPI_TIMEOUT`` in the specification).  With ``timeout == 0``
+        (``GASPI_TEST``) the board is probed exactly once.
+
+        Raises
+        ------
+        GaspiTimeoutError
+            Never raised directly here — timeouts are reported by returning
+            ``None`` so the SSP collective can fall back to stale data
+            without exception-driven control flow.  Callers that consider a
+            timeout fatal should raise :class:`GaspiTimeoutError` themselves.
+        """
+        if count is None:
+            count = self._num_slots - begin
+        if count <= 0:
+            raise GaspiInvalidArgumentError(f"count must be positive, got {count}")
+        self._check_id(begin)
+        self._check_id(begin + count - 1)
+
+        deadline = None if timeout == GASPI_BLOCK else timeout
+
+        with self._cond:
+            start = _monotonic()
+            while True:
+                hit = self._first_pending(begin, count)
+                if hit is not None:
+                    return hit
+                if deadline is not None:
+                    remaining = deadline - (_monotonic() - start)
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+                else:
+                    self._cond.wait()
+
+    def wait_all(
+        self,
+        ids: Iterable[int],
+        timeout: float = GASPI_BLOCK,
+    ) -> None:
+        """Wait until *every* slot in ``ids`` is non-zero (helper, not GASPI).
+
+        Convenience used by collectives that need all children to have
+        contributed (e.g. the BST reduce root).  Raises
+        :class:`GaspiTimeoutError` on a finite timeout.
+        """
+        wanted = list(ids)
+        for nid in wanted:
+            self._check_id(nid)
+        deadline = None if timeout == GASPI_BLOCK else timeout
+        with self._cond:
+            start = _monotonic()
+            while True:
+                if all(self._values.get(nid, 0) > 0 for nid in wanted):
+                    return
+                if deadline is not None:
+                    remaining = deadline - (_monotonic() - start)
+                    if remaining <= 0:
+                        missing = [n for n in wanted if self._values.get(n, 0) == 0]
+                        raise GaspiTimeoutError(
+                            f"timed out waiting for notifications {missing}"
+                        )
+                    self._cond.wait(remaining)
+                else:
+                    self._cond.wait()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _first_pending(self, begin: int, count: int) -> Optional[int]:
+        for nid in range(begin, begin + count):
+            if self._values.get(nid, 0) > 0:
+                return nid
+        return None
+
+    def _check_id(self, notification_id: int) -> None:
+        if not (0 <= notification_id < self._num_slots):
+            raise GaspiInvalidArgumentError(
+                f"notification id {notification_id} outside [0, {self._num_slots})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NotificationBoard(slots={self._num_slots}, "
+            f"pending={len(self.pending_ids())})"
+        )
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()

@@ -1,0 +1,266 @@
+"""Abstract GASPI runtime interface.
+
+Every collective algorithm in :mod:`repro.core` is written against this
+interface, exactly as the paper's collectives are written against the
+GASPI API.  The method names follow GPI-2 (``gaspi_write_notify`` →
+:meth:`GaspiRuntime.write_notify`, …) with Pythonic signatures:
+
+* byte offsets and sizes, as in GASPI;
+* NumPy arrays for typed access through :meth:`segment_view`;
+* timeouts in seconds, ``GASPI_BLOCK`` meaning "block forever" and
+  ``GASPI_TEST`` meaning "poll once".
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .constants import (
+    DEFAULT_NOTIFICATION_COUNT,
+    DEFAULT_NOTIFICATION_VALUE,
+    GASPI_BLOCK,
+)
+from .group import Group
+
+
+class GaspiRuntime(abc.ABC):
+    """One rank's handle onto the GASPI world.
+
+    Concrete implementations:
+
+    * :class:`repro.gaspi.threaded.ThreadedRuntime` — real data movement
+      between rank threads inside one process.
+    """
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def rank(self) -> int:
+        """This process's rank (``gaspi_proc_rank``)."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of ranks in the world (``gaspi_proc_num``)."""
+
+    @property
+    def group_all(self) -> Group:
+        """The group containing every rank (``GASPI_GROUP_ALL``)."""
+        return Group.world(self.size)
+
+    # ------------------------------------------------------------------ #
+    # segments
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def segment_create(
+        self,
+        segment_id: int,
+        size: int,
+        num_notifications: int = DEFAULT_NOTIFICATION_COUNT,
+    ) -> None:
+        """Allocate and register a segment (collective over all ranks in GPI-2).
+
+        In this substrate every rank creates its own copy of the segment; the
+        call is local but every communicating rank must create the same
+        ``segment_id`` before it is used as a remote target.
+        """
+
+    @abc.abstractmethod
+    def segment_delete(self, segment_id: int) -> None:
+        """Release a segment."""
+
+    @abc.abstractmethod
+    def segment_view(
+        self,
+        segment_id: int,
+        dtype=np.float64,
+        offset: int = 0,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        """Typed NumPy view of the *local* copy of a segment."""
+
+    @abc.abstractmethod
+    def segment_size(self, segment_id: int) -> int:
+        """Size in bytes of a local segment."""
+
+    @abc.abstractmethod
+    def segment_read(
+        self,
+        segment_id: int,
+        dtype=np.float64,
+        offset: int = 0,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        """Consistent *copy* of a byte range of the local segment.
+
+        Unlike :meth:`segment_view`, the returned array is a snapshot taken
+        atomically with respect to incoming remote writes — the read a rank
+        performs on its SSP mailbox (``rcv_data_vec``) while a peer may be
+        overwriting it.
+        """
+
+    def segment_exists(self, segment_id: int) -> bool:
+        """True if this rank has created ``segment_id``."""
+        try:
+            self.segment_size(segment_id)
+            return True
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # one-sided communication
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def write(
+        self,
+        segment_id_local: int,
+        offset_local: int,
+        target_rank: int,
+        segment_id_remote: int,
+        offset_remote: int,
+        size: int,
+        queue: int = 0,
+    ) -> None:
+        """Post a one-sided write (``gaspi_write``)."""
+
+    @abc.abstractmethod
+    def notify(
+        self,
+        target_rank: int,
+        segment_id_remote: int,
+        notification_id: int,
+        notification_value: int = DEFAULT_NOTIFICATION_VALUE,
+        queue: int = 0,
+    ) -> None:
+        """Post a remote notification (``gaspi_notify``)."""
+
+    @abc.abstractmethod
+    def write_notify(
+        self,
+        segment_id_local: int,
+        offset_local: int,
+        target_rank: int,
+        segment_id_remote: int,
+        offset_remote: int,
+        size: int,
+        notification_id: int,
+        notification_value: int = DEFAULT_NOTIFICATION_VALUE,
+        queue: int = 0,
+    ) -> None:
+        """Post a write followed by a notification (``gaspi_write_notify``).
+
+        GASPI guarantees the data is visible at the target before the
+        notification is.
+        """
+
+    # ------------------------------------------------------------------ #
+    # weak synchronisation
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def notify_waitsome(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count: Optional[int] = None,
+        timeout: float = GASPI_BLOCK,
+    ) -> Optional[int]:
+        """Wait for any notification in a range (``gaspi_notify_waitsome``).
+
+        Returns the id of a pending notification, or ``None`` on timeout.
+        """
+
+    @abc.abstractmethod
+    def notify_reset(self, segment_id_local: int, notification_id: int) -> int:
+        """Atomically reset a local notification, returning its old value."""
+
+    def notify_peek(self, segment_id_local: int, notification_id: int) -> int:
+        """Read a notification value without resetting it (convenience)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # queues and global synchronisation
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def wait(self, queue: int = 0, timeout: float = GASPI_BLOCK) -> None:
+        """Flush a queue: block until all posted requests are locally complete."""
+
+    @abc.abstractmethod
+    def barrier(self, group: Optional[Group] = None, timeout: float = GASPI_BLOCK) -> None:
+        """Barrier over a group (``gaspi_barrier``)."""
+
+    # ------------------------------------------------------------------ #
+    # atomics (used by a few collectives and by tests)
+    # ------------------------------------------------------------------ #
+    def atomic_fetch_add(
+        self,
+        segment_id: int,
+        offset: int,
+        target_rank: int,
+        value: int,
+    ) -> int:
+        """Atomic fetch-and-add of an int64 at a remote segment offset."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # convenience helpers shared by collectives
+    # ------------------------------------------------------------------ #
+    def write_notify_array(
+        self,
+        source: np.ndarray,
+        segment_id_local: int,
+        offset_local: int,
+        target_rank: int,
+        segment_id_remote: int,
+        offset_remote: int,
+        notification_id: int,
+        notification_value: int = DEFAULT_NOTIFICATION_VALUE,
+        queue: int = 0,
+    ) -> None:
+        """Copy ``source`` into the local segment and ``write_notify`` it.
+
+        A common idiom in the paper's collectives: stage the payload in the
+        local communication segment, then push it to the peer together with
+        a notification.
+        """
+        staged = self.segment_view(
+            segment_id_local, dtype=source.dtype, offset=offset_local, count=source.size
+        )
+        staged[:] = source
+        self.write_notify(
+            segment_id_local,
+            offset_local,
+            target_rank,
+            segment_id_remote,
+            offset_remote,
+            source.nbytes,
+            notification_id,
+            notification_value,
+            queue,
+        )
+
+    def wait_and_reset(
+        self,
+        segment_id_local: int,
+        notification_id: int,
+        timeout: float = GASPI_BLOCK,
+    ) -> Optional[int]:
+        """Wait for one specific notification and reset it.
+
+        Returns the notification value, or ``None`` on timeout.
+        """
+        got = self.notify_waitsome(
+            segment_id_local, notification_id, 1, timeout=timeout
+        )
+        if got is None:
+            return None
+        value = self.notify_reset(segment_id_local, got)
+        return value if value > 0 else None
+
+    def ranks(self) -> Sequence[int]:
+        """All ranks of the world, convenience for iteration."""
+        return range(self.size)

@@ -1,0 +1,169 @@
+"""SPMD launcher: run one callable per rank on a threaded GASPI world.
+
+``run_spmd(n, fn)`` is the in-process analogue of ``mpiexec -n <n>`` /
+``gaspi_run``: it creates a :class:`~repro.gaspi.threaded.ThreadedWorld`,
+spawns one thread per rank, calls ``fn(runtime, *args, **kwargs)`` on each
+and returns the list of per-rank return values.  Exceptions raised by any
+rank are collected and re-raised as :class:`SpmdError` so a hanging
+collective shows up as a test failure rather than a deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, List, Optional, Sequence
+
+from .errors import GaspiError
+from .threaded import ThreadedRuntime, ThreadedWorld, WorldConfig
+
+
+class SpmdError(GaspiError):
+    """One or more ranks raised inside :func:`run_spmd`.
+
+    Attributes
+    ----------
+    failures:
+        List of ``(rank, exception, formatted_traceback)`` tuples.
+    """
+
+    def __init__(self, failures: Sequence[tuple]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} rank(s) failed inside run_spmd:"]
+        for rank, exc, tb in self.failures:
+            lines.append(f"--- rank {rank}: {type(exc).__name__}: {exc}\n{tb}")
+        super().__init__("\n".join(lines))
+
+
+def run_spmd(
+    num_ranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    world_config: Optional[WorldConfig] = None,
+    timeout: Optional[float] = 120.0,
+    **kwargs: Any,
+) -> List[Any]:
+    """Run ``fn(runtime, *args, **kwargs)`` on ``num_ranks`` rank threads.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of ranks (threads) to spawn.
+    fn:
+        Per-rank entry point; receives a
+        :class:`~repro.gaspi.threaded.ThreadedRuntime` as its first argument.
+    world_config:
+        Optional :class:`~repro.gaspi.threaded.WorldConfig`.
+    timeout:
+        Wall-clock limit in seconds for the whole SPMD region.  ``None``
+        disables the limit.  A timeout usually indicates a deadlocked
+        collective; the error message lists which ranks had not finished.
+
+    Returns
+    -------
+    list
+        ``fn``'s return value for each rank, indexed by rank.
+    """
+    if num_ranks <= 0:
+        raise ValueError(f"num_ranks must be positive, got {num_ranks}")
+
+    world = ThreadedWorld(num_ranks, world_config)
+    results: List[Any] = [None] * num_ranks
+    failures: List[tuple] = []
+    failures_lock = threading.Lock()
+
+    def worker(rank: int, runtime: ThreadedRuntime) -> None:
+        try:
+            results[rank] = fn(runtime, *args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - collected and re-raised
+            with failures_lock:
+                failures.append((rank, exc, traceback.format_exc()))
+
+    threads = [
+        threading.Thread(
+            target=worker,
+            args=(rank, world.runtime(rank)),
+            name=f"gaspi-rank-{rank}",
+            daemon=True,
+        )
+        for rank in range(num_ranks)
+    ]
+    try:
+        for t in threads:
+            t.start()
+        stuck: List[int] = []
+        for rank, t in enumerate(threads):
+            t.join(timeout)
+            if t.is_alive():
+                stuck.append(rank)
+        if stuck:
+            raise SpmdError(
+                [
+                    (
+                        rank,
+                        TimeoutError(
+                            f"rank {rank} did not finish within {timeout} s "
+                            "(deadlocked collective?)"
+                        ),
+                        "",
+                    )
+                    for rank in stuck
+                ]
+                + failures
+            )
+    finally:
+        world.close()
+
+    if failures:
+        failures.sort(key=lambda item: item[0])
+        raise SpmdError(failures)
+    return results
+
+
+def run_spmd_on_world(
+    world: ThreadedWorld,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: Optional[float] = 120.0,
+    **kwargs: Any,
+) -> List[Any]:
+    """Like :func:`run_spmd` but reuses an existing world.
+
+    Useful when a test wants to pre-populate segments or inspect
+    :attr:`ThreadedWorld.stats` after the SPMD region completes.  The world
+    is *not* closed on return.
+    """
+    results: List[Any] = [None] * world.size
+    failures: List[tuple] = []
+    failures_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        try:
+            results[rank] = fn(world.runtime(rank), *args, **kwargs)
+        except Exception as exc:  # noqa: BLE001
+            with failures_lock:
+                failures.append((rank, exc, traceback.format_exc()))
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), name=f"gaspi-rank-{rank}", daemon=True)
+        for rank in range(world.size)
+    ]
+    for t in threads:
+        t.start()
+    stuck = []
+    for rank, t in enumerate(threads):
+        t.join(timeout)
+        if t.is_alive():
+            stuck.append(rank)
+    if stuck:
+        raise SpmdError(
+            [
+                (rank, TimeoutError(f"rank {rank} did not finish within {timeout} s"), "")
+                for rank in stuck
+            ]
+            + failures
+        )
+    if failures:
+        failures.sort(key=lambda item: item[0])
+        raise SpmdError(failures)
+    return results

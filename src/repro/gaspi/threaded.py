@@ -1,0 +1,480 @@
+"""Thread-per-rank GASPI runtime with real data movement.
+
+:class:`ThreadedWorld` owns the shared state (each rank's segments,
+barriers, counters); :class:`ThreadedRuntime` is the per-rank facade
+implementing :class:`~repro.gaspi.runtime.GaspiRuntime`.
+
+Semantics implemented:
+
+* ``write`` / ``write_notify`` copy bytes from the caller's local segment
+  into the target rank's segment.  In ``immediate`` delivery mode the copy
+  happens synchronously; in ``async`` mode it is performed by a delivery
+  thread, but the data copy always precedes the notification post, which is
+  the GASPI visibility guarantee (Section II of the paper).
+* ``notify_waitsome`` / ``notify_reset`` operate on the local segment's
+  notification board.
+* ``wait`` flushes a queue (blocks until all locally posted requests have
+  been applied at their targets).
+* ``barrier`` uses a reusable threading barrier per group.
+* ``atomic_fetch_add`` provides GASPI's atomic counter on int64 slots.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .constants import (
+    DEFAULT_MAX_SEGMENTS,
+    DEFAULT_NOTIFICATION_COUNT,
+    DEFAULT_NOTIFICATION_VALUE,
+    DEFAULT_QUEUE_COUNT,
+    DEFAULT_QUEUE_DEPTH,
+    GASPI_BLOCK,
+)
+from .errors import (
+    GaspiInvalidArgumentError,
+    GaspiResourceError,
+    GaspiSegmentError,
+)
+from .group import Group
+from .notifications import NotificationBoard  # noqa: F401  (re-exported for tests)
+from .queue import CommunicationQueue, DeliveryWorker, WriteRequest
+from .runtime import GaspiRuntime
+from .segment import Segment
+
+
+@dataclass
+class WorldConfig:
+    """Configuration of a :class:`ThreadedWorld`.
+
+    Attributes
+    ----------
+    delivery:
+        ``"immediate"`` applies remote writes synchronously in the posting
+        thread (deterministic, fast).  ``"async"`` routes them through a
+        delivery thread, exercising true communication/computation overlap.
+    delivery_delay:
+        Artificial per-request delay (seconds) in ``async`` mode, useful to
+        stress-test notification semantics and the SSP stale-read path.
+    queue_count / queue_depth:
+        Number of communication queues per rank and their depth.
+    max_segments:
+        Maximum number of segments per rank.
+    collect_stats:
+        Record per-rank traffic statistics (bytes/messages sent).
+    """
+
+    delivery: str = "immediate"
+    delivery_delay: float = 0.0
+    queue_count: int = DEFAULT_QUEUE_COUNT
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    max_segments: int = DEFAULT_MAX_SEGMENTS
+    collect_stats: bool = True
+
+    def __post_init__(self) -> None:
+        if self.delivery not in ("immediate", "async"):
+            raise GaspiInvalidArgumentError(
+                f"delivery must be 'immediate' or 'async', got {self.delivery!r}"
+            )
+        if self.queue_count <= 0:
+            raise GaspiInvalidArgumentError("queue_count must be positive")
+
+
+@dataclass
+class TrafficStats:
+    """Per-rank communication counters collected by the threaded world."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    notifications_sent: int = 0
+    barriers: int = 0
+    by_peer: Dict[int, int] = field(default_factory=dict)
+
+    def record_send(self, target: int, nbytes: int, notified: bool) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += int(nbytes)
+        if notified:
+            self.notifications_sent += 1
+        self.by_peer[target] = self.by_peer.get(target, 0) + int(nbytes)
+
+
+class ThreadedWorld:
+    """Shared state of an in-process GASPI world with ``size`` ranks."""
+
+    def __init__(self, size: int, config: Optional[WorldConfig] = None) -> None:
+        if size <= 0:
+            raise GaspiInvalidArgumentError(f"world size must be positive, got {size}")
+        self.size = int(size)
+        self.config = config or WorldConfig()
+        # segments[rank][segment_id]
+        self._segments: Dict[int, Dict[int, Segment]] = {r: {} for r in range(size)}
+        self._segments_lock = threading.Lock()
+        # queues[rank][queue_id]
+        self._queues: Dict[int, Dict[int, CommunicationQueue]] = {
+            r: {
+                q: CommunicationQueue(q, self.config.queue_depth)
+                for q in range(self.config.queue_count)
+            }
+            for r in range(size)
+        }
+        self._barriers: Dict[Group, threading.Barrier] = {}
+        self._barriers_lock = threading.Lock()
+        self._atomic_lock = threading.Lock()
+        self.stats: Dict[int, TrafficStats] = {r: TrafficStats() for r in range(size)}
+        self._delivery: Optional[DeliveryWorker] = None
+        if self.config.delivery == "async":
+            self._delivery = DeliveryWorker(delay=self.config.delivery_delay)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def runtime(self, rank: int) -> "ThreadedRuntime":
+        """Return the per-rank runtime facade."""
+        if not (0 <= rank < self.size):
+            raise GaspiInvalidArgumentError(
+                f"rank {rank} outside world of size {self.size}"
+            )
+        return ThreadedRuntime(self, rank)
+
+    def runtimes(self) -> list["ThreadedRuntime"]:
+        """Per-rank runtime facades for every rank in the world."""
+        return [self.runtime(r) for r in range(self.size)]
+
+    def close(self) -> None:
+        """Stop background delivery threads (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._delivery is not None:
+            self._delivery.shutdown()
+            self._delivery = None
+
+    def __enter__(self) -> "ThreadedWorld":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # segment registry
+    # ------------------------------------------------------------------ #
+    def create_segment(
+        self, rank: int, segment_id: int, size: int, num_notifications: int
+    ) -> Segment:
+        with self._segments_lock:
+            table = self._segments[rank]
+            if segment_id in table:
+                raise GaspiResourceError(
+                    f"rank {rank}: segment {segment_id} already exists"
+                )
+            if len(table) >= self.config.max_segments:
+                raise GaspiResourceError(
+                    f"rank {rank}: segment limit {self.config.max_segments} reached"
+                )
+            seg = Segment(segment_id, size, rank, num_notifications)
+            table[segment_id] = seg
+            return seg
+
+    def delete_segment(self, rank: int, segment_id: int) -> None:
+        with self._segments_lock:
+            table = self._segments[rank]
+            if segment_id not in table:
+                raise GaspiSegmentError(
+                    f"rank {rank}: cannot delete unknown segment {segment_id}"
+                )
+            del table[segment_id]
+
+    def get_segment(self, rank: int, segment_id: int) -> Segment:
+        with self._segments_lock:
+            try:
+                return self._segments[rank][segment_id]
+            except KeyError as exc:
+                raise GaspiSegmentError(
+                    f"rank {rank} has no segment with id {segment_id}"
+                ) from exc
+
+    # ------------------------------------------------------------------ #
+    # communication core
+    # ------------------------------------------------------------------ #
+    def post(self, request: WriteRequest) -> None:
+        """Route a posted request according to the delivery mode."""
+        queue = self._queues[request.source_rank][request.queue]
+        queue.post()
+
+        def apply_and_complete() -> None:
+            try:
+                self._apply(request)
+            finally:
+                queue.complete()
+
+        if self._delivery is None:
+            apply_and_complete()
+        else:
+            request.apply = apply_and_complete
+            self._delivery.submit(request)
+
+        if self.config.collect_stats:
+            self.stats[request.source_rank].record_send(
+                request.target_rank,
+                request.nbytes,
+                request.notification_id is not None,
+            )
+
+    def _apply(self, request: WriteRequest) -> None:
+        """Apply a request at its target: data first, then the notification."""
+        target_segment = self.get_segment(request.target_rank, request.segment_id)
+        if request.data is not None and request.data.size > 0:
+            target_segment.write_bytes(request.offset, request.data)
+        if request.notification_id is not None:
+            target_segment.notifications.post(
+                request.notification_id, request.notification_value
+            )
+
+    def queue_of(self, rank: int, queue_id: int) -> CommunicationQueue:
+        try:
+            return self._queues[rank][queue_id]
+        except KeyError as exc:
+            raise GaspiInvalidArgumentError(
+                f"rank {rank} has no queue {queue_id} "
+                f"(queue_count={self.config.queue_count})"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # barrier
+    # ------------------------------------------------------------------ #
+    def barrier_for(self, group: Group) -> threading.Barrier:
+        with self._barriers_lock:
+            barrier = self._barriers.get(group)
+            if barrier is None:
+                barrier = threading.Barrier(group.size)
+                self._barriers[group] = barrier
+            return barrier
+
+    # ------------------------------------------------------------------ #
+    # atomics
+    # ------------------------------------------------------------------ #
+    def atomic_fetch_add(
+        self, target_rank: int, segment_id: int, offset: int, value: int
+    ) -> int:
+        seg = self.get_segment(target_rank, segment_id)
+        with self._atomic_lock:
+            slot = seg.view(np.int64, offset=offset, count=1)
+            old = int(slot[0])
+            slot[0] = old + int(value)
+            return old
+
+
+class ThreadedRuntime(GaspiRuntime):
+    """Per-rank facade over a :class:`ThreadedWorld`."""
+
+    def __init__(self, world: ThreadedWorld, rank: int) -> None:
+        self._world = world
+        self._rank = int(rank)
+
+    # -- identity ------------------------------------------------------- #
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._world.size
+
+    @property
+    def world(self) -> ThreadedWorld:
+        """The shared world this runtime belongs to."""
+        return self._world
+
+    # -- segments ------------------------------------------------------- #
+    def segment_create(
+        self,
+        segment_id: int,
+        size: int,
+        num_notifications: int = DEFAULT_NOTIFICATION_COUNT,
+    ) -> None:
+        self._world.create_segment(self._rank, segment_id, size, num_notifications)
+
+    def segment_delete(self, segment_id: int) -> None:
+        self._world.delete_segment(self._rank, segment_id)
+
+    def segment_view(
+        self,
+        segment_id: int,
+        dtype=np.float64,
+        offset: int = 0,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        return self._world.get_segment(self._rank, segment_id).view(
+            dtype=dtype, offset=offset, count=count
+        )
+
+    def segment_size(self, segment_id: int) -> int:
+        return self._world.get_segment(self._rank, segment_id).size
+
+    def segment_read(
+        self,
+        segment_id: int,
+        dtype=np.float64,
+        offset: int = 0,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        seg = self._world.get_segment(self._rank, segment_id)
+        if count is None:
+            count = (seg.size - offset) // dtype.itemsize
+        raw = seg.read_bytes(offset, count * dtype.itemsize)
+        return raw.view(dtype)
+
+    # -- one-sided communication ---------------------------------------- #
+    def write(
+        self,
+        segment_id_local: int,
+        offset_local: int,
+        target_rank: int,
+        segment_id_remote: int,
+        offset_remote: int,
+        size: int,
+        queue: int = 0,
+    ) -> None:
+        self._check_target(target_rank)
+        data = self._read_local(segment_id_local, offset_local, size)
+        self._world.post(
+            WriteRequest(
+                source_rank=self._rank,
+                target_rank=target_rank,
+                segment_id=segment_id_remote,
+                offset=offset_remote,
+                data=data,
+                notification_id=None,
+                notification_value=0,
+                queue=queue,
+            )
+        )
+
+    def notify(
+        self,
+        target_rank: int,
+        segment_id_remote: int,
+        notification_id: int,
+        notification_value: int = DEFAULT_NOTIFICATION_VALUE,
+        queue: int = 0,
+    ) -> None:
+        self._check_target(target_rank)
+        self._world.post(
+            WriteRequest(
+                source_rank=self._rank,
+                target_rank=target_rank,
+                segment_id=segment_id_remote,
+                offset=0,
+                data=None,
+                notification_id=notification_id,
+                notification_value=notification_value,
+                queue=queue,
+            )
+        )
+
+    def write_notify(
+        self,
+        segment_id_local: int,
+        offset_local: int,
+        target_rank: int,
+        segment_id_remote: int,
+        offset_remote: int,
+        size: int,
+        notification_id: int,
+        notification_value: int = DEFAULT_NOTIFICATION_VALUE,
+        queue: int = 0,
+    ) -> None:
+        self._check_target(target_rank)
+        data = self._read_local(segment_id_local, offset_local, size)
+        self._world.post(
+            WriteRequest(
+                source_rank=self._rank,
+                target_rank=target_rank,
+                segment_id=segment_id_remote,
+                offset=offset_remote,
+                data=data,
+                notification_id=notification_id,
+                notification_value=notification_value,
+                queue=queue,
+            )
+        )
+
+    # -- weak synchronisation ------------------------------------------- #
+    def notify_waitsome(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count: Optional[int] = None,
+        timeout: float = GASPI_BLOCK,
+    ) -> Optional[int]:
+        seg = self._world.get_segment(self._rank, segment_id_local)
+        return seg.notifications.wait_some(
+            notification_begin, notification_count, timeout
+        )
+
+    def notify_reset(self, segment_id_local: int, notification_id: int) -> int:
+        seg = self._world.get_segment(self._rank, segment_id_local)
+        return seg.notifications.reset(notification_id)
+
+    def notify_peek(self, segment_id_local: int, notification_id: int) -> int:
+        seg = self._world.get_segment(self._rank, segment_id_local)
+        return seg.notifications.peek(notification_id)
+
+    # -- queues / barriers ----------------------------------------------- #
+    def wait(self, queue: int = 0, timeout: float = GASPI_BLOCK) -> None:
+        self._world.queue_of(self._rank, queue).wait(timeout)
+
+    def barrier(
+        self, group: Optional[Group] = None, timeout: float = GASPI_BLOCK
+    ) -> None:
+        group = group or self.group_all
+        if not group.contains(self._rank):
+            raise GaspiInvalidArgumentError(
+                f"rank {self._rank} called barrier on group {group} it is not part of"
+            )
+        barrier = self._world.barrier_for(group)
+        if timeout == GASPI_BLOCK:
+            barrier.wait()
+        else:
+            barrier.wait(timeout=timeout)
+        if self._world.config.collect_stats:
+            self._world.stats[self._rank].barriers += 1
+
+    # -- atomics ---------------------------------------------------------- #
+    def atomic_fetch_add(
+        self,
+        segment_id: int,
+        offset: int,
+        target_rank: int,
+        value: int,
+    ) -> int:
+        self._check_target(target_rank)
+        return self._world.atomic_fetch_add(target_rank, segment_id, offset, value)
+
+    # -- internals -------------------------------------------------------- #
+    def _read_local(
+        self, segment_id: int, offset: int, size: int
+    ) -> np.ndarray:
+        seg = self._world.get_segment(self._rank, segment_id)
+        return seg.read_bytes(offset, size)
+
+    def _check_target(self, target_rank: int) -> None:
+        if not (0 <= target_rank < self._world.size):
+            raise GaspiInvalidArgumentError(
+                f"target rank {target_rank} outside world of size {self._world.size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadedRuntime(rank={self._rank}, size={self.size})"

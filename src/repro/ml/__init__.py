@@ -1,0 +1,37 @@
+"""ML workload: Matrix Factorization trained with distributed SGD.
+
+The paper evaluates ``allreduce_ssp`` by training a Matrix Factorization
+model with Stochastic Gradient Descent on the MovieLens 25M dataset over
+32 workers (Figures 6 and 7).  MovieLens is not redistributable inside
+this repository, so :mod:`repro.ml.datasets` generates a synthetic
+low-rank-plus-noise rating matrix with a MovieLens-like shape; the
+convergence behaviour under staleness depends on the iterative-convergent
+structure of the problem, which the synthetic data preserves.
+"""
+
+from .datasets import RatingsDataset, synthetic_ratings, movielens_like, train_test_split
+from .matrix_factorization import MatrixFactorizationModel
+from .metrics import rmse, time_to_target, iterations_to_target
+from .sgd import (
+    DistributedSGDConfig,
+    IterationRecord,
+    WorkerResult,
+    run_distributed_sgd,
+    run_slack_sweep,
+)
+
+__all__ = [
+    "RatingsDataset",
+    "synthetic_ratings",
+    "movielens_like",
+    "train_test_split",
+    "MatrixFactorizationModel",
+    "rmse",
+    "time_to_target",
+    "iterations_to_target",
+    "DistributedSGDConfig",
+    "IterationRecord",
+    "WorkerResult",
+    "run_distributed_sgd",
+    "run_slack_sweep",
+]

@@ -1,0 +1,159 @@
+"""Matrix Factorization model and its SGD gradients.
+
+The model approximates the rating matrix ``R ≈ U Vᵀ`` with user factors
+``U ∈ ℝ^{users×k}`` and item factors ``V ∈ ℝ^{items×k}``, minimising the
+regularised squared error over the observed ratings — the same setup as
+the paper's MF-SGD workload (reference [8], Oh et al.).
+
+For the distributed experiments the model exposes its parameters as one
+flat vector (:meth:`MatrixFactorizationModel.get_flat` /
+:meth:`set_flat`) and computes *dense* gradients over a shard of ratings
+(:meth:`gradient_flat`), so workers can exchange updates with a single
+Allreduce per iteration — exactly the communication pattern
+``allreduce_ssp`` is designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.validation import require
+from .datasets import RatingsDataset
+
+
+@dataclass
+class MatrixFactorizationModel:
+    """Low-rank factor model ``R ≈ U Vᵀ``."""
+
+    user_factors: np.ndarray
+    item_factors: np.ndarray
+    regularization: float = 0.02
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def initialize(
+        cls,
+        num_users: int,
+        num_items: int,
+        num_factors: int = 8,
+        regularization: float = 0.02,
+        seed: int = 0,
+        scale: float = 0.2,
+    ) -> "MatrixFactorizationModel":
+        """Random small-magnitude initialisation (identical for a given seed).
+
+        All workers must start from the same model, so the seed is shared.
+        """
+        require(num_users >= 1 and num_items >= 1, "model dimensions must be positive")
+        require(num_factors >= 1, "num_factors must be >= 1")
+        rng = np.random.default_rng(seed)
+        return cls(
+            user_factors=scale * rng.standard_normal((num_users, num_factors)),
+            item_factors=scale * rng.standard_normal((num_items, num_factors)),
+            regularization=regularization,
+        )
+
+    # ------------------------------------------------------------------ #
+    # shapes / flattening
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        return self.user_factors.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        return self.item_factors.shape[0]
+
+    @property
+    def num_factors(self) -> int:
+        return self.user_factors.shape[1]
+
+    @property
+    def num_parameters(self) -> int:
+        """Length of the flattened parameter vector."""
+        return self.user_factors.size + self.item_factors.size
+
+    def get_flat(self) -> np.ndarray:
+        """All parameters as one contiguous vector (users first)."""
+        return np.concatenate([self.user_factors.ravel(), self.item_factors.ravel()])
+
+    def set_flat(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by :meth:`get_flat`."""
+        flat = np.asarray(flat, dtype=np.float64)
+        require(flat.size == self.num_parameters, "flat vector has the wrong length")
+        u_size = self.user_factors.size
+        self.user_factors = flat[:u_size].reshape(self.user_factors.shape).copy()
+        self.item_factors = flat[u_size:].reshape(self.item_factors.shape).copy()
+
+    def copy(self) -> "MatrixFactorizationModel":
+        return MatrixFactorizationModel(
+            user_factors=self.user_factors.copy(),
+            item_factors=self.item_factors.copy(),
+            regularization=self.regularization,
+        )
+
+    # ------------------------------------------------------------------ #
+    # prediction / loss
+    # ------------------------------------------------------------------ #
+    def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Predicted ratings for the given (user, item) pairs."""
+        return np.einsum(
+            "ij,ij->i", self.user_factors[users], self.item_factors[items]
+        )
+
+    def rmse(self, dataset: RatingsDataset) -> float:
+        """Root-mean-square error over a dataset."""
+        if dataset.num_ratings == 0:
+            return 0.0
+        err = self.predict(dataset.users, dataset.items) - dataset.ratings
+        return float(np.sqrt(np.mean(err * err)))
+
+    def loss(self, dataset: RatingsDataset) -> float:
+        """Regularised squared-error objective."""
+        err = self.predict(dataset.users, dataset.items) - dataset.ratings
+        reg = self.regularization * (
+            np.sum(self.user_factors**2) + np.sum(self.item_factors**2)
+        )
+        return float(np.sum(err * err) + reg)
+
+    # ------------------------------------------------------------------ #
+    # gradients
+    # ------------------------------------------------------------------ #
+    def gradient_flat(self, shard: RatingsDataset) -> np.ndarray:
+        """Dense gradient of the (mean) squared error over ``shard``.
+
+        The gradient has the same layout as :meth:`get_flat`.  Vectorised
+        with ``np.add.at`` scatter-adds so it stays fast for large shards
+        (no per-rating Python loop).
+        """
+        grad_u = np.zeros_like(self.user_factors)
+        grad_v = np.zeros_like(self.item_factors)
+        if shard.num_ratings == 0:
+            return np.concatenate([grad_u.ravel(), grad_v.ravel()])
+
+        users, items = shard.users, shard.items
+        err = self.predict(users, items) - shard.ratings  # (n,)
+        scale = 2.0 / shard.num_ratings
+        contrib_u = scale * err[:, None] * self.item_factors[items]
+        contrib_v = scale * err[:, None] * self.user_factors[users]
+        np.add.at(grad_u, users, contrib_u)
+        np.add.at(grad_v, items, contrib_v)
+        grad_u += 2.0 * self.regularization / self.num_users * self.user_factors
+        grad_v += 2.0 * self.regularization / self.num_items * self.item_factors
+        return np.concatenate([grad_u.ravel(), grad_v.ravel()])
+
+    def apply_update(self, flat_update: np.ndarray, learning_rate: float) -> None:
+        """In-place SGD step ``θ ← θ - lr · update``."""
+        flat_update = np.asarray(flat_update, dtype=np.float64)
+        require(flat_update.size == self.num_parameters, "update has the wrong length")
+        u_size = self.user_factors.size
+        self.user_factors -= learning_rate * flat_update[:u_size].reshape(
+            self.user_factors.shape
+        )
+        self.item_factors -= learning_rate * flat_update[u_size:].reshape(
+            self.item_factors.shape
+        )

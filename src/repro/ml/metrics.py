@@ -1,0 +1,52 @@
+"""Convergence metrics for the Figure 6 analysis."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..utils.validation import require
+
+
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Root-mean-square error between two vectors."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    require(predictions.shape == targets.shape, "shape mismatch")
+    if predictions.size == 0:
+        return 0.0
+    diff = predictions - targets
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def time_to_target(
+    times: Sequence[float], errors: Sequence[float], target_error: float
+) -> Optional[float]:
+    """First wall-clock time at which the error drops to ``target_error``.
+
+    This is the quantity behind the paper's "slack = 64 … was 19 % faster"
+    claims: fix the error level reached by the slack = 0 run and compare
+    when each configuration reaches it.  Returns ``None`` when the target
+    is never reached.
+    """
+    require(len(times) == len(errors), "times and errors must align")
+    for t, e in zip(times, errors):
+        if e <= target_error:
+            return float(t)
+    return None
+
+
+def iterations_to_target(errors: Sequence[float], target_error: float) -> Optional[int]:
+    """Number of iterations needed to reach ``target_error`` (1-based)."""
+    for i, e in enumerate(errors):
+        if e <= target_error:
+            return i + 1
+    return None
+
+
+def speedup(baseline_time: Optional[float], other_time: Optional[float]) -> Optional[float]:
+    """Relative speed-up of ``other`` vs ``baseline`` (>1 means faster)."""
+    if baseline_time is None or other_time is None or other_time == 0:
+        return None
+    return baseline_time / other_time

@@ -1,0 +1,49 @@
+"""MPI baseline substrate.
+
+The paper compares its GASPI collectives against the collectives shipped
+with Intel MPI 2018: a dozen ``MPI_Allreduce`` variants (Figure 11 lists
+them as mpi1…mpi12), binomial and "default" ``MPI_Bcast`` / ``MPI_Reduce``
+variants, and the default ``MPI_Alltoall``.  None of that software is
+available here, so this package implements the named algorithms from the
+literature:
+
+* :mod:`repro.mpi.twosided` — a two-sided send/recv layer (eager +
+  rendezvous) built on the same GASPI runtime, used by the functional
+  baseline collectives and by tests that cross-validate the GASPI
+  collectives against an independent implementation;
+* :mod:`repro.mpi.allreduce_variants`, :mod:`repro.mpi.bcast_variants`,
+  :mod:`repro.mpi.reduce_variants`, :mod:`repro.mpi.alltoall_variants` —
+  schedule builders (and functional reference implementations for the most
+  important ones) for every baseline the figures need;
+* :mod:`repro.mpi.tuning` — an Intel-MPI-like auto-selection table that
+  picks a variant from the message size and rank count, providing the
+  "mpi-def" lines of Figures 8–13.
+
+Importing this package registers every baseline in
+:data:`repro.core.registry.REGISTRY` under ``mpi_*`` names.
+"""
+
+from . import allreduce_variants, alltoall_variants, bcast_variants, reduce_variants, tuning
+from .twosided import TwoSidedLayer, MessageEnvelope
+from .tuning import (
+    select_allreduce_variant,
+    select_bcast_variant,
+    select_reduce_variant,
+    select_alltoall_variant,
+    ALLREDUCE_VARIANT_LABELS,
+)
+
+__all__ = [
+    "TwoSidedLayer",
+    "MessageEnvelope",
+    "allreduce_variants",
+    "bcast_variants",
+    "reduce_variants",
+    "alltoall_variants",
+    "tuning",
+    "select_allreduce_variant",
+    "select_bcast_variant",
+    "select_reduce_variant",
+    "select_alltoall_variant",
+    "ALLREDUCE_VARIANT_LABELS",
+]

@@ -1,0 +1,149 @@
+"""MPI AlltoAll baselines (Figure 13).
+
+Intel MPI's ``MPI_Alltoall`` auto-selects between three classic
+algorithms; all are provided here:
+
+* **Bruck** — ``log2(P)`` rounds of aggregated messages; best for very
+  small blocks because it trades bandwidth (each element travels multiple
+  hops) for far fewer messages.
+* **Pairwise exchange** — P-1 rounds; in round ``k`` rank ``i`` exchanges
+  one block with rank ``i XOR k`` (or ``i ± k`` for non-power-of-two);
+  the standard medium/large-message algorithm.
+* **Isend/Irecv posting** — every rank posts all P-1 sends/receives at
+  once; similar structure to the GASPI direct AlltoAll but paying
+  two-sided matching and (beyond the eager threshold) rendezvous costs per
+  message.
+
+A functional pairwise exchange over the two-sided layer is included for
+cross-validation of the GASPI ``alltoall``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schedule import CommunicationSchedule, Message, Protocol
+from ..utils.validation import require
+from .twosided import TwoSidedLayer
+
+TWOSIDED = Protocol.TWOSIDED
+
+
+def bruck_alltoall_schedule(num_ranks: int, block_nbytes: int, **_) -> CommunicationSchedule:
+    """Bruck algorithm: ⌈log2 P⌉ rounds, each moving ~half of the blocks."""
+    require(num_ranks >= 1 and block_nbytes >= 0, "invalid arguments")
+    sched = CommunicationSchedule(
+        name="mpi_alltoall_bruck",
+        num_ranks=num_ranks,
+        metadata={"block_bytes": block_nbytes, "algorithm": "bruck"},
+    )
+    if num_ranks == 1 or block_nbytes == 0:
+        sched.validate()
+        return sched
+    step = 1
+    while step < num_ranks:
+        # Every rank sends the blocks whose destination has the current bit
+        # set — about half of its P blocks, aggregated in a single message.
+        blocks_moved = sum(1 for d in range(num_ranks) if (d & step) != 0)
+        nbytes = blocks_moved * block_nbytes
+        sched.add_round(
+            [
+                Message(
+                    r,
+                    (r + step) % num_ranks,
+                    nbytes,
+                    TWOSIDED,
+                    0,
+                    tag=f"bruck-{step}",
+                )
+                for r in range(num_ranks)
+            ],
+            label=f"bruck-{step}",
+        )
+        step <<= 1
+    sched.validate()
+    return sched
+
+
+def pairwise_alltoall_schedule(num_ranks: int, block_nbytes: int, **_) -> CommunicationSchedule:
+    """Pairwise exchange: P-1 rounds of single-block exchanges."""
+    require(num_ranks >= 1 and block_nbytes >= 0, "invalid arguments")
+    sched = CommunicationSchedule(
+        name="mpi_alltoall_pairwise",
+        num_ranks=num_ranks,
+        metadata={"block_bytes": block_nbytes, "algorithm": "pairwise"},
+    )
+    if num_ranks == 1 or block_nbytes == 0:
+        sched.validate()
+        return sched
+    for k in range(1, num_ranks):
+        messages = []
+        for r in range(num_ranks):
+            partner = r ^ k if _is_pow2(num_ranks) else (r + k) % num_ranks
+            if partner == r:
+                continue
+            messages.append(Message(r, partner, block_nbytes, TWOSIDED, 0, tag=f"pairwise-{k}"))
+        sched.add_round(messages, label=f"pairwise-{k}")
+    sched.validate()
+    return sched
+
+
+def isend_irecv_alltoall_schedule(num_ranks: int, block_nbytes: int, **_) -> CommunicationSchedule:
+    """Post-all-sends AlltoAll: one round with all P(P-1) two-sided messages."""
+    require(num_ranks >= 1 and block_nbytes >= 0, "invalid arguments")
+    sched = CommunicationSchedule(
+        name="mpi_alltoall_isend_irecv",
+        num_ranks=num_ranks,
+        metadata={"block_bytes": block_nbytes, "algorithm": "isend_irecv"},
+    )
+    if num_ranks > 1 and block_nbytes > 0:
+        sched.add_round(
+            [
+                Message(src, dst, block_nbytes, TWOSIDED, 0, tag="isend")
+                for src in range(num_ranks)
+                for dst in range(num_ranks)
+                if src != dst
+            ],
+            label="post-all",
+        )
+    sched.validate()
+    return sched
+
+
+def default_alltoall_schedule(num_ranks: int, block_nbytes: int, **kwargs) -> CommunicationSchedule:
+    """The vendor-default AlltoAll: auto-selection by block size."""
+    from .tuning import select_alltoall_variant
+
+    builder = select_alltoall_variant(num_ranks, block_nbytes)
+    sched = builder(num_ranks, block_nbytes, **kwargs)
+    sched.metadata["selected_by"] = "mpi_default_tuning"
+    return sched
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+# --------------------------------------------------------------------------- #
+# functional reference
+# --------------------------------------------------------------------------- #
+def pairwise_alltoall_twosided(
+    layer: TwoSidedLayer,
+    sendbuf: np.ndarray,
+) -> np.ndarray:
+    """Functional pairwise-exchange AlltoAll over the two-sided layer."""
+    runtime = layer.runtime
+    size, rank = runtime.size, runtime.rank
+    sendbuf = np.ascontiguousarray(sendbuf, dtype=np.float64)
+    require(sendbuf.size % size == 0, "sendbuf length must be divisible by world size")
+    block = sendbuf.size // size
+    recvbuf = np.empty_like(sendbuf)
+    recvbuf[rank * block : (rank + 1) * block] = sendbuf[rank * block : (rank + 1) * block]
+    for k in range(1, size):
+        partner = rank ^ k if _is_pow2(size) else (rank + k) % size
+        recv_from = partner if _is_pow2(size) else (rank - k) % size
+        outgoing = sendbuf[partner * block : (partner + 1) * block]
+        layer.send(outgoing, partner, tag=k)
+        incoming, _ = layer.recv(recv_from, tag=k)
+        recvbuf[recv_from * block : (recv_from + 1) * block] = incoming
+    return recvbuf

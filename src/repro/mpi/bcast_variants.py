@@ -1,0 +1,124 @@
+"""MPI broadcast baselines: binomial and "default" (Figure 8).
+
+``mpi-bin`` in Figure 8 is the binomial-tree broadcast; ``mpi-def`` is
+whatever Intel MPI's auto-tuner selects, which for large payloads is the
+scatter + allgather (van de Geijn) algorithm.  Both are provided as
+schedule builders plus a functional binomial broadcast over the two-sided
+layer for cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.schedule import CommunicationSchedule, Message, Protocol
+from ..core.topology import BinomialTree, Ring, chunk_bounds
+from ..utils.validation import require
+from .twosided import TwoSidedLayer
+
+TWOSIDED = Protocol.TWOSIDED
+
+
+def binomial_bcast_schedule(num_ranks: int, nbytes: int, root: int = 0, **_) -> CommunicationSchedule:
+    """Binomial-tree broadcast (the ``mpi-bin`` line of Figure 8)."""
+    require(num_ranks >= 1 and nbytes >= 0, "invalid arguments")
+    sched = CommunicationSchedule(
+        name="mpi_bcast_binomial",
+        num_ranks=num_ranks,
+        metadata={"payload_bytes": nbytes, "algorithm": "binomial"},
+    )
+    tree = BinomialTree(num_ranks, root)
+    stages = tree.ranks_by_stage()
+    for stage in sorted(s for s in stages if s > 0):
+        sched.add_round(
+            [
+                Message(tree.parent(child), child, nbytes, TWOSIDED, 0, tag=f"bcast-{stage}")
+                for child in stages[stage]
+            ],
+            label=f"stage-{stage}",
+        )
+    sched.validate()
+    return sched
+
+
+def scatter_allgather_bcast_schedule(
+    num_ranks: int, nbytes: int, root: int = 0, **_
+) -> CommunicationSchedule:
+    """Van de Geijn broadcast: binomial scatter of 1/P chunks + ring allgather.
+
+    This is the large-message algorithm Intel MPI's auto-selection falls
+    back to; its bandwidth term is ~2·n·β instead of log(P)·n·β.
+    """
+    require(num_ranks >= 1 and nbytes >= 0, "invalid arguments")
+    sched = CommunicationSchedule(
+        name="mpi_bcast_scatter_allgather",
+        num_ranks=num_ranks,
+        metadata={"payload_bytes": nbytes, "algorithm": "scatter_allgather"},
+    )
+    if num_ranks == 1 or nbytes == 0:
+        sched.validate()
+        return sched
+    tree = BinomialTree(num_ranks, root)
+    stages = tree.ranks_by_stage()
+    # Scatter: a parent forwards to each child the half of its current range
+    # that the child's subtree owns; message sizes shrink with the stage.
+    for stage in sorted(s for s in stages if s > 0):
+        messages = []
+        for child in stages[stage]:
+            subtree = 1 + len(tree.descendants(child))
+            chunk = max(1, (nbytes * subtree) // num_ranks)
+            messages.append(
+                Message(tree.parent(child), child, chunk, TWOSIDED, 0, tag=f"scatter-{stage}")
+            )
+        sched.add_round(messages, label=f"scatter-{stage}")
+    if sched.rounds:
+        sched.rounds[-1].barrier_after = True
+    # Allgather ring: P-1 rounds of 1/P chunks.
+    ring = Ring(num_ranks)
+    chunk = max(1, nbytes // num_ranks)
+    for step in range(num_ranks - 1):
+        sched.add_round(
+            [
+                Message(r, ring.next_rank(r), chunk, TWOSIDED, 0, tag=f"allgather-{step}")
+                for r in range(num_ranks)
+            ],
+            label=f"allgather-{step}",
+        )
+    sched.validate()
+    return sched
+
+
+def default_bcast_schedule(
+    num_ranks: int, nbytes: int, root: int = 0, **kwargs
+) -> CommunicationSchedule:
+    """The ``mpi-def`` line: Intel-MPI-like auto-selection between variants."""
+    from .tuning import select_bcast_variant
+
+    builder = select_bcast_variant(num_ranks, nbytes)
+    sched = builder(num_ranks, nbytes, root=root, **kwargs)
+    sched.metadata["selected_by"] = "mpi_default_tuning"
+    return sched
+
+
+# --------------------------------------------------------------------------- #
+# functional reference
+# --------------------------------------------------------------------------- #
+def binomial_bcast_twosided(
+    layer: TwoSidedLayer,
+    buffer: np.ndarray,
+    root: int = 0,
+) -> np.ndarray:
+    """Functional binomial broadcast over the two-sided layer."""
+    runtime = layer.runtime
+    tree = BinomialTree(runtime.size, root)
+    rank = runtime.rank
+    parent = tree.parent(rank)
+    buffer = np.ascontiguousarray(buffer, dtype=np.float64)
+    if parent is not None:
+        incoming, _ = layer.recv(parent, tag=7)
+        buffer[: incoming.size] = incoming
+    for child in tree.children(rank):
+        layer.send(buffer, child, tag=7)
+    return buffer

@@ -1,0 +1,169 @@
+"""Intel-MPI-like auto-selection ("mpi-def") and registry registration.
+
+Intel MPI ships a tuning table that picks a collective implementation from
+the message size and communicator size (``I_MPI_ADJUST_*``).  The paper's
+"default"/"mpi-def" baselines are whatever those tables select, so this
+module provides a comparable rule set:
+
+* small payloads → latency-optimal trees (binomial / recursive doubling /
+  Bruck);
+* large payloads → bandwidth-optimal algorithms (Rabenseifner,
+  scatter+allgather, Shumilin ring, pairwise exchange).
+
+The thresholds are round numbers in the range the MPI literature and the
+Intel defaults use; they are deliberately conservative so the "default"
+baseline is a strong competitor, as it is in the paper's figures.
+
+Importing :mod:`repro.mpi` calls :func:`register_mpi_algorithms`, which
+places every baseline into :data:`repro.core.registry.REGISTRY` under
+``mpi_*`` names for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.registry import REGISTRY
+from ..core.schedule import CommunicationSchedule
+
+#: Human-readable labels of the Figure 11 variants (mpi1..mpi12).
+ALLREDUCE_VARIANT_LABELS: Dict[str, str] = {
+    "mpi1_recursive_doubling": "recursive doubling",
+    "mpi2_rabenseifner": "Rabenseifner's",
+    "mpi3_reduce_bcast": "Reduce + Bcast",
+    "mpi4_topo_reduce_bcast": "topology aware Reduce + Bcast",
+    "mpi5_gather_scatter": "binomial gather + scatter",
+    "mpi6_topo_gather_scatter": "topology aware binomial gather + scatter",
+    "mpi7_shumilin_ring": "Shumilin's ring",
+    "mpi8_ring": "ring",
+    "mpi9_knomial": "Knomial",
+    "mpi10_shm_flat": "topology aware SHM-based flat",
+    "mpi11_shm_knomial": "topology aware SHM-based Knomial",
+    "mpi12_shm_knary": "topology aware SHM-based Knary",
+}
+
+# Selection thresholds (bytes).
+_ALLREDUCE_SMALL = 8 * 1024
+_ALLREDUCE_MEDIUM = 256 * 1024
+_BCAST_SMALL = 12 * 1024
+_REDUCE_SMALL = 32 * 1024
+_ALLTOALL_SMALL = 1024
+_ALLTOALL_MEDIUM = 64 * 1024
+
+
+def select_allreduce_variant(num_ranks: int, nbytes: int) -> Callable[..., CommunicationSchedule]:
+    """Pick the Allreduce variant Intel MPI's default tuning would use."""
+    from . import allreduce_variants as av
+
+    if nbytes <= _ALLREDUCE_SMALL:
+        return av.recursive_doubling_schedule
+    if nbytes <= _ALLREDUCE_MEDIUM:
+        return av.rabenseifner_schedule
+    return av.shumilin_ring_schedule
+
+
+def select_bcast_variant(num_ranks: int, nbytes: int) -> Callable[..., CommunicationSchedule]:
+    """Pick the Bcast variant the default tuning would use."""
+    from . import bcast_variants as bv
+
+    if nbytes <= _BCAST_SMALL or num_ranks <= 4:
+        return bv.binomial_bcast_schedule
+    return bv.scatter_allgather_bcast_schedule
+
+
+def select_reduce_variant(num_ranks: int, nbytes: int) -> Callable[..., CommunicationSchedule]:
+    """Pick the Reduce variant the default tuning would use."""
+    from . import reduce_variants as rv
+
+    if nbytes <= _REDUCE_SMALL or num_ranks <= 4:
+        return rv.binomial_reduce_schedule
+    return rv.reduce_scatter_gather_schedule
+
+
+def select_alltoall_variant(num_ranks: int, block_nbytes: int) -> Callable[..., CommunicationSchedule]:
+    """Pick the AlltoAll variant the default tuning would use."""
+    from . import alltoall_variants as atv
+
+    if block_nbytes <= _ALLTOALL_SMALL:
+        return atv.bruck_alltoall_schedule
+    return atv.pairwise_alltoall_schedule
+
+
+def default_allreduce_schedule(num_ranks: int, nbytes: int, **kwargs) -> CommunicationSchedule:
+    """The ``MPI_Allreduce`` default pick (used as the MPI line in Figure 7)."""
+    builder = select_allreduce_variant(num_ranks, nbytes)
+    sched = builder(num_ranks, nbytes, **kwargs)
+    sched.metadata["selected_by"] = "mpi_default_tuning"
+    return sched
+
+
+def register_mpi_algorithms(overwrite: bool = False) -> None:
+    """Register every MPI baseline in the global algorithm registry."""
+    from . import allreduce_variants as av
+    from . import alltoall_variants as atv
+    from . import bcast_variants as bv
+    from . import reduce_variants as rv
+
+    def reg(name: str, collective: str, builder, description: str) -> None:
+        if name in REGISTRY and not overwrite:
+            return
+        REGISTRY.register(
+            name,
+            collective=collective,
+            family="mpi",
+            builder=builder,
+            description=description,
+            overwrite=overwrite,
+        )
+
+    for name, builder in av.VARIANTS.items():
+        reg(
+            f"mpi_allreduce_{name}",
+            "allreduce",
+            builder,
+            f"MPI_Allreduce variant: {ALLREDUCE_VARIANT_LABELS[name]}",
+        )
+    reg(
+        "mpi_allreduce_default",
+        "allreduce",
+        default_allreduce_schedule,
+        "MPI_Allreduce with Intel-MPI-like auto-selection",
+    )
+    reg("mpi_bcast_binomial", "bcast", bv.binomial_bcast_schedule, "MPI_Bcast binomial tree")
+    reg(
+        "mpi_bcast_scatter_allgather",
+        "bcast",
+        bv.scatter_allgather_bcast_schedule,
+        "MPI_Bcast scatter + allgather (van de Geijn)",
+    )
+    reg("mpi_bcast_default", "bcast", bv.default_bcast_schedule, "MPI_Bcast auto-selected")
+    reg("mpi_reduce_binomial", "reduce", rv.binomial_reduce_schedule, "MPI_Reduce binomial tree")
+    reg(
+        "mpi_reduce_scatter_gather",
+        "reduce",
+        rv.reduce_scatter_gather_schedule,
+        "MPI_Reduce reduce-scatter + gather (Rabenseifner)",
+    )
+    reg("mpi_reduce_default", "reduce", rv.default_reduce_schedule, "MPI_Reduce auto-selected")
+    reg("mpi_alltoall_bruck", "alltoall", atv.bruck_alltoall_schedule, "MPI_Alltoall Bruck")
+    reg(
+        "mpi_alltoall_pairwise",
+        "alltoall",
+        atv.pairwise_alltoall_schedule,
+        "MPI_Alltoall pairwise exchange",
+    )
+    reg(
+        "mpi_alltoall_isend_irecv",
+        "alltoall",
+        atv.isend_irecv_alltoall_schedule,
+        "MPI_Alltoall posted isend/irecv",
+    )
+    reg(
+        "mpi_alltoall_default",
+        "alltoall",
+        atv.default_alltoall_schedule,
+        "MPI_Alltoall auto-selected",
+    )
+
+
+register_mpi_algorithms()

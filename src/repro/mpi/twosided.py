@@ -1,0 +1,220 @@
+"""Two-sided (MPI-style) messaging built on the one-sided GASPI runtime.
+
+The functional MPI baselines need ``send``/``recv`` with tag matching.
+This layer implements the classic design on top of one-sided writes:
+
+* every rank owns a mailbox segment with one *slot per peer*;
+* ``send`` waits until the receiver has marked the sender's slot free
+  (credit notification), writes the payload plus a small envelope
+  (tag, element count) into the slot and notifies the receiver;
+* ``recv`` waits for the data notification of the matching source, checks
+  the tag, copies the payload out and returns the credit.
+
+This is intentionally a *rendezvous-like* protocol: a send cannot complete
+before the receiver granted the credit, which mirrors the sender/receiver
+coupling of large-message MPI traffic and distinguishes the baselines from
+the notification-only GASPI collectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..gaspi.constants import GASPI_BLOCK
+from ..gaspi.runtime import GaspiRuntime
+from ..utils.validation import require
+
+#: Default segment id of the two-sided mailbox layer.
+TWOSIDED_SEGMENT_ID = 180
+
+#: Any-tag wildcard for :meth:`TwoSidedLayer.recv`.
+ANY_TAG = -1
+
+_ENVELOPE_DOUBLES = 2  # [tag, element_count]
+
+
+@dataclass
+class MessageEnvelope:
+    """Metadata travelling with every two-sided message."""
+
+    source: int
+    tag: int
+    count: int
+
+
+class TwoSidedLayer:
+    """Per-rank send/recv endpoint with one mailbox slot per peer.
+
+    Parameters
+    ----------
+    runtime:
+        The rank's GASPI runtime.
+    max_elements:
+        Maximum number of float64 elements a single message may carry.
+    segment_id:
+        Mailbox segment id (must match on every rank).
+    """
+
+    def __init__(
+        self,
+        runtime: GaspiRuntime,
+        max_elements: int,
+        segment_id: int = TWOSIDED_SEGMENT_ID,
+        queue: int = 0,
+    ) -> None:
+        require(max_elements >= 1, "max_elements must be >= 1")
+        self.runtime = runtime
+        self.max_elements = int(max_elements)
+        self.segment_id = int(segment_id)
+        self.queue = int(queue)
+        self.dtype = np.dtype(np.float64)
+
+        size = runtime.size
+        self._slot_elems = _ENVELOPE_DOUBLES + self.max_elements
+        self._slot_bytes = self._slot_elems * self.dtype.itemsize
+        # Layout: [recv slots: P][send staging: P]
+        self._send_region = size * self._slot_bytes
+        runtime.segment_create(self.segment_id, 2 * size * self._slot_bytes)
+        runtime.barrier()
+
+        # Notification ids: data from peer p -> p; credit from peer p -> size + p.
+        self._data_base = 0
+        self._credit_base = size
+        # Initially every peer may send to us once.
+        for peer in range(size):
+            if peer != runtime.rank:
+                runtime.notify(peer, self.segment_id, self._credit_base + runtime.rank, queue=queue)
+        runtime.wait(queue)
+        runtime.barrier()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # point-to-point
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        data: np.ndarray,
+        dest: int,
+        tag: int = 0,
+        timeout: float = GASPI_BLOCK,
+    ) -> None:
+        """Blocking tagged send of a float64 vector to ``dest``."""
+        self._check_open()
+        data = np.ascontiguousarray(data, dtype=self.dtype)
+        require(data.size <= self.max_elements, "message larger than the mailbox slot")
+        require(0 <= dest < self.runtime.size and dest != self.runtime.rank,
+                f"invalid destination {dest}")
+        rank = self.runtime.rank
+
+        # Wait for the credit: the receiver's slot for us is free.
+        got = self.runtime.notify_waitsome(
+            self.segment_id, self._credit_base + dest, 1, timeout=timeout
+        )
+        if got is None:
+            raise TimeoutError(f"rank {rank}: no credit from {dest} (receiver absent?)")
+        self.runtime.notify_reset(self.segment_id, got)
+
+        offset = self._send_region + dest * self._slot_bytes
+        staging = self.runtime.segment_view(
+            self.segment_id, dtype=self.dtype, offset=offset, count=self._slot_elems
+        )
+        staging[0] = float(tag)
+        staging[1] = float(data.size)
+        staging[_ENVELOPE_DOUBLES : _ENVELOPE_DOUBLES + data.size] = data
+
+        self.runtime.write_notify(
+            segment_id_local=self.segment_id,
+            offset_local=offset,
+            target_rank=dest,
+            segment_id_remote=self.segment_id,
+            offset_remote=rank * self._slot_bytes,
+            size=(_ENVELOPE_DOUBLES + data.size) * self.dtype.itemsize,
+            notification_id=self._data_base + rank,
+            queue=self.queue,
+        )
+        self.runtime.wait(self.queue)
+
+    def recv(
+        self,
+        source: int,
+        tag: int = ANY_TAG,
+        timeout: float = GASPI_BLOCK,
+    ) -> tuple[np.ndarray, MessageEnvelope]:
+        """Blocking receive of the next message from ``source``.
+
+        Returns the payload and its envelope; raises ``ValueError`` when a
+        specific ``tag`` was requested and the arriving message carries a
+        different one (the protocol delivers messages per peer in order, so
+        a mismatch indicates a bug in the calling collective).
+        """
+        self._check_open()
+        require(0 <= source < self.runtime.size and source != self.runtime.rank,
+                f"invalid source {source}")
+        got = self.runtime.notify_waitsome(
+            self.segment_id, self._data_base + source, 1, timeout=timeout
+        )
+        if got is None:
+            raise TimeoutError(f"rank {self.runtime.rank}: no message from {source}")
+        self.runtime.notify_reset(self.segment_id, got)
+
+        slot = self.runtime.segment_read(
+            self.segment_id,
+            dtype=self.dtype,
+            offset=source * self._slot_bytes,
+            count=self._slot_elems,
+        )
+        envelope = MessageEnvelope(source=source, tag=int(slot[0]), count=int(slot[1]))
+        if tag != ANY_TAG and envelope.tag != tag:
+            raise ValueError(
+                f"rank {self.runtime.rank}: expected tag {tag} from {source}, "
+                f"got {envelope.tag}"
+            )
+        payload = slot[_ENVELOPE_DOUBLES : _ENVELOPE_DOUBLES + envelope.count].copy()
+        # Return the credit so the peer may send again.
+        self.runtime.notify(
+            source, self.segment_id, self._credit_base + self.runtime.rank, queue=self.queue
+        )
+        self.runtime.wait(self.queue)
+        return payload, envelope
+
+    def sendrecv(
+        self,
+        senddata: np.ndarray,
+        dest: int,
+        source: int,
+        tag: int = 0,
+        timeout: float = GASPI_BLOCK,
+    ) -> np.ndarray:
+        """Combined send+recv used by exchange-style algorithms.
+
+        The send is issued first and the receive afterwards; because every
+        pair of ranks in the exchange algorithms sends to each other, the
+        credit protocol guarantees progress.
+        """
+        self.send(senddata, dest, tag=tag, timeout=timeout)
+        payload, _ = self.recv(source, tag=tag, timeout=timeout)
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the mailbox segment (collective)."""
+        if self._closed:
+            return
+        self.runtime.barrier()
+        self.runtime.segment_delete(self.segment_id)
+        self._closed = True
+
+    def __enter__(self) -> "TwoSidedLayer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("TwoSidedLayer already closed")

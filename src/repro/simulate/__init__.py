@@ -1,0 +1,44 @@
+"""Network/timing simulator used to regenerate the paper's figures.
+
+The paper measures collectives on three clusters (SkyLake + FDR
+InfiniBand, MareNostrum4 + OmniPath, Galileo + OmniPath).  Those machines
+are not available to this reproduction, so the figure benchmarks replay
+each algorithm's :class:`~repro.core.schedule.CommunicationSchedule` on a
+parametric cost model instead:
+
+* :class:`~repro.simulate.netmodel.NetworkParameters` — LogGP-flavoured
+  α/β model with per-message CPU overheads, per-NIC injection
+  serialisation, an intra-node shared-memory channel, eager/rendezvous
+  behaviour for two-sided (MPI) traffic and cheap notifications for
+  one-sided (GASPI) traffic.
+* :class:`~repro.simulate.machine.MachineModel` — cluster presets
+  (`skylake_fdr`, `marenostrum4`, `galileo`) with node counts and
+  ranks-per-node mapping.
+* :class:`~repro.simulate.executor.ScheduleExecutor` — replays a schedule
+  round by round and reports per-rank completion times.
+
+Absolute times are model outputs, not measurements; the reproduction
+targets the *shape* of the paper's figures (who wins, where the
+crossovers are), as recorded in ``EXPERIMENTS.md``.
+"""
+
+from .netmodel import NetworkParameters, TransferCost
+from .machine import MachineModel, galileo, marenostrum4, skylake_fdr, get_machine, MACHINES
+from .executor import ScheduleExecutor, SimulationResult, simulate_schedule
+from .trace import MessageTrace, TraceRecorder
+
+__all__ = [
+    "NetworkParameters",
+    "TransferCost",
+    "MachineModel",
+    "skylake_fdr",
+    "marenostrum4",
+    "galileo",
+    "get_machine",
+    "MACHINES",
+    "ScheduleExecutor",
+    "SimulationResult",
+    "simulate_schedule",
+    "MessageTrace",
+    "TraceRecorder",
+]

@@ -1,0 +1,205 @@
+"""Schedule executor: replay a communication schedule on a machine model.
+
+The executor advances one virtual clock per rank through the schedule's
+rounds:
+
+* a rank may only start its round-``k`` activity once it has finished its
+  activity of rounds ``< k`` (partial results feed the next round);
+* within a round a rank injects its messages back-to-back (per-NIC
+  serialisation) and processes incoming messages in arrival order;
+* one-sided messages decouple sender and receiver (the receiver only pays
+  the notification cost when the data arrives); two-sided messages above
+  the eager threshold couple them through the rendezvous handshake;
+* a round flagged ``barrier_after`` synchronises every rank, which is how
+  the MPI baselines' phase barriers are modelled (the GASPI collectives do
+  not use them — that is one of the paper's points).
+
+The result is the per-rank completion time; the collective's simulated
+duration is the maximum over ranks, optionally including the per-family
+setup overhead (segment preparation for GASPI, communicator-internal setup
+for MPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.schedule import CommunicationSchedule, Message, Protocol, Round
+from ..utils.validation import require
+from .machine import MachineModel
+from .trace import TraceRecorder
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one schedule on one machine."""
+
+    schedule_name: str
+    machine_name: str
+    num_ranks: int
+    rank_times: List[float]
+    setup_time: float
+    barrier_time: float
+    trace: Optional[TraceRecorder] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        """Completion time of the collective (slowest rank, plus setup)."""
+        slowest = max(self.rank_times) if self.rank_times else 0.0
+        return slowest + self.setup_time
+
+    @property
+    def imbalance(self) -> float:
+        """Difference between the slowest and fastest rank."""
+        if not self.rank_times:
+            return 0.0
+        return max(self.rank_times) - min(self.rank_times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationResult({self.schedule_name!r} on {self.machine_name!r}: "
+            f"{self.total_time * 1e6:.1f} us)"
+        )
+
+
+class ScheduleExecutor:
+    """Replays :class:`CommunicationSchedule` objects on a machine model."""
+
+    def __init__(self, machine: MachineModel, collect_trace: bool = False) -> None:
+        self.machine = machine
+        self.collect_trace = collect_trace
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        schedule: CommunicationSchedule,
+        include_setup: bool = True,
+    ) -> SimulationResult:
+        """Simulate ``schedule`` and return per-rank completion times."""
+        schedule.validate()
+        num_ranks = schedule.num_ranks
+        require(
+            schedule.max_rank_used() < num_ranks,
+            "schedule references ranks beyond its declared world size",
+        )
+        net = self.machine.network
+        trace = TraceRecorder(enabled=self.collect_trace)
+
+        ready = [0.0] * num_ranks
+        total_barrier = 0.0
+
+        for round_index, rnd in enumerate(schedule.rounds):
+            ready = self._run_round(round_index, rnd, ready, trace)
+            if rnd.barrier_after:
+                sync = max(ready) + net.barrier_time(num_ranks)
+                total_barrier += net.barrier_time(num_ranks)
+                ready = [sync] * num_ranks
+
+        setup = self._setup_time(schedule) if include_setup else 0.0
+        return SimulationResult(
+            schedule_name=schedule.name,
+            machine_name=self.machine.name,
+            num_ranks=num_ranks,
+            rank_times=ready,
+            setup_time=setup,
+            barrier_time=total_barrier,
+            trace=trace if self.collect_trace else None,
+            metadata=dict(schedule.metadata),
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _setup_time(self, schedule: CommunicationSchedule) -> float:
+        """Per-collective setup cost, chosen by the dominant protocol."""
+        net = self.machine.network
+        protocols = {m.protocol for m in schedule.messages()}
+        if not protocols:
+            return 0.0
+        if protocols == {Protocol.TWOSIDED}:
+            return net.twosided_setup_overhead
+        return net.onesided_setup_overhead
+
+    def _run_round(
+        self,
+        round_index: int,
+        rnd: Round,
+        ready: List[float],
+        trace: TraceRecorder,
+    ) -> List[float]:
+        net = self.machine.network
+        sender_clock: Dict[int, float] = {}
+        receiver_clock: Dict[int, float] = {}
+
+        arrivals: List[tuple] = []  # (arrival_time, message, inject_time, cost)
+
+        # -- injection phase: per-sender serialisation ---------------------- #
+        for message in rnd.messages:
+            src = message.src
+            intra = self.machine.same_node(message.src, message.dst)
+            if message.protocol is Protocol.TWOSIDED:
+                cost = net.twosided_cost(message.nbytes, intra)
+            else:
+                cost = net.onesided_cost(message.nbytes, intra)
+
+            inject = sender_clock.get(src, ready[src])
+            if cost.rendezvous:
+                # The transfer cannot start before the receiver has entered the
+                # round and posted its receive (sender/receiver coupling).
+                inject = max(inject, ready[message.dst])
+            sender_clock[src] = inject + cost.sender_occupancy
+            arrival = inject + cost.sender_occupancy + cost.wire_time
+            arrivals.append((arrival, message, inject, cost, intra))
+
+        # -- delivery phase: per-receiver processing in arrival order ------- #
+        arrivals.sort(key=lambda item: item[0])
+        for arrival, message, inject, cost, intra in arrivals:
+            dst = message.dst
+            start = max(arrival, receiver_clock.get(dst, ready[dst]))
+            complete = start + cost.receiver_cost + net.reduction_time(message.reduce_bytes)
+            receiver_clock[dst] = complete
+            trace.record(
+                round_index,
+                message,
+                inject_time=inject,
+                arrival_time=arrival,
+                complete_time=complete,
+                rendezvous=cost.rendezvous,
+                intra_node=intra,
+            )
+
+        # -- purely local compute -------------------------------------------- #
+        local_clock: Dict[int, float] = {}
+        for comp in rnd.local_compute:
+            base = max(
+                ready[comp.rank],
+                sender_clock.get(comp.rank, 0.0),
+                receiver_clock.get(comp.rank, 0.0),
+                local_clock.get(comp.rank, 0.0),
+            )
+            local_clock[comp.rank] = base + net.reduction_time(comp.compute_bytes)
+
+        # -- merge clocks ------------------------------------------------------ #
+        new_ready = list(ready)
+        for rank in rnd.participants():
+            new_ready[rank] = max(
+                ready[rank],
+                sender_clock.get(rank, 0.0),
+                receiver_clock.get(rank, 0.0),
+                local_clock.get(rank, 0.0),
+            )
+        return new_ready
+
+
+def simulate_schedule(
+    schedule: CommunicationSchedule,
+    machine: MachineModel,
+    collect_trace: bool = False,
+    include_setup: bool = True,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`ScheduleExecutor`."""
+    return ScheduleExecutor(machine, collect_trace=collect_trace).run(
+        schedule, include_setup=include_setup
+    )

@@ -1,0 +1,122 @@
+"""Machine models: the clusters of the paper's evaluation (Section V).
+
+A :class:`MachineModel` combines a network parameter set with the node
+layout (how many ranks share a node) so the executor can decide whether a
+message crosses the network or stays inside a node, exactly as the paper's
+experiments distinguish one-process-per-node runs (Figures 8–12) from the
+hybrid 4-processes-per-node AlltoAll runs (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..utils.validation import require
+from .netmodel import NetworkParameters, fdr_infiniband, omnipath_100g
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A cluster: name, node layout and network parameters."""
+
+    name: str
+    num_nodes: int
+    ranks_per_node: int
+    network: NetworkParameters
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        require(self.num_nodes >= 1, "num_nodes must be >= 1")
+        require(self.ranks_per_node >= 1, "ranks_per_node must be >= 1")
+
+    @property
+    def total_ranks(self) -> int:
+        """Number of ranks the machine can host."""
+        return self.num_nodes * self.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting ``rank`` (block mapping, as with one rank per core set)."""
+        require(rank >= 0, "rank must be non-negative")
+        return rank // self.ranks_per_node
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """True when two ranks share a node (→ shared-memory channel)."""
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def with_ranks(self, num_ranks: int, ranks_per_node: int | None = None) -> "MachineModel":
+        """Resize the machine so it hosts exactly ``num_ranks`` ranks.
+
+        Used by parameter sweeps over node counts: the network parameters
+        stay identical, only the layout changes.
+        """
+        rpn = self.ranks_per_node if ranks_per_node is None else ranks_per_node
+        require(rpn >= 1, "ranks_per_node must be >= 1")
+        nodes = -(-num_ranks // rpn)
+        return replace(self, num_nodes=nodes, ranks_per_node=rpn)
+
+    def with_network(self, **overrides) -> "MachineModel":
+        """Copy of the machine with some network parameters overridden."""
+        return replace(self, network=self.network.scaled(**overrides))
+
+
+def skylake_fdr(num_nodes: int = 32, ranks_per_node: int = 1) -> MachineModel:
+    """Fraunhofer ITWM SkyLake partition: dual Xeon Gold 6132, FDR InfiniBand.
+
+    The paper runs Figures 8–12 here with one GASPI/MPI process per node.
+    """
+    return MachineModel(
+        name="skylake_fdr",
+        num_nodes=num_nodes,
+        ranks_per_node=ranks_per_node,
+        network=fdr_infiniband(),
+        description="SkyLake + 54 Gbit/s FDR InfiniBand (Fraunhofer ITWM)",
+    )
+
+
+def marenostrum4(num_nodes: int = 32, ranks_per_node: int = 1) -> MachineModel:
+    """MareNostrum4 (BSC): Xeon Platinum 8160, 100 Gbit/s Intel OmniPath.
+
+    Used for the allreduce_SSP / Matrix Factorization experiments
+    (Figures 6 and 7) on 32 nodes.
+    """
+    return MachineModel(
+        name="marenostrum4",
+        num_nodes=num_nodes,
+        ranks_per_node=ranks_per_node,
+        network=omnipath_100g(latency=1.1e-6),
+        description="MareNostrum4 + 100 Gbit/s OmniPath (BSC)",
+    )
+
+
+def galileo(num_nodes: int = 16, ranks_per_node: int = 4) -> MachineModel:
+    """Galileo (CINECA): Broadwell nodes, 100 Gbit/s OmniPath, 4 ppn runs.
+
+    Used for the AlltoAll evaluation (Figure 13) with four GASPI/MPI
+    processes per node.
+    """
+    return MachineModel(
+        name="galileo",
+        num_nodes=num_nodes,
+        ranks_per_node=ranks_per_node,
+        network=omnipath_100g(latency=1.3e-6),
+        description="Galileo + 100 Gbit/s OmniPath (CINECA)",
+    )
+
+
+#: Machine presets by name (used by the benchmark harness CLI/metadata).
+MACHINES: Dict[str, MachineModel] = {
+    "skylake_fdr": skylake_fdr(),
+    "marenostrum4": marenostrum4(),
+    "galileo": galileo(),
+}
+
+
+def get_machine(name: str) -> MachineModel:
+    """Look up a machine preset by name."""
+    try:
+        return MACHINES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from exc

@@ -1,0 +1,107 @@
+"""Message traces produced by the schedule executor.
+
+A trace is optional (it costs memory for large schedules) but invaluable
+for debugging cost-model behaviour and for the ablation benchmarks: it
+records, per message, when the sender injected it, when it arrived and how
+long the receiver spent processing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.schedule import Message
+
+
+@dataclass(frozen=True)
+class MessageTrace:
+    """Timing of one simulated message."""
+
+    round_index: int
+    src: int
+    dst: int
+    nbytes: int
+    inject_time: float
+    arrival_time: float
+    complete_time: float
+    rendezvous: bool
+    intra_node: bool
+    tag: str = ""
+
+    @property
+    def transfer_time(self) -> float:
+        """Wire time of the message (arrival minus injection)."""
+        return self.arrival_time - self.inject_time
+
+    @property
+    def receiver_time(self) -> float:
+        """Receiver-side processing time (matching, copies, reduction)."""
+        return self.complete_time - self.arrival_time
+
+
+class TraceRecorder:
+    """Collects :class:`MessageTrace` records during a simulation."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[MessageTrace] = []
+
+    def record(
+        self,
+        round_index: int,
+        message: Message,
+        inject_time: float,
+        arrival_time: float,
+        complete_time: float,
+        rendezvous: bool,
+        intra_node: bool,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.records.append(
+            MessageTrace(
+                round_index=round_index,
+                src=message.src,
+                dst=message.dst,
+                nbytes=message.nbytes,
+                inject_time=inject_time,
+                arrival_time=arrival_time,
+                complete_time=complete_time,
+                rendezvous=rendezvous,
+                intra_node=intra_node,
+                tag=message.tag,
+            )
+        )
+
+    # -- summaries -------------------------------------------------------- #
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records)
+
+    def bytes_by_rank(self) -> Dict[int, int]:
+        """Bytes injected per sender rank."""
+        out: Dict[int, int] = {}
+        for r in self.records:
+            out[r.src] = out.get(r.src, 0) + r.nbytes
+        return out
+
+    def rendezvous_fraction(self) -> float:
+        """Fraction of messages that needed a rendezvous handshake."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.rendezvous) / len(self.records)
+
+    def intra_node_fraction(self) -> float:
+        """Fraction of messages that stayed inside a node."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.intra_node) / len(self.records)
+
+    def slowest_messages(self, count: int = 10) -> List[MessageTrace]:
+        """The ``count`` messages with the longest end-to-end time."""
+        return sorted(
+            self.records, key=lambda r: r.complete_time - r.inject_time, reverse=True
+        )[:count]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,36 @@
+"""Stale Synchronous Parallel (SSP) substrate.
+
+The SSP model (Cui et al., Ho et al. — references [3] and [4] of the
+paper) lets iterative-convergent algorithms read parameter state that is
+up to ``slack`` iterations old.  This package holds the machinery shared
+by the SSP allreduce and the ML workload:
+
+* :mod:`repro.ssp.clock` — logical clocks and clock-tagged values
+  (reduction takes the minimum clock, as in Algorithm 1);
+* :mod:`repro.ssp.staleness` — slack configuration and staleness
+  accounting (wait counts, wait time, staleness histogram);
+* :mod:`repro.ssp.perturbation` — a deterministic straggler model that
+  makes some workers slower, which is what creates the clock drift SSP
+  exploits (on a real cluster the OS noise and data imbalance provide it);
+* :mod:`repro.ssp.store` — a minimal SSP parameter store (the "Parameter
+  Server architecture" the paper's conclusions point to as future work).
+"""
+
+from .clock import ClockedValue, LogicalClock, combine_clocks
+from .staleness import SSPConfig, StalenessTracker, StalenessViolation
+from .perturbation import ComputePerturbation, UniformJitter, StragglerProfile
+from .store import SSPParameterStore, StaleRead
+
+__all__ = [
+    "ClockedValue",
+    "LogicalClock",
+    "combine_clocks",
+    "SSPConfig",
+    "StalenessTracker",
+    "StalenessViolation",
+    "ComputePerturbation",
+    "UniformJitter",
+    "StragglerProfile",
+    "SSPParameterStore",
+    "StaleRead",
+]

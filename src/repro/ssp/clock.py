@@ -1,0 +1,77 @@
+"""Logical clocks for SSP contributions.
+
+A contribution's clock is the iteration in which it was computed.  When
+two contributions are reduced, the result is only as fresh as the older of
+the two, so the combined clock is the *minimum* (paper Section III-A:
+"the result of that reduction is associated with the minimum clock of both
+contributions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..utils.validation import require
+
+
+class LogicalClock:
+    """Per-worker iteration counter.
+
+    The clock starts at zero ("initial model") and is advanced once per
+    iteration (line 1 of Algorithm 1).
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        require(start >= 0, f"clock must start non-negative, got {start}")
+        self._value = int(start)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def tick(self) -> int:
+        """Advance to the next iteration and return the new value."""
+        self._value += 1
+        return self._value
+
+    def advance_to(self, value: int) -> int:
+        """Move the clock forward to ``value`` (never backwards)."""
+        require(value >= self._value, f"clock cannot go backwards ({self._value} -> {value})")
+        self._value = int(value)
+        return self._value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"LogicalClock({self._value})"
+
+
+def combine_clocks(clocks: Iterable[int]) -> int:
+    """Clock of a reduction over contributions with the given clocks (min)."""
+    clocks = list(clocks)
+    require(bool(clocks), "combine_clocks needs at least one clock")
+    return min(int(c) for c in clocks)
+
+
+@dataclass
+class ClockedValue:
+    """A payload tagged with the logical clock of its contribution."""
+
+    value: np.ndarray
+    clock: int
+
+    def staleness(self, current_clock: int) -> int:
+        """How many iterations behind ``current_clock`` this value is."""
+        return int(current_clock) - int(self.clock)
+
+    def is_fresh_enough(self, current_clock: int, slack: int) -> bool:
+        """SSP admissibility test: at most ``slack`` iterations old."""
+        return self.staleness(current_clock) <= slack
+
+    def combine(self, other: "ClockedValue", func=np.add) -> "ClockedValue":
+        """Reduce two clocked values; the result carries the minimum clock."""
+        return ClockedValue(value=func(self.value, other.value), clock=combine_clocks([self.clock, other.clock]))

@@ -1,0 +1,143 @@
+"""Deterministic straggler / compute-jitter models.
+
+SSP only pays off when workers drift apart.  On the paper's 32-node
+MareNostrum4 runs that drift comes from OS noise, network contention and
+data imbalance; in an in-process reproduction we have to inject it
+explicitly so the behaviour is reproducible and controllable.
+
+Two models are provided:
+
+* :class:`StragglerProfile` — a fixed per-rank slowdown factor (e.g. one
+  rank 1.5× slower than the rest), the classic straggler scenario;
+* :class:`UniformJitter` — per-iteration random jitter drawn from a seeded
+  RNG, modelling OS noise.
+
+Both expose ``delay(rank, iteration, base_time)`` (how much *extra* time
+the iteration takes) and ``sleep(rank, iteration, base_time)`` which
+actually blocks the calling worker thread, for use in the threaded SSP
+experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..utils.validation import require
+
+
+class ComputePerturbation(abc.ABC):
+    """Base class of compute-time perturbation models."""
+
+    @abc.abstractmethod
+    def delay(self, rank: int, iteration: int, base_time: float) -> float:
+        """Extra seconds added to ``base_time`` for this rank/iteration."""
+
+    def total_time(self, rank: int, iteration: int, base_time: float) -> float:
+        """Base compute time plus the perturbation."""
+        return base_time + self.delay(rank, iteration, base_time)
+
+    def sleep(self, rank: int, iteration: int, base_time: float) -> float:
+        """Block the calling thread for the perturbed duration (returns it)."""
+        duration = self.total_time(rank, iteration, base_time)
+        if duration > 0:
+            time.sleep(duration)
+        return duration
+
+
+class NoPerturbation(ComputePerturbation):
+    """All ranks take exactly the base time (useful as a control)."""
+
+    def delay(self, rank: int, iteration: int, base_time: float) -> float:
+        return 0.0
+
+
+class StragglerProfile(ComputePerturbation):
+    """Fixed per-rank slowdown factors.
+
+    Parameters
+    ----------
+    slowdown:
+        Mapping rank → multiplicative slowdown (1.0 = nominal speed).  Ranks
+        not present run at nominal speed.
+    """
+
+    def __init__(self, slowdown: Dict[int, float]) -> None:
+        for rank, factor in slowdown.items():
+            require(rank >= 0, "ranks must be non-negative")
+            require(factor >= 1.0, f"slowdown factors must be >= 1.0, got {factor}")
+        self.slowdown = dict(slowdown)
+
+    @classmethod
+    def single_straggler(cls, rank: int, factor: float = 2.0) -> "StragglerProfile":
+        """One rank runs ``factor`` times slower than everyone else."""
+        return cls({rank: factor})
+
+    @classmethod
+    def linear(cls, num_ranks: int, max_factor: float = 1.5) -> "StragglerProfile":
+        """Slowdown grows linearly with the rank id up to ``max_factor``.
+
+        Produces a spread of worker speeds, which is the regime where the
+        iteration-rate curves of Figure 6 (right) separate by slack.
+        """
+        require(num_ranks >= 1, "num_ranks must be >= 1")
+        require(max_factor >= 1.0, "max_factor must be >= 1.0")
+        if num_ranks == 1:
+            return cls({})
+        return cls(
+            {
+                rank: 1.0 + (max_factor - 1.0) * rank / (num_ranks - 1)
+                for rank in range(num_ranks)
+            }
+        )
+
+    def delay(self, rank: int, iteration: int, base_time: float) -> float:
+        return base_time * (self.slowdown.get(rank, 1.0) - 1.0)
+
+
+class UniformJitter(ComputePerturbation):
+    """Per-iteration uniform jitter in ``[0, amplitude] * base_time``.
+
+    The jitter is a pure function of ``(seed, rank, iteration)`` so repeated
+    runs are identical.
+    """
+
+    def __init__(self, amplitude: float = 0.5, seed: int = 0) -> None:
+        require(amplitude >= 0.0, "amplitude must be non-negative")
+        self.amplitude = float(amplitude)
+        self.seed = int(seed)
+
+    def delay(self, rank: int, iteration: int, base_time: float) -> float:
+        rng = np.random.default_rng((self.seed, rank, iteration))
+        return float(rng.uniform(0.0, self.amplitude)) * base_time
+
+
+def perturbation_from_spec(
+    spec: str,
+    num_ranks: int,
+    seed: int = 0,
+) -> ComputePerturbation:
+    """Build a perturbation model from a short textual spec.
+
+    Supported specs: ``"none"``, ``"straggler:<rank>:<factor>"``,
+    ``"linear:<max_factor>"``, ``"jitter:<amplitude>"``.  Used by examples
+    and benchmarks to keep their command lines compact.
+    """
+    if spec == "none":
+        return NoPerturbation()
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind == "straggler":
+        rank = int(parts[1]) if len(parts) > 1 else num_ranks - 1
+        factor = float(parts[2]) if len(parts) > 2 else 2.0
+        return StragglerProfile.single_straggler(rank, factor)
+    if kind == "linear":
+        max_factor = float(parts[1]) if len(parts) > 1 else 1.5
+        return StragglerProfile.linear(num_ranks, max_factor)
+    if kind == "jitter":
+        amplitude = float(parts[1]) if len(parts) > 1 else 0.5
+        return UniformJitter(amplitude, seed=seed)
+    raise ValueError(f"unknown perturbation spec {spec!r}")

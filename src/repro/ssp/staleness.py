@@ -1,0 +1,106 @@
+"""Slack configuration and staleness accounting.
+
+:class:`StalenessTracker` is the bookkeeping behind the right-hand plot of
+Figure 7 ("time spent waiting for fresh updates") and the staleness
+histograms in the SSP example: it records, per iteration, how stale the
+data a worker consumed was and how long the worker had to block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..utils.validation import require
+
+
+class StalenessViolation(RuntimeError):
+    """Raised when a consumer is handed data staler than the allowed slack."""
+
+
+@dataclass(frozen=True)
+class SSPConfig:
+    """Slack (allowed staleness, in iterations) of an SSP execution.
+
+    ``slack = 0`` is Bulk Synchronous Parallel; larger values let fast
+    workers run ahead of slow ones by up to ``slack`` iterations.
+    """
+
+    slack: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.slack >= 0, f"slack must be non-negative, got {self.slack}")
+
+    def min_clock_accepted(self, current_clock: int) -> int:
+        """Oldest contribution clock admissible at ``current_clock``."""
+        return current_clock - self.slack
+
+    def admissible(self, contribution_clock: int, current_clock: int) -> bool:
+        """True when a contribution may be consumed without waiting."""
+        return contribution_clock >= self.min_clock_accepted(current_clock)
+
+    def check(self, contribution_clock: int, current_clock: int) -> None:
+        """Raise :class:`StalenessViolation` when the SSP bound is violated."""
+        if not self.admissible(contribution_clock, current_clock):
+            raise StalenessViolation(
+                f"contribution from clock {contribution_clock} is staler than "
+                f"slack {self.slack} at clock {current_clock}"
+            )
+
+
+@dataclass
+class StalenessTracker:
+    """Accumulates per-iteration staleness and wait-time statistics."""
+
+    slack: int = 0
+    iterations: int = 0
+    total_wait_time: float = 0.0
+    waits: int = 0
+    staleness_histogram: Dict[int, int] = field(default_factory=dict)
+    wait_times: List[float] = field(default_factory=list)
+
+    def record_iteration(self, staleness: int, wait_time: float, waited: bool) -> None:
+        """Record one iteration's observed staleness and blocking time."""
+        require(staleness >= 0, f"staleness must be non-negative, got {staleness}")
+        require(wait_time >= 0.0, "wait_time must be non-negative")
+        self.iterations += 1
+        self.total_wait_time += wait_time
+        self.wait_times.append(wait_time)
+        if waited:
+            self.waits += 1
+        self.staleness_histogram[staleness] = self.staleness_histogram.get(staleness, 0) + 1
+
+    @property
+    def mean_wait_time(self) -> float:
+        """Average blocking time per iteration (Figure 7, right)."""
+        return self.total_wait_time / self.iterations if self.iterations else 0.0
+
+    @property
+    def wait_fraction(self) -> float:
+        """Fraction of iterations in which the worker had to block."""
+        return self.waits / self.iterations if self.iterations else 0.0
+
+    @property
+    def max_staleness(self) -> int:
+        """Largest staleness ever consumed (must never exceed ``slack``)."""
+        return max(self.staleness_histogram) if self.staleness_histogram else 0
+
+    def mean_staleness(self) -> float:
+        """Average staleness of the consumed reductions."""
+        if not self.staleness_histogram:
+            return 0.0
+        total = sum(s * c for s, c in self.staleness_histogram.items())
+        count = sum(self.staleness_histogram.values())
+        return total / count
+
+    def merge(self, other: "StalenessTracker") -> "StalenessTracker":
+        """Combine trackers from several workers into a cluster-wide view."""
+        merged = StalenessTracker(slack=max(self.slack, other.slack))
+        merged.iterations = self.iterations + other.iterations
+        merged.total_wait_time = self.total_wait_time + other.total_wait_time
+        merged.waits = self.waits + other.waits
+        merged.wait_times = self.wait_times + other.wait_times
+        for hist in (self.staleness_histogram, other.staleness_histogram):
+            for k, v in hist.items():
+                merged.staleness_histogram[k] = merged.staleness_histogram.get(k, 0) + v
+        return merged

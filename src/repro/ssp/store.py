@@ -1,0 +1,131 @@
+"""A minimal SSP parameter store (Parameter Server style).
+
+The paper's conclusions name the Parameter Server architecture — the
+setting where SSP is usually deployed — as the natural next step for
+``allreduce_ssp``.  This module provides that extension in miniature: a
+thread-safe, versioned parameter store with SSP read semantics, so the
+example applications can be written either against the collective
+(decentralised) or against the store (centralised) and compared.
+
+It is an extension beyond the paper's figures and is exercised by unit
+tests and the ``examples/ssp_matrix_factorization.py`` ``--parameter-server``
+mode, not by any figure benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..utils.validation import require
+from .staleness import SSPConfig
+
+
+@dataclass
+class StaleRead:
+    """Result of an SSP read: the value, its clock and whether we blocked."""
+
+    value: np.ndarray
+    clock: int
+    waited: bool
+    wait_time: float
+
+
+class SSPParameterStore:
+    """Versioned parameter store with bounded-staleness reads.
+
+    Writers push per-worker updates tagged with their iteration; the store
+    maintains, per key, the aggregated value at each clock.  A reader at
+    iteration ``c`` with slack ``s`` is served the newest aggregate whose
+    clock is at least ``c - s``; if none exists yet the read blocks until
+    enough workers have contributed.
+    """
+
+    def __init__(self, num_workers: int, config: SSPConfig) -> None:
+        require(num_workers >= 1, "num_workers must be >= 1")
+        self.num_workers = int(num_workers)
+        self.config = config
+        self._lock = threading.Condition()
+        # key -> clock -> (aggregate, contributions)
+        self._versions: Dict[str, Dict[int, tuple]] = {}
+        # worker clocks, to compute the globally completed clock
+        self._worker_clock: Dict[int, int] = {w: 0 for w in range(self.num_workers)}
+
+    # ------------------------------------------------------------------ #
+    def push(self, key: str, worker: int, clock: int, update: np.ndarray) -> None:
+        """Add a worker's update for ``key`` at ``clock`` (sum-aggregated)."""
+        require(0 <= worker < self.num_workers, f"invalid worker {worker}")
+        require(clock >= 1, "clocks start at 1")
+        update = np.asarray(update, dtype=np.float64)
+        with self._lock:
+            versions = self._versions.setdefault(key, {})
+            if clock not in versions:
+                versions[clock] = (np.zeros_like(update), 0)
+            aggregate, count = versions[clock]
+            versions[clock] = (aggregate + update, count + 1)
+            self._worker_clock[worker] = max(self._worker_clock[worker], clock)
+            self._lock.notify_all()
+
+    def completed_clock(self, key: str) -> int:
+        """Newest clock for which *every* worker has contributed to ``key``."""
+        with self._lock:
+            return self._completed_clock_locked(key)
+
+    def _completed_clock_locked(self, key: str) -> int:
+        versions = self._versions.get(key, {})
+        complete = [c for c, (_agg, count) in versions.items() if count >= self.num_workers]
+        return max(complete) if complete else 0
+
+    def read(
+        self,
+        key: str,
+        reader_clock: int,
+        timeout: Optional[float] = 30.0,
+    ) -> StaleRead:
+        """SSP read: newest complete aggregate no staler than the slack allows.
+
+        Blocks until the aggregate at clock ``reader_clock - slack`` (or
+        newer) is complete, mirroring lines 8–11 of Algorithm 1.
+        """
+        import time
+
+        min_clock = self.config.min_clock_accepted(reader_clock)
+        start = time.perf_counter()
+        waited = False
+        with self._lock:
+            while True:
+                completed = self._completed_clock_locked(key)
+                if completed >= min_clock:
+                    clock = completed
+                    aggregate, _count = self._versions[key][clock] if clock > 0 else (None, 0)
+                    value = (
+                        aggregate.copy()
+                        if aggregate is not None
+                        else np.zeros(0, dtype=np.float64)
+                    )
+                    return StaleRead(
+                        value=value,
+                        clock=clock,
+                        waited=waited,
+                        wait_time=time.perf_counter() - start,
+                    )
+                waited = True
+                remaining = None if timeout is None else timeout - (time.perf_counter() - start)
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"SSP read of {key!r} at clock {reader_clock} timed out; "
+                        f"completed clock is {completed}, need >= {min_clock}"
+                    )
+                self._lock.wait(remaining)
+
+    def garbage_collect(self, key: str, keep_from_clock: int) -> int:
+        """Drop aggregates older than ``keep_from_clock``; returns #dropped."""
+        with self._lock:
+            versions = self._versions.get(key, {})
+            old = [c for c in versions if c < keep_from_clock]
+            for c in old:
+                del versions[c]
+            return len(old)

@@ -1,0 +1,30 @@
+"""Small shared helpers (logging, validation, byte-size formatting)."""
+
+from .validation import (
+    require,
+    check_power_of_two,
+    check_positive,
+    check_fraction,
+    is_power_of_two,
+    next_power_of_two,
+    ceil_log2,
+    ceil_div,
+)
+from .logging import get_logger
+from .units import format_bytes, KIB, MIB, GIB
+
+__all__ = [
+    "require",
+    "check_power_of_two",
+    "check_positive",
+    "check_fraction",
+    "is_power_of_two",
+    "next_power_of_two",
+    "ceil_log2",
+    "ceil_div",
+    "get_logger",
+    "format_bytes",
+    "KIB",
+    "MIB",
+    "GIB",
+]

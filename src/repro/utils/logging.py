@@ -1,0 +1,37 @@
+"""Lightweight logging configuration for the library.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` so applications decide what to do with log records.
+``get_logger`` returns namespaced loggers under ``repro.*``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_BASE = "repro"
+
+logging.getLogger(_BASE).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    ``get_logger("core.allreduce")`` → logger named ``repro.core.allreduce``.
+    Passing a name that already starts with ``repro`` keeps it unchanged.
+    """
+    if name.startswith(_BASE):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_BASE}.{name}")
+
+
+def enable_debug_logging(level: int = logging.DEBUG) -> None:
+    """Convenience for examples/benchmarks: log to stderr at ``level``."""
+    logger = logging.getLogger(_BASE)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

@@ -1,0 +1,23 @@
+"""Byte-size constants and human-readable formatting."""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def format_bytes(nbytes: float) -> str:
+    """Format a byte count with a binary-prefix unit (e.g. ``'64.0 KiB'``)."""
+    nbytes = float(nbytes)
+    for unit, factor in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(nbytes) >= factor:
+            return f"{nbytes / factor:.1f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+def doubles(n_elements: int) -> int:
+    """Byte size of ``n_elements`` IEEE double-precision values."""
+    if n_elements < 0:
+        raise ValueError(f"n_elements must be non-negative, got {n_elements}")
+    return 8 * n_elements

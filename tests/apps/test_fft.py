@@ -1,0 +1,60 @@
+"""Tests of the distributed FFT mini-app (the AlltoAll workload)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import DistributedFFT, paper_message_range, run_distributed_fft
+from repro.core import Communicator
+from repro.gaspi import run_spmd
+
+
+class TestDistributedFFT:
+    @pytest.mark.parametrize("num_ranks,grid", [(1, 8), (2, 8), (4, 16), (4, 32)])
+    def test_matches_numpy_fft2(self, num_ranks, grid):
+        stats = run_distributed_fft(num_ranks, grid, seed=3)
+        assert len(stats) == num_ranks
+        for s in stats:
+            assert s.max_error < 1e-10
+            assert s.alltoall_calls == 2
+
+    def test_grid_not_divisible_rejected(self):
+        def worker(rt):
+            comm = Communicator(rt)
+            with pytest.raises(ValueError):
+                DistributedFFT(comm, 10)
+            return True
+
+        assert all(run_spmd(4, worker, timeout=30))
+
+    def test_transpose_is_involution(self):
+        def worker(rt):
+            comm = Communicator(rt)
+            fft = DistributedFFT(comm, 16)
+            rng = np.random.default_rng(comm.rank)
+            slab = rng.standard_normal((fft.rows_per_rank, 16)) + 0j
+            back = fft.transpose(fft.transpose(slab))
+            return np.allclose(back, slab)
+
+        assert all(run_spmd(4, worker, timeout=60))
+
+    def test_block_bytes_formula(self):
+        def worker(rt):
+            comm = Communicator(rt)
+            fft = DistributedFFT(comm, 32)
+            return fft.block_bytes
+
+        sizes = run_spmd(4, worker, timeout=30)
+        assert all(b == 16 * 8 * 8 for b in sizes)
+
+    def test_paper_message_range_targets_6_to_24_kb(self):
+        for P in (4, 8, 16):
+            for n in paper_message_range(P):
+                block = 16 * (n // P) ** 2
+                assert 3 * 1024 <= block <= 48 * 1024
+                assert n % P == 0
+
+    def test_stats_flag_for_paper_range(self):
+        # 16 ranks, grid chosen from the paper range → flag should be set
+        n = paper_message_range(4)[1]
+        stats = run_distributed_fft(4, n, seed=0)
+        assert all(s.message_size_in_paper_range for s in stats)

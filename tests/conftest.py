@@ -1,0 +1,59 @@
+"""Shared pytest fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gaspi import ThreadedWorld, WorldConfig, run_spmd
+from repro.simulate import skylake_fdr
+
+
+@pytest.fixture
+def world4():
+    """A 4-rank threaded world, closed after the test."""
+    world = ThreadedWorld(4)
+    yield world
+    world.close()
+
+
+@pytest.fixture
+def world2():
+    """A 2-rank threaded world, closed after the test."""
+    world = ThreadedWorld(2)
+    yield world
+    world.close()
+
+
+@pytest.fixture
+def async_world4():
+    """A 4-rank world with asynchronous request delivery (real overlap)."""
+    world = ThreadedWorld(4, WorldConfig(delivery="async", delivery_delay=0.0005))
+    yield world
+    world.close()
+
+
+@pytest.fixture
+def machine32():
+    """The 32-node SkyLake machine model used by most figures."""
+    return skylake_fdr(32)
+
+
+def spmd(num_ranks, fn, *args, **kwargs):
+    """Run an SPMD region with a CI-friendly timeout."""
+    kwargs.setdefault("timeout", 60.0)
+    return run_spmd(num_ranks, fn, *args, **kwargs)
+
+
+def rank_vector(rank: int, n: int, dtype=np.float64) -> np.ndarray:
+    """Deterministic per-rank test vector."""
+    rng = np.random.default_rng(1000 + rank)
+    return rng.standard_normal(n).astype(dtype)
+
+
+def expected_sum(num_ranks: int, n: int, dtype=np.float64) -> np.ndarray:
+    """Exact elementwise sum of every rank's :func:`rank_vector`."""
+    total = np.zeros(n, dtype=np.float64)
+    for r in range(num_ranks):
+        total += rank_vector(r, n, dtype)
+    return total.astype(dtype)

@@ -1,0 +1,218 @@
+"""Tests of the SSP allreduce (Algorithm 1): exactness at slack 0, staleness
+bounds, wait accounting, logical clocks."""
+
+import numpy as np
+import pytest
+
+from repro.core import Communicator, SSPAllreduce, ssp_allreduce_once
+from repro.gaspi import run_spmd
+
+from ..conftest import expected_sum, rank_vector, spmd
+
+
+POW2_SIZES = [1, 2, 4, 8]
+
+
+class TestSingleShot:
+    @pytest.mark.parametrize("num_ranks", POW2_SIZES)
+    def test_slack_zero_single_call_is_exact(self, num_ranks):
+        n = 65
+
+        def worker(rt):
+            return ssp_allreduce_once(rt, rank_vector(rt.rank, n), slack=0)
+
+        results = spmd(num_ranks, worker)
+        reference = expected_sum(num_ranks, n)
+        for value in results:
+            assert np.allclose(value, reference)
+
+    def test_non_power_of_two_rejected(self):
+        def worker(rt):
+            with pytest.raises(ValueError):
+                ssp_allreduce_once(rt, np.ones(8), slack=0)
+            return True
+
+        spmd(3, worker)
+
+    def test_negative_slack_rejected(self):
+        def worker(rt):
+            with pytest.raises(ValueError):
+                SSPAllreduce(rt, 8, slack=-1)
+            return True
+
+        spmd(1, worker)
+
+
+class TestIterative:
+    def test_slack_zero_lockstep_iterations_are_exact(self):
+        """slack = 0 with lockstep iterations degenerates to an exact allreduce."""
+        iterations = 5
+        n = 32
+
+        def worker(rt):
+            coll = SSPAllreduce(rt, n, slack=0)
+            outputs = []
+            for it in range(iterations):
+                contribution = np.full(n, float(rt.rank + 1) * (it + 1))
+                result = coll.reduce(contribution)
+                outputs.append(result.value.copy())
+                rt.barrier()  # lockstep: nobody can run ahead
+            rt.barrier()
+            coll.close()
+            return outputs
+
+        results = spmd(4, worker)
+        for it in range(iterations):
+            expected = sum(r + 1 for r in range(4)) * (it + 1)
+            for rank_outputs in results:
+                assert np.allclose(rank_outputs[it], expected)
+
+    def test_slack_allows_proceeding_with_initial_mailbox_state(self):
+        """With slack >= 1 the very first iteration may legally use the
+        (identity-initialised) mailboxes instead of waiting — that is the
+        eventual-consistency trade-off the paper describes."""
+
+        def worker(rt):
+            coll = SSPAllreduce(rt, 8, slack=2)
+            result = coll.reduce(np.full(8, float(rt.rank + 1)))
+            rt.barrier()
+            coll.close()
+            # The result always contains at least the local contribution and
+            # never exceeds the exact sum.
+            exact = sum(r + 1 for r in range(rt.size))
+            return float(rt.rank + 1) <= result.value[0] <= exact
+
+        assert all(spmd(4, worker))
+
+    def test_staleness_never_exceeds_slack(self):
+        slack = 2
+        iterations = 25
+
+        def worker(rt):
+            comm = Communicator(rt)
+            staleness_seen = []
+            for _ in range(iterations):
+                result = comm.allreduce_ssp(np.ones(16), slack=slack)
+                staleness_seen.append(result.stats.staleness)
+            comm.barrier()
+            comm.close_ssp()
+            return staleness_seen
+
+        results = spmd(4, worker)
+        for per_rank in results:
+            assert all(0 <= s <= slack for s in per_rank)
+
+    def test_clock_advances_every_call(self):
+        def worker(rt):
+            coll = SSPAllreduce(rt, 8, slack=1)
+            clocks = []
+            for _ in range(5):
+                result = coll.reduce(np.ones(8))
+                clocks.append(result.stats.clock)
+                rt.barrier()
+            rt.barrier()
+            coll.close()
+            return clocks
+
+        for clocks in spmd(2, worker):
+            assert clocks == [1, 2, 3, 4, 5]
+
+    def test_explicit_clock_override(self):
+        def worker(rt):
+            coll = SSPAllreduce(rt, 4, slack=0)
+            result = coll.reduce(np.ones(4), clock=7)
+            rt.barrier()
+            coll.close()
+            return result.stats.clock
+
+        assert spmd(2, worker) == [7, 7]
+
+    def test_totals_accumulate(self):
+        def worker(rt):
+            coll = SSPAllreduce(rt, 8, slack=1)
+            for _ in range(4):
+                coll.reduce(np.ones(8))
+                rt.barrier()
+            totals = coll.totals
+            rt.barrier()
+            coll.close()
+            return totals
+
+        for totals in spmd(2, worker):
+            assert totals.calls == 4
+            assert len(totals.per_call) == 4
+            assert totals.wait_time >= 0.0
+
+    def test_result_clock_lower_bound(self):
+        """result.clock >= clock - slack is the SSP guarantee."""
+        slack = 3
+
+        def worker(rt):
+            comm = Communicator(rt)
+            ok = True
+            for _ in range(20):
+                result = comm.allreduce_ssp(np.ones(8), slack=slack)
+                ok = ok and (result.clock >= result.stats.clock - slack)
+            comm.barrier()
+            comm.close_ssp()
+            return ok
+
+        assert all(spmd(8, worker))
+
+    def test_wrong_contribution_size_rejected(self):
+        def worker(rt):
+            coll = SSPAllreduce(rt, 8, slack=0)
+            with pytest.raises(ValueError):
+                coll.reduce(np.ones(4))
+            rt.barrier()
+            coll.close()
+            return True
+
+        spmd(2, worker)
+
+    def test_use_after_close_rejected(self):
+        def worker(rt):
+            coll = SSPAllreduce(rt, 8, slack=0)
+            rt.barrier()
+            coll.close()
+            with pytest.raises(RuntimeError):
+                coll.reduce(np.ones(8))
+            return True
+
+        spmd(2, worker)
+
+
+class TestSlackBehaviour:
+    def test_larger_slack_waits_less(self):
+        """With a straggler, slack > 0 must reduce the fast ranks' wait time."""
+        iterations = 12
+        import time
+
+        def worker(rt, slack):
+            comm = Communicator(rt)
+            total_wait = 0.0
+            for it in range(iterations):
+                if rt.rank == rt.size - 1:
+                    time.sleep(0.004)  # the straggler
+                result = comm.allreduce_ssp(np.ones(64), slack=slack)
+                total_wait += result.stats.wait_time
+            comm.barrier()
+            comm.close_ssp()
+            return total_wait
+
+        wait_sync = sum(run_spmd(4, worker, 0, timeout=120)[:-1])
+        wait_ssp = sum(run_spmd(4, worker, 4, timeout=120)[:-1])
+        assert wait_ssp < wait_sync
+
+    def test_slack_zero_requires_fresh_data_from_all(self):
+        """The result at slack 0 (with lockstep) contains every rank's data."""
+
+        def worker(rt):
+            coll = SSPAllreduce(rt, 16, slack=0)
+            result = coll.reduce(np.full(16, 10.0 ** rt.rank))
+            rt.barrier()
+            coll.close()
+            return result.value[0]
+
+        values = spmd(4, worker)
+        assert all(abs(v - 1111.0) < 1e-9 for v in values)

@@ -1,0 +1,119 @@
+"""Tests of reduction operators and the communication-schedule data model."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction_ops import MAX, MIN, PROD, SUM, ReductionOp, available_ops, get_op, register_op
+from repro.core.schedule import (
+    CommunicationSchedule,
+    LocalCompute,
+    Message,
+    Protocol,
+    Round,
+    merge_sequential,
+)
+
+
+class TestReductionOps:
+    def test_sum(self):
+        a, b = np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        assert np.array_equal(SUM(a, b), [4.0, 6.0])
+
+    def test_builtins_resolution(self):
+        for name in ("sum", "prod", "min", "max"):
+            assert get_op(name).name == name
+        assert get_op(SUM) is SUM
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_op("median")
+
+    def test_reduce_into_in_place(self):
+        acc = np.array([1.0, 5.0])
+        MIN.reduce_into(acc, np.array([3.0, 2.0]))
+        assert np.array_equal(acc, [1.0, 2.0])
+
+    def test_identity_like(self):
+        arr = np.ones(3)
+        assert np.all(SUM.identity_like(arr) == 0.0)
+        assert np.all(PROD.identity_like(arr) == 1.0)
+        assert np.all(MAX.identity_like(arr) == float("-inf"))
+
+    def test_register_custom_op(self):
+        op = ReductionOp("absmax_test", lambda a, b: np.maximum(np.abs(a), np.abs(b)), 0.0)
+        register_op(op)
+        assert "absmax_test" in available_ops()
+        got = get_op("absmax_test")
+        assert np.array_equal(got(np.array([-5.0]), np.array([3.0])), [5.0])
+        with pytest.raises(ValueError):
+            register_op(op)  # duplicate without overwrite
+
+
+class TestMessageValidation:
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(1, 1, 8)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, -1)
+
+    def test_zero_byte_message_allowed(self):
+        Message(0, 1, 0)  # notifications / acks
+
+    def test_local_compute_validation(self):
+        with pytest.raises(ValueError):
+            LocalCompute(-1, 8)
+
+
+class TestCommunicationSchedule:
+    def _simple(self):
+        sched = CommunicationSchedule("test", 4)
+        sched.add_round([Message(0, 1, 100), Message(2, 3, 50, reduce_bytes=50)], label="r0")
+        sched.add_round([Message(1, 0, 10, protocol=Protocol.TWOSIDED)], barrier_after=True)
+        return sched
+
+    def test_counters(self):
+        sched = self._simple()
+        assert sched.num_rounds == 2
+        assert sched.total_messages() == 3
+        assert sched.total_bytes() == 160
+        assert sched.bytes_sent_by(0) == 100
+        assert sched.bytes_received_by(0) == 10
+        assert sched.participants() == {0, 1, 2, 3}
+        assert sched.max_rank_used() == 3
+
+    def test_validate_rank_out_of_range(self):
+        sched = CommunicationSchedule("bad", 2)
+        sched.add_round([Message(0, 5, 8)])
+        with pytest.raises(ValueError):
+            sched.validate()
+
+    def test_validate_reduce_bytes_exceed_payload(self):
+        sched = CommunicationSchedule("bad", 4)
+        sched.rounds.append(Round(messages=[Message(0, 1, 8)]))
+        # Corrupt the frozen message to simulate a buggy schedule builder.
+        object.__setattr__(sched.rounds[0].messages[0], "reduce_bytes", 16)
+        with pytest.raises(ValueError):
+            sched.validate()
+
+    def test_describe_mentions_rounds(self):
+        text = self._simple().describe()
+        assert "2 rounds" in text
+        assert "barrier" in text
+
+    def test_merge_sequential(self):
+        a = CommunicationSchedule("a", 4)
+        a.add_round([Message(0, 1, 8)])
+        b = CommunicationSchedule("b", 4)
+        b.add_round([Message(1, 2, 8)])
+        merged = merge_sequential("ab", [a, b], barrier_between=True)
+        assert merged.num_rounds == 2
+        assert merged.rounds[0].barrier_after is True
+        assert merged.num_ranks == 4
+
+    def test_merge_mismatched_worlds_rejected(self):
+        a = CommunicationSchedule("a", 4)
+        b = CommunicationSchedule("b", 8)
+        with pytest.raises(ValueError):
+            merge_sequential("ab", [a, b])

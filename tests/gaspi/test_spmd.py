@@ -1,0 +1,94 @@
+"""Tests of the SPMD launcher."""
+
+import numpy as np
+import pytest
+
+from repro.gaspi import run_spmd
+from repro.gaspi.spmd import SpmdError, run_spmd_on_world
+from repro.gaspi.threaded import ThreadedWorld
+
+
+class TestRunSpmd:
+    def test_returns_per_rank_results_in_rank_order(self):
+        results = run_spmd(4, lambda rt: rt.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_passes_extra_arguments(self):
+        results = run_spmd(2, lambda rt, a, b=0: rt.rank + a + b, 5, b=2)
+        assert results == [7, 8]
+
+    def test_single_rank(self):
+        assert run_spmd(1, lambda rt: rt.size) == [1]
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda rt: None)
+
+    def test_exception_in_one_rank_is_reported_with_rank(self):
+        def worker(rt):
+            if rt.rank == 2:
+                raise ValueError("boom on 2")
+            return rt.rank
+
+        with pytest.raises(SpmdError) as excinfo:
+            run_spmd(4, worker)
+        assert "rank 2" in str(excinfo.value)
+        assert "boom on 2" in str(excinfo.value)
+        assert len(excinfo.value.failures) == 1
+
+    def test_deadlock_reported_as_timeout(self):
+        def worker(rt):
+            # Rank 0 waits for a notification nobody sends.
+            rt.segment_create(1, 8)
+            if rt.rank == 0:
+                rt.notify_waitsome(1, 0, 1, timeout=30.0)
+            return True
+
+        with pytest.raises(SpmdError) as excinfo:
+            run_spmd(2, worker, timeout=0.5)
+        assert any(isinstance(exc, TimeoutError) for _r, exc, _tb in excinfo.value.failures)
+
+    def test_ranks_can_communicate(self):
+        def worker(rt):
+            rt.segment_create(1, 64)
+            rt.barrier()
+            target = (rt.rank + 1) % rt.size
+            rt.segment_view(1)[0] = float(rt.rank)
+            rt.write_notify(1, 0, target, 1, 8, 8, notification_id=0)
+            rt.wait(0)
+            assert rt.notify_waitsome(1, 0, 1, timeout=10.0) == 0
+            rt.notify_reset(1, 0)
+            return float(rt.segment_view(1)[1])
+
+        results = run_spmd(4, worker)
+        assert results == [3.0, 0.0, 1.0, 2.0]
+
+
+class TestRunSpmdOnWorld:
+    def test_reuses_existing_world_and_keeps_it_open(self):
+        world = ThreadedWorld(3)
+        try:
+            results = run_spmd_on_world(world, lambda rt: rt.rank + 1)
+            assert results == [1, 2, 3]
+            # The world is still usable afterwards.
+            assert world.runtime(0).size == 3
+        finally:
+            world.close()
+
+    def test_stats_observable_after_region(self):
+        world = ThreadedWorld(2)
+        try:
+
+            def worker(rt):
+                rt.segment_create(1, 16)
+                rt.barrier()
+                if rt.rank == 0:
+                    rt.write(1, 0, 1, 1, 0, 16)
+                    rt.wait(0)
+                rt.barrier()
+
+            run_spmd_on_world(world, worker)
+            assert world.stats[0].bytes_sent == 16
+            assert world.stats[1].bytes_sent == 0
+        finally:
+            world.close()

@@ -1,0 +1,202 @@
+"""Tests of the threaded GASPI runtime: write/notify semantics, queues, atomics."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gaspi import (
+    GaspiInvalidArgumentError,
+    GaspiResourceError,
+    GaspiSegmentError,
+    ThreadedWorld,
+    WorldConfig,
+)
+from repro.gaspi.constants import GASPI_BLOCK
+
+
+class TestSegmentManagement:
+    def test_create_view_delete(self, world2):
+        rt = world2.runtime(0)
+        rt.segment_create(1, 64)
+        assert rt.segment_size(1) == 64
+        assert rt.segment_exists(1)
+        rt.segment_view(1)[:] = 1.5
+        rt.segment_delete(1)
+        assert not rt.segment_exists(1)
+
+    def test_duplicate_segment_rejected(self, world2):
+        rt = world2.runtime(0)
+        rt.segment_create(1, 8)
+        with pytest.raises(GaspiResourceError):
+            rt.segment_create(1, 8)
+
+    def test_delete_unknown_segment_rejected(self, world2):
+        with pytest.raises(GaspiSegmentError):
+            world2.runtime(0).segment_delete(42)
+
+    def test_segments_are_per_rank(self, world2):
+        world2.runtime(0).segment_create(1, 8)
+        assert not world2.runtime(1).segment_exists(1)
+
+    def test_segment_limit(self):
+        world = ThreadedWorld(1, WorldConfig(max_segments=2))
+        try:
+            rt = world.runtime(0)
+            rt.segment_create(0, 8)
+            rt.segment_create(1, 8)
+            with pytest.raises(GaspiResourceError):
+                rt.segment_create(2, 8)
+        finally:
+            world.close()
+
+
+class TestWriteNotify:
+    def _setup(self, world, size=64):
+        for r in range(world.size):
+            world.runtime(r).segment_create(1, size)
+
+    def test_write_moves_data(self, world2):
+        self._setup(world2)
+        src, dst = world2.runtime(0), world2.runtime(1)
+        src.segment_view(1)[:4] = [1.0, 2.0, 3.0, 4.0]
+        src.write(1, 0, 1, 1, 0, 32)
+        src.wait(0)
+        assert np.array_equal(dst.segment_view(1)[:4], [1.0, 2.0, 3.0, 4.0])
+
+    def test_write_with_offsets(self, world2):
+        self._setup(world2)
+        src, dst = world2.runtime(0), world2.runtime(1)
+        src.segment_view(1)[:2] = [7.0, 8.0]
+        src.write(1, 0, 1, 1, 16, 16)
+        src.wait(0)
+        assert np.array_equal(dst.segment_view(1)[2:4], [7.0, 8.0])
+
+    def test_write_notify_data_visible_before_notification(self, async_world4):
+        """The core GASPI guarantee: notification implies data visibility."""
+        for r in range(async_world4.size):
+            async_world4.runtime(r).segment_create(1, 64)
+        src, dst = async_world4.runtime(0), async_world4.runtime(1)
+        src.segment_view(1)[:4] = [4.0, 3.0, 2.0, 1.0]
+        src.write_notify(1, 0, 1, 1, 0, 32, notification_id=5, notification_value=9)
+        got = dst.notify_waitsome(1, 0, 16, timeout=5.0)
+        assert got == 5
+        assert dst.notify_reset(1, 5) == 9
+        # Data must already be there because the notification was visible.
+        assert np.array_equal(dst.segment_view(1)[:4], [4.0, 3.0, 2.0, 1.0])
+
+    def test_pure_notify(self, world2):
+        self._setup(world2)
+        world2.runtime(0).notify(1, 1, 3, 2)
+        world2.runtime(0).wait(0)
+        assert world2.runtime(1).notify_peek(1, 3) == 2
+
+    def test_notify_reset_via_runtime(self, world2):
+        self._setup(world2)
+        world2.runtime(0).notify(1, 1, 3, 2)
+        world2.runtime(0).wait(0)
+        assert world2.runtime(1).notify_reset(1, 3) == 2
+        assert world2.runtime(1).notify_reset(1, 3) == 0
+
+    def test_notify_waitsome_timeout(self, world2):
+        self._setup(world2)
+        assert world2.runtime(0).notify_waitsome(1, 0, 4, timeout=0.01) is None
+
+    def test_invalid_target_rank(self, world2):
+        self._setup(world2)
+        with pytest.raises(GaspiInvalidArgumentError):
+            world2.runtime(0).write(1, 0, 7, 1, 0, 8)
+
+    def test_write_to_missing_remote_segment(self, world2):
+        world2.runtime(0).segment_create(1, 8)
+        with pytest.raises(GaspiSegmentError):
+            world2.runtime(0).write(1, 0, 1, 1, 0, 8)
+
+    def test_stats_collected(self, world2):
+        self._setup(world2)
+        rt = world2.runtime(0)
+        rt.write_notify(1, 0, 1, 1, 0, 16, notification_id=0)
+        rt.wait(0)
+        assert world2.stats[0].messages_sent == 1
+        assert world2.stats[0].bytes_sent == 16
+        assert world2.stats[0].notifications_sent == 1
+        assert world2.stats[0].by_peer[1] == 16
+
+
+class TestSegmentRead:
+    def test_segment_read_returns_copy(self, world2):
+        world2.runtime(0).segment_create(1, 32)
+        view = world2.runtime(0).segment_view(1)
+        view[:] = [1.0, 2.0, 3.0, 4.0]
+        snap = world2.runtime(0).segment_read(1)
+        view[:] = 0.0
+        assert np.array_equal(snap, [1.0, 2.0, 3.0, 4.0])
+
+    def test_segment_read_offset_count(self, world2):
+        world2.runtime(0).segment_create(1, 64)
+        world2.runtime(0).segment_view(1)[:] = np.arange(8.0)
+        snap = world2.runtime(0).segment_read(1, offset=16, count=3)
+        assert np.array_equal(snap, [2.0, 3.0, 4.0])
+
+
+class TestBarrierAndAtomics:
+    def test_barrier_synchronises_all_ranks(self, world4):
+        order = []
+        lock = threading.Lock()
+
+        def worker(rank):
+            rt = world4.runtime(rank)
+            with lock:
+                order.append(("before", rank))
+            rt.barrier()
+            with lock:
+                order.append(("after", rank))
+
+        threads = [threading.Thread(target=worker, args=(r,)) for r in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        befores = [i for i, (phase, _r) in enumerate(order) if phase == "before"]
+        afters = [i for i, (phase, _r) in enumerate(order) if phase == "after"]
+        assert max(befores) < min(afters)
+
+    def test_barrier_on_foreign_group_rejected(self, world4):
+        from repro.gaspi import Group
+
+        with pytest.raises(GaspiInvalidArgumentError):
+            world4.runtime(3).barrier(Group([0, 1]))
+
+    def test_atomic_fetch_add(self, world2):
+        world2.runtime(1).segment_create(2, 16)
+        rt = world2.runtime(0)
+        old = rt.atomic_fetch_add(2, 0, 1, 5)
+        assert old == 0
+        old = rt.atomic_fetch_add(2, 0, 1, 3)
+        assert old == 5
+        assert int(world2.runtime(1).segment_view(2, np.int64, count=1)[0]) == 8
+
+    def test_queue_wait_after_async_delivery(self, async_world4):
+        for r in range(async_world4.size):
+            async_world4.runtime(r).segment_create(1, 64)
+        rt = async_world4.runtime(0)
+        for i in range(8):
+            rt.write_notify(1, 0, 1, 1, 0, 8, notification_id=i)
+        rt.wait(0, timeout=GASPI_BLOCK)
+        assert async_world4.queue_of(0, 0).outstanding == 0
+
+
+class TestWorldConfig:
+    def test_invalid_delivery_mode(self):
+        with pytest.raises(GaspiInvalidArgumentError):
+            WorldConfig(delivery="bogus")
+
+    def test_invalid_world_size(self):
+        with pytest.raises(GaspiInvalidArgumentError):
+            ThreadedWorld(0)
+
+    def test_context_manager_closes(self):
+        with ThreadedWorld(2) as world:
+            assert world.size == 2
+        # close() is idempotent
+        world.close()

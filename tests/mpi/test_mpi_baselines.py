@@ -1,0 +1,262 @@
+"""Tests of the MPI baseline substrate: two-sided layer, functional
+collectives and the schedules of the twelve Allreduce variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Protocol
+from repro.mpi import TwoSidedLayer, select_allreduce_variant, select_alltoall_variant
+from repro.mpi.allreduce_variants import (
+    VARIANTS,
+    rabenseifner_schedule,
+    recursive_doubling_allreduce,
+    recursive_doubling_schedule,
+    ring_allreduce_twosided,
+    ring_schedule,
+    shumilin_ring_schedule,
+)
+from repro.mpi.alltoall_variants import (
+    bruck_alltoall_schedule,
+    isend_irecv_alltoall_schedule,
+    pairwise_alltoall_schedule,
+    pairwise_alltoall_twosided,
+)
+from repro.mpi.bcast_variants import binomial_bcast_schedule, binomial_bcast_twosided, scatter_allgather_bcast_schedule
+from repro.mpi.reduce_variants import binomial_reduce_schedule, binomial_reduce_twosided, reduce_scatter_gather_schedule
+from repro.mpi.tuning import ALLREDUCE_VARIANT_LABELS, select_bcast_variant, select_reduce_variant
+
+from ..conftest import expected_sum, rank_vector, spmd
+
+
+# --------------------------------------------------------------------------- #
+# two-sided layer
+# --------------------------------------------------------------------------- #
+class TestTwoSidedLayer:
+    def test_send_recv_roundtrip(self):
+        def worker(rt):
+            with TwoSidedLayer(rt, max_elements=64) as layer:
+                if rt.rank == 0:
+                    layer.send(np.arange(10.0), dest=1, tag=5)
+                    return None
+                payload, env = layer.recv(0, tag=5)
+                assert env.source == 0 and env.tag == 5 and env.count == 10
+                return payload
+
+        results = spmd(2, worker)
+        assert np.array_equal(results[1], np.arange(10.0))
+
+    def test_tag_mismatch_raises(self):
+        def worker(rt):
+            with TwoSidedLayer(rt, max_elements=8) as layer:
+                if rt.rank == 0:
+                    layer.send(np.ones(2), dest=1, tag=3)
+                    return True
+                with pytest.raises(ValueError):
+                    layer.recv(0, tag=9)
+                return True
+
+        assert all(spmd(2, worker))
+
+    def test_sendrecv_exchange(self):
+        def worker(rt):
+            with TwoSidedLayer(rt, max_elements=4) as layer:
+                partner = 1 - rt.rank
+                got = layer.sendrecv(np.full(3, float(rt.rank)), partner, partner, tag=1)
+                return got
+
+        results = spmd(2, worker)
+        assert np.all(results[0] == 1.0) and np.all(results[1] == 0.0)
+
+    def test_message_too_large_rejected(self):
+        def worker(rt):
+            with TwoSidedLayer(rt, max_elements=4) as layer:
+                if rt.rank == 0:
+                    with pytest.raises(ValueError):
+                        layer.send(np.ones(10), dest=1)
+            return True
+
+        spmd(2, worker)
+
+    def test_multiple_messages_in_order(self):
+        def worker(rt):
+            with TwoSidedLayer(rt, max_elements=4) as layer:
+                if rt.rank == 0:
+                    for i in range(5):
+                        layer.send(np.full(2, float(i)), dest=1, tag=i)
+                    return None
+                seen = []
+                for i in range(5):
+                    payload, env = layer.recv(0)
+                    seen.append((env.tag, payload[0]))
+                return seen
+
+        results = spmd(2, worker)
+        assert results[1] == [(i, float(i)) for i in range(5)]
+
+
+# --------------------------------------------------------------------------- #
+# functional MPI baselines (cross-validated against NumPy)
+# --------------------------------------------------------------------------- #
+class TestFunctionalBaselines:
+    @pytest.mark.parametrize("num_ranks", [2, 4, 8])
+    def test_recursive_doubling_allreduce(self, num_ranks):
+        n = 33
+
+        def worker(rt):
+            with TwoSidedLayer(rt, max_elements=n) as layer:
+                return recursive_doubling_allreduce(layer, rank_vector(rt.rank, n))
+
+        results = spmd(num_ranks, worker)
+        for out in results:
+            assert np.allclose(out, expected_sum(num_ranks, n))
+
+    @pytest.mark.parametrize("num_ranks", [2, 3, 5, 8])
+    def test_ring_allreduce_twosided(self, num_ranks):
+        n = 41
+
+        def worker(rt):
+            with TwoSidedLayer(rt, max_elements=n) as layer:
+                return ring_allreduce_twosided(layer, rank_vector(rt.rank, n))
+
+        results = spmd(num_ranks, worker)
+        for out in results:
+            assert np.allclose(out, expected_sum(num_ranks, n))
+
+    @pytest.mark.parametrize("num_ranks", [2, 5, 8])
+    def test_binomial_bcast_twosided(self, num_ranks):
+        def worker(rt):
+            buf = np.arange(16.0) if rt.rank == 0 else np.zeros(16)
+            with TwoSidedLayer(rt, max_elements=16) as layer:
+                binomial_bcast_twosided(layer, buf, root=0)
+            return buf
+
+        for buf in spmd(num_ranks, worker):
+            assert np.array_equal(buf, np.arange(16.0))
+
+    @pytest.mark.parametrize("num_ranks", [2, 6, 8])
+    def test_binomial_reduce_twosided(self, num_ranks):
+        n = 24
+
+        def worker(rt):
+            with TwoSidedLayer(rt, max_elements=n) as layer:
+                return binomial_reduce_twosided(layer, rank_vector(rt.rank, n), root=0)
+
+        results = spmd(num_ranks, worker)
+        assert np.allclose(results[0], expected_sum(num_ranks, n))
+
+    @pytest.mark.parametrize("num_ranks", [2, 4, 8])
+    def test_pairwise_alltoall_twosided(self, num_ranks):
+        block = 3
+
+        def worker(rt):
+            send = np.concatenate(
+                [np.full(block, 10.0 * rt.rank + dst) for dst in range(rt.size)]
+            )
+            with TwoSidedLayer(rt, max_elements=block) as layer:
+                return pairwise_alltoall_twosided(layer, send)
+
+        results = spmd(num_ranks, worker)
+        for rank, recv in enumerate(results):
+            expected = np.concatenate(
+                [np.full(block, 10.0 * src + rank) for src in range(num_ranks)]
+            )
+            assert np.array_equal(recv, expected)
+
+
+# --------------------------------------------------------------------------- #
+# schedules of the twelve variants
+# --------------------------------------------------------------------------- #
+class TestVariantSchedules:
+    def test_all_twelve_variants_build_and_validate(self):
+        assert len(VARIANTS) == 12
+        assert set(VARIANTS) == set(ALLREDUCE_VARIANT_LABELS)
+        for name, builder in VARIANTS.items():
+            sched = builder(16, 8000, ranks_per_node=1)
+            sched.validate()
+            assert sched.total_messages() > 0, name
+            assert all(m.protocol is Protocol.TWOSIDED for m in sched.messages()), name
+
+    def test_recursive_doubling_round_count(self):
+        sched = recursive_doubling_schedule(16, 800)
+        assert sched.num_rounds == 4
+
+    def test_recursive_doubling_handles_non_power_of_two(self):
+        sched = recursive_doubling_schedule(12, 800)
+        labels = [r.label for r in sched.rounds]
+        assert labels[0] == "fold-in" and labels[-1] == "fold-out"
+
+    def test_rabenseifner_moves_less_than_recursive_doubling(self):
+        n = 1_000_000
+        rd = recursive_doubling_schedule(32, n)
+        rab = rabenseifner_schedule(32, n)
+        assert rab.total_bytes() < rd.total_bytes()
+
+    def test_ring_variants_structure(self):
+        shum = shumilin_ring_schedule(8, 64_000)
+        ring = ring_schedule(8, 64_000)
+        assert sum(r.barrier_after for r in shum.rounds) == 1
+        assert sum(r.barrier_after for r in ring.rounds) == 2
+
+    def test_gather_scatter_messages_grow_with_subtree(self):
+        sched = VARIANTS["mpi5_gather_scatter"](8, 1000)
+        sizes = [m.nbytes for m in sched.messages() if m.tag.startswith("gather")]
+        assert max(sizes) >= 4 * 1000
+
+    def test_shm_variants_use_intra_node_rounds_when_multiple_ppn(self):
+        sched = VARIANTS["mpi10_shm_flat"](16, 8000, ranks_per_node=4)
+        labels = {r.label for r in sched.rounds}
+        assert "shm-reduce" in labels and "shm-bcast" in labels
+
+
+class TestOtherCollectiveSchedules:
+    def test_binomial_bcast_vs_scatter_allgather_bytes(self):
+        n = 8_000_000
+        binom = binomial_bcast_schedule(32, n)
+        vdg = scatter_allgather_bcast_schedule(32, n)
+        # scatter+allgather moves far fewer bytes on the critical path
+        assert vdg.bytes_sent_by(0) < binom.bytes_sent_by(0)
+
+    def test_reduce_scatter_gather_less_root_traffic(self):
+        n = 8_000_000
+        binom = binomial_reduce_schedule(32, n)
+        rsg = reduce_scatter_gather_schedule(32, n)
+        assert rsg.bytes_received_by(0) < binom.bytes_received_by(0)
+
+    def test_bruck_has_log_rounds(self):
+        sched = bruck_alltoall_schedule(16, 64)
+        assert sched.num_rounds == 4
+
+    def test_pairwise_has_p_minus_1_rounds(self):
+        sched = pairwise_alltoall_schedule(8, 1024)
+        assert sched.num_rounds == 7
+
+    def test_isend_irecv_single_round(self):
+        sched = isend_irecv_alltoall_schedule(8, 1024)
+        assert sched.num_rounds == 1
+        assert sched.total_messages() == 56
+
+
+class TestTuning:
+    def test_allreduce_selection_by_size(self):
+        small = select_allreduce_variant(32, 1024)
+        large = select_allreduce_variant(32, 8 << 20)
+        assert small.__name__ == "recursive_doubling_schedule"
+        assert large.__name__ == "shumilin_ring_schedule"
+
+    def test_bcast_selection(self):
+        assert select_bcast_variant(32, 1024).__name__ == "binomial_bcast_schedule"
+        assert select_bcast_variant(32, 8 << 20).__name__ == "scatter_allgather_bcast_schedule"
+
+    def test_reduce_selection(self):
+        assert select_reduce_variant(32, 1024).__name__ == "binomial_reduce_schedule"
+        assert select_reduce_variant(32, 8 << 20).__name__ == "reduce_scatter_gather_schedule"
+
+    def test_alltoall_selection(self):
+        assert select_alltoall_variant(64, 128).__name__ == "bruck_alltoall_schedule"
+        assert select_alltoall_variant(64, 32768).__name__ == "pairwise_alltoall_schedule"
+
+    def test_default_schedules_record_selection(self):
+        from repro.mpi.alltoall_variants import default_alltoall_schedule
+
+        sched = default_alltoall_schedule(8, 64)
+        assert sched.metadata["selected_by"] == "mpi_default_tuning"

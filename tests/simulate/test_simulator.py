@@ -1,0 +1,200 @@
+"""Tests of the network model, machine presets and schedule executor."""
+
+import pytest
+
+from repro.core.schedule import CommunicationSchedule, LocalCompute, Message, Protocol
+from repro.simulate import (
+    MachineModel,
+    NetworkParameters,
+    ScheduleExecutor,
+    galileo,
+    get_machine,
+    marenostrum4,
+    simulate_schedule,
+    skylake_fdr,
+)
+
+
+class TestNetworkParameters:
+    def test_wire_time_monotone_in_size(self):
+        net = NetworkParameters()
+        assert net.wire_time(1 << 20, False) > net.wire_time(1 << 10, False)
+
+    def test_intra_node_cheaper_latency(self):
+        net = NetworkParameters()
+        assert net.wire_time(0, True) < net.wire_time(0, False)
+
+    def test_rendezvous_above_eager_threshold(self):
+        net = NetworkParameters(eager_threshold=1024)
+        assert not net.twosided_cost(512, False).rendezvous
+        assert net.twosided_cost(4096, False).rendezvous
+
+    def test_twosided_more_expensive_than_onesided(self):
+        net = NetworkParameters()
+        for size in (64, 4096, 1 << 20):
+            assert (
+                net.twosided_cost(size, False).total_latency
+                > net.onesided_cost(size, False).total_latency
+            )
+
+    def test_barrier_time_grows_with_ranks(self):
+        net = NetworkParameters()
+        assert net.barrier_time(64) > net.barrier_time(4) > net.barrier_time(1) == 0.0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkParameters(bandwidth=0)
+
+    def test_scaled_copy(self):
+        net = NetworkParameters()
+        tuned = net.scaled(latency=5e-6)
+        assert tuned.latency == 5e-6
+        assert net.latency != 5e-6  # original untouched
+
+
+class TestMachineModel:
+    def test_presets_exist(self):
+        for name in ("skylake_fdr", "marenostrum4", "galileo"):
+            machine = get_machine(name)
+            assert machine.name == name
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_machine("summit")
+
+    def test_node_mapping(self):
+        machine = galileo(4)  # 4 ranks per node
+        assert machine.node_of(0) == 0
+        assert machine.node_of(5) == 1
+        assert machine.same_node(4, 7)
+        assert not machine.same_node(3, 4)
+
+    def test_with_ranks_resizes(self):
+        machine = skylake_fdr(2).with_ranks(10)
+        assert machine.num_nodes == 10
+        machine2 = galileo(2).with_ranks(12, ranks_per_node=4)
+        assert machine2.num_nodes == 3
+
+    def test_total_ranks(self):
+        assert galileo(8).total_ranks == 32
+
+    def test_invalid_layout(self):
+        with pytest.raises(ValueError):
+            MachineModel("x", 0, 1, NetworkParameters())
+
+
+class TestScheduleExecutor:
+    def _two_rank_schedule(self, nbytes=1024, protocol=Protocol.ONESIDED):
+        sched = CommunicationSchedule("t", 2)
+        sched.add_round([Message(0, 1, nbytes, protocol)])
+        return sched
+
+    def test_single_message_cost_positive(self, machine32):
+        result = simulate_schedule(self._two_rank_schedule(), machine32.with_ranks(2))
+        assert result.total_time > 0
+        assert len(result.rank_times) == 2
+
+    def test_larger_messages_take_longer(self, machine32):
+        machine = machine32.with_ranks(2)
+        small = simulate_schedule(self._two_rank_schedule(1024), machine).total_time
+        big = simulate_schedule(self._two_rank_schedule(1 << 22), machine).total_time
+        assert big > small
+
+    def test_setup_overhead_by_protocol(self, machine32):
+        machine = machine32.with_ranks(2)
+        one = simulate_schedule(self._two_rank_schedule(0), machine)
+        two = simulate_schedule(self._two_rank_schedule(0, Protocol.TWOSIDED), machine)
+        assert one.setup_time == machine.network.onesided_setup_overhead
+        assert two.setup_time == machine.network.twosided_setup_overhead
+
+    def test_setup_can_be_excluded(self, machine32):
+        machine = machine32.with_ranks(2)
+        result = ScheduleExecutor(machine).run(self._two_rank_schedule(), include_setup=False)
+        assert result.setup_time == 0.0
+
+    def test_rounds_serialise_per_rank(self, machine32):
+        machine = machine32.with_ranks(2)
+        one_round = CommunicationSchedule("a", 2)
+        one_round.add_round([Message(0, 1, 1 << 20)])
+        two_rounds = CommunicationSchedule("b", 2)
+        two_rounds.add_round([Message(0, 1, 1 << 20)])
+        two_rounds.add_round([Message(0, 1, 1 << 20)])
+        assert (
+            simulate_schedule(two_rounds, machine).total_time
+            > simulate_schedule(one_round, machine).total_time
+        )
+
+    def test_injection_serialisation_for_fanout(self, machine32):
+        machine = machine32.with_ranks(9)
+        fan = CommunicationSchedule("fan", 9)
+        fan.add_round([Message(0, dst, 1 << 20) for dst in range(1, 9)])
+        single = CommunicationSchedule("one", 9)
+        single.add_round([Message(0, 1, 1 << 20)])
+        assert (
+            simulate_schedule(fan, machine).total_time
+            > simulate_schedule(single, machine).total_time * 2
+        )
+
+    def test_barrier_after_synchronises(self, machine32):
+        machine = machine32.with_ranks(4)
+        sched = CommunicationSchedule("b", 4)
+        sched.add_round([Message(0, 1, 1 << 20)], barrier_after=True)
+        result = simulate_schedule(sched, machine)
+        # after a barrier every rank carries the same completion time
+        assert max(result.rank_times) == pytest.approx(min(result.rank_times))
+        assert result.barrier_time > 0
+
+    def test_reduce_bytes_add_compute(self, machine32):
+        machine = machine32.with_ranks(2)
+        plain = CommunicationSchedule("p", 2)
+        plain.add_round([Message(0, 1, 1 << 22)])
+        reducing = CommunicationSchedule("r", 2)
+        reducing.add_round([Message(0, 1, 1 << 22, reduce_bytes=1 << 22)])
+        assert (
+            simulate_schedule(reducing, machine).total_time
+            > simulate_schedule(plain, machine).total_time
+        )
+
+    def test_local_compute_only_round(self, machine32):
+        machine = machine32.with_ranks(2)
+        sched = CommunicationSchedule("c", 2)
+        sched.add_round(local_compute=[LocalCompute(1, 1 << 24)])
+        result = simulate_schedule(sched, machine)
+        assert result.rank_times[1] > result.rank_times[0]
+
+    def test_intra_node_faster_than_inter_node(self):
+        machine = galileo(2)  # 4 ranks per node
+        intra = CommunicationSchedule("i", 8)
+        intra.add_round([Message(0, 1, 1 << 20)])  # same node
+        inter = CommunicationSchedule("x", 8)
+        inter.add_round([Message(0, 4, 1 << 20)])  # different nodes
+        assert (
+            simulate_schedule(intra, machine, include_setup=False).total_time
+            < simulate_schedule(inter, machine, include_setup=False).total_time
+        )
+
+    def test_trace_collection(self, machine32):
+        machine = machine32.with_ranks(4)
+        sched = CommunicationSchedule("t", 4)
+        sched.add_round([Message(0, 1, 2048), Message(2, 3, 2048)])
+        result = ScheduleExecutor(machine, collect_trace=True).run(sched)
+        assert result.trace is not None
+        assert len(result.trace) == 2
+        assert result.trace.total_bytes() == 4096
+        assert result.trace.bytes_by_rank() == {0: 2048, 2: 2048}
+        assert 0.0 <= result.trace.rendezvous_fraction() <= 1.0
+
+    def test_empty_schedule(self, machine32):
+        sched = CommunicationSchedule("empty", 4)
+        result = simulate_schedule(sched, machine32.with_ranks(4))
+        assert result.total_time == 0.0
+
+    def test_schedule_referencing_too_many_ranks_rejected(self, machine32):
+        sched = CommunicationSchedule("bad", 2)
+        sched.rounds.append(
+            __import__("repro.core.schedule", fromlist=["Round"]).Round(
+                messages=[Message(0, 3, 8)]
+            )
+        )
+        with pytest.raises(ValueError):
+            simulate_schedule(sched, machine32.with_ranks(2))

@@ -1,0 +1,206 @@
+"""Tests of the SSP substrate: clocks, staleness, perturbation, parameter store."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.ssp import (
+    ClockedValue,
+    ComputePerturbation,
+    LogicalClock,
+    SSPConfig,
+    SSPParameterStore,
+    StalenessTracker,
+    StalenessViolation,
+    StragglerProfile,
+    UniformJitter,
+    combine_clocks,
+)
+from repro.ssp.perturbation import NoPerturbation, perturbation_from_spec
+
+
+class TestLogicalClock:
+    def test_tick(self):
+        clock = LogicalClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+        assert int(clock) == 2
+
+    def test_advance_to(self):
+        clock = LogicalClock(3)
+        assert clock.advance_to(7) == 7
+        with pytest.raises(ValueError):
+            clock.advance_to(5)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock(-1)
+
+    def test_combine_clocks_is_min(self):
+        assert combine_clocks([5, 2, 9]) == 2
+        with pytest.raises(ValueError):
+            combine_clocks([])
+
+
+class TestClockedValue:
+    def test_staleness_and_admissibility(self):
+        cv = ClockedValue(np.ones(3), clock=4)
+        assert cv.staleness(6) == 2
+        assert cv.is_fresh_enough(6, slack=2)
+        assert not cv.is_fresh_enough(6, slack=1)
+
+    def test_combine_takes_min_clock(self):
+        a = ClockedValue(np.array([1.0]), 3)
+        b = ClockedValue(np.array([2.0]), 5)
+        c = a.combine(b)
+        assert c.clock == 3
+        assert np.array_equal(c.value, [3.0])
+
+
+class TestSSPConfig:
+    def test_admissibility_window(self):
+        cfg = SSPConfig(slack=2)
+        assert cfg.min_clock_accepted(10) == 8
+        assert cfg.admissible(8, 10)
+        assert not cfg.admissible(7, 10)
+
+    def test_check_raises_on_violation(self):
+        cfg = SSPConfig(slack=1)
+        cfg.check(9, 10)
+        with pytest.raises(StalenessViolation):
+            cfg.check(8, 10)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            SSPConfig(slack=-1)
+
+
+class TestStalenessTracker:
+    def test_records_and_aggregates(self):
+        t = StalenessTracker(slack=2)
+        t.record_iteration(0, 0.0, waited=False)
+        t.record_iteration(2, 0.5, waited=True)
+        t.record_iteration(1, 0.1, waited=True)
+        assert t.iterations == 3
+        assert t.waits == 2
+        assert t.total_wait_time == pytest.approx(0.6)
+        assert t.mean_wait_time == pytest.approx(0.2)
+        assert t.wait_fraction == pytest.approx(2 / 3)
+        assert t.max_staleness == 2
+        assert t.mean_staleness() == pytest.approx(1.0)
+
+    def test_merge(self):
+        a, b = StalenessTracker(slack=1), StalenessTracker(slack=3)
+        a.record_iteration(1, 0.2, True)
+        b.record_iteration(0, 0.0, False)
+        merged = a.merge(b)
+        assert merged.iterations == 2
+        assert merged.slack == 3
+        assert merged.staleness_histogram == {1: 1, 0: 1}
+
+    def test_negative_values_rejected(self):
+        t = StalenessTracker()
+        with pytest.raises(ValueError):
+            t.record_iteration(-1, 0.0, False)
+
+
+class TestPerturbation:
+    def test_no_perturbation(self):
+        p = NoPerturbation()
+        assert p.delay(0, 0, 1.0) == 0.0
+        assert p.total_time(0, 0, 1.0) == 1.0
+
+    def test_straggler_profile(self):
+        p = StragglerProfile.single_straggler(2, factor=3.0)
+        assert p.delay(2, 0, 0.01) == pytest.approx(0.02)
+        assert p.delay(0, 0, 0.01) == 0.0
+
+    def test_linear_profile_spreads(self):
+        p = StragglerProfile.linear(4, max_factor=2.0)
+        delays = [p.delay(r, 0, 1.0) for r in range(4)]
+        assert delays[0] == 0.0
+        assert delays[-1] == pytest.approx(1.0)
+        assert delays == sorted(delays)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            StragglerProfile({0: 0.5})
+
+    def test_uniform_jitter_deterministic(self):
+        p = UniformJitter(amplitude=0.5, seed=7)
+        assert p.delay(1, 3, 1.0) == p.delay(1, 3, 1.0)
+        assert p.delay(1, 3, 1.0) != p.delay(1, 4, 1.0)
+        assert 0.0 <= p.delay(2, 2, 1.0) <= 0.5
+
+    @pytest.mark.parametrize(
+        "spec,expected_type",
+        [
+            ("none", NoPerturbation),
+            ("straggler:1:2.0", StragglerProfile),
+            ("linear:1.5", StragglerProfile),
+            ("jitter:0.3", UniformJitter),
+        ],
+    )
+    def test_spec_parser(self, spec, expected_type):
+        p = perturbation_from_spec(spec, num_ranks=4)
+        assert isinstance(p, expected_type)
+        assert isinstance(p, ComputePerturbation)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            perturbation_from_spec("chaos", 4)
+
+
+class TestSSPParameterStore:
+    def test_push_and_read_complete_clock(self):
+        store = SSPParameterStore(2, SSPConfig(slack=0))
+        store.push("w", 0, 1, np.array([1.0, 2.0]))
+        store.push("w", 1, 1, np.array([3.0, 4.0]))
+        read = store.read("w", reader_clock=1, timeout=1.0)
+        assert read.clock == 1
+        assert np.array_equal(read.value, [4.0, 6.0])
+
+    def test_read_blocks_until_complete(self):
+        store = SSPParameterStore(2, SSPConfig(slack=0))
+        store.push("w", 0, 1, np.array([1.0]))
+
+        def late_push():
+            import time
+
+            time.sleep(0.05)
+            store.push("w", 1, 1, np.array([2.0]))
+
+        t = threading.Thread(target=late_push)
+        t.start()
+        read = store.read("w", reader_clock=1, timeout=5.0)
+        t.join()
+        assert read.waited
+        assert np.array_equal(read.value, [3.0])
+
+    def test_slack_permits_older_aggregate(self):
+        store = SSPParameterStore(2, SSPConfig(slack=2))
+        store.push("w", 0, 1, np.array([1.0]))
+        store.push("w", 1, 1, np.array([1.0]))
+        # reader at clock 3 accepts the clock-1 aggregate because slack = 2
+        read = store.read("w", reader_clock=3, timeout=1.0)
+        assert read.clock == 1 and not read.waited
+
+    def test_timeout_raises(self):
+        store = SSPParameterStore(2, SSPConfig(slack=0))
+        store.push("w", 0, 1, np.array([1.0]))
+        with pytest.raises(TimeoutError):
+            store.read("w", reader_clock=1, timeout=0.05)
+
+    def test_completed_clock_and_gc(self):
+        store = SSPParameterStore(1, SSPConfig(slack=0))
+        for clock in (1, 2, 3):
+            store.push("w", 0, clock, np.array([float(clock)]))
+        assert store.completed_clock("w") == 3
+        dropped = store.garbage_collect("w", keep_from_clock=3)
+        assert dropped == 2
+
+    def test_invalid_worker_rejected(self):
+        store = SSPParameterStore(2, SSPConfig())
+        with pytest.raises(ValueError):
+            store.push("w", 5, 1, np.array([1.0]))
