@@ -12,10 +12,39 @@ from __future__ import annotations
 
 import argparse
 
+from repro import select_algorithm
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.report import format_series_table
 
 SIMULATED_FIGURES = ("fig08", "fig09", "fig10", "fig11", "fig12", "fig13")
+
+
+def render_auto_selection(num_ranks: int = 32) -> None:
+    """What ``algorithm="auto"`` dispatches at each payload size.
+
+    ``executable=True`` applies the same filter a live Communicator does,
+    so the rows here are exactly the algorithms a live run would execute
+    (the simulator-side pick can differ where the Intel-preferred variant
+    is schedule-only).
+    """
+    print(f"=== algorithm='auto' selection on {num_ranks} ranks ===")
+    header = f"{'collective':<12} {'payload':>10}   {'gaspi pick':<32} {'mpi pick':<32}"
+    print(header)
+    for collective in ("allreduce", "bcast", "reduce", "alltoall"):
+        for nbytes in (1 << 10, 64 << 10, 16 << 20):
+            picks = []
+            for family in ("gaspi", "mpi"):
+                try:
+                    picks.append(
+                        select_algorithm(
+                            collective, num_ranks, nbytes, family=family, executable=True
+                        ).name
+                    )
+                except ValueError:
+                    picks.append("<none>")
+            label = f"{nbytes // 1024} KiB" if nbytes < (1 << 20) else f"{nbytes >> 20} MiB"
+            print(f"{collective:<12} {label:>10}   {picks[0]:<32} {picks[1]:<32}")
+    print()
 
 
 def render(figure: str, scale: str) -> None:
@@ -42,6 +71,7 @@ def main() -> None:
     parser.add_argument("--all", action="store_true", help="render every simulated figure")
     args = parser.parse_args()
 
+    render_auto_selection()
     figures = SIMULATED_FIGURES if args.all else (args.figure,)
     for figure in figures:
         render(figure, args.scale)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import argparse
 
 from repro.apps import paper_message_range, run_distributed_fft
-from repro.bench.harness import time_algorithm
+from repro.bench.harness import time_auto
 from repro.bench.report import format_kv_table
 from repro.simulate import galileo
 
@@ -34,19 +34,21 @@ def main() -> None:
     )
 
     # Simulate the AlltoAll in the message range the paper quotes (6-24 KB).
+    # Each family's tuning table picks its algorithm from the block size,
+    # exactly as the Communicator's algorithm="auto" does.
     nodes = max(args.ranks // 4, 1)
     machine = galileo(nodes)
     rows = []
     for grid in paper_message_range(args.ranks):
         block = 16 * (grid // args.ranks) ** 2
-        gaspi = time_algorithm("gaspi_alltoall", args.ranks, block, machine)
-        mpi = time_algorithm("mpi_alltoall_default", args.ranks, block, machine)
+        gaspi_name, gaspi = time_auto("alltoall", args.ranks, block, machine, family="gaspi")
+        mpi_name, mpi = time_auto("alltoall", args.ranks, block, machine, family="mpi")
         rows.append(
             {
                 "grid": grid,
                 "block [bytes]": block,
-                "gaspi_alltoall [us]": round(gaspi * 1e6, 1),
-                "MPI_Alltoall [us]": round(mpi * 1e6, 1),
+                f"{gaspi_name} [us]": round(gaspi * 1e6, 1),
+                f"{mpi_name} [us]": round(mpi * 1e6, 1),
                 "speed-up": round(mpi / gaspi, 2),
             }
         )

@@ -16,6 +16,7 @@ import argparse
 
 import numpy as np
 
+from repro import ConsistencyPolicy
 from repro.bench.report import format_kv_table
 from repro.ml import DistributedSGDConfig, movielens_like, run_slack_sweep
 from repro.ssp import SSPConfig, SSPParameterStore
@@ -39,7 +40,9 @@ def run_collective_mode(args) -> None:
         entry = sweep[slack]
         rows.append(
             {
-                "slack": slack,
+                # ConsistencyPolicy.ssp(slack) is the policy a Communicator
+                # would carry for the same semantics (comm.allreduce_ssp).
+                "policy": ConsistencyPolicy.ssp(slack).describe(),
                 "iters/s": round(entry.mean_iterations_per_second, 1),
                 "wait/iter [ms]": round(entry.mean_wait_time_per_iteration * 1e3, 3),
                 "final rmse": round(entry.final_rmse, 4),

@@ -1,9 +1,22 @@
 #!/usr/bin/env python
-"""Eventually consistent Broadcast/Reduce in action (paper §III-B).
+"""Consistency policies in action: the paper's threshold collectives (§III-B).
 
-Shows, on real data, what the threshold parameter does: how much of the
-payload arrives, how far off the partially-reduced result is, and how much
-communication it saves — the trade-off Figures 8-10 quantify in time.
+The v2 API expresses the paper's consistency dial as one value object,
+:class:`repro.ConsistencyPolicy`, instead of loose per-call kwargs:
+
+* ``ConsistencyPolicy.strict()``            — all data, all processes;
+* ``ConsistencyPolicy.data_threshold(f)``   — ship the leading fraction
+  ``f`` of every vector (Figures 8 & 9);
+* ``ConsistencyPolicy.process_threshold(f)``— full vectors, but only a
+  fraction ``f`` of the processes contribute (Figure 10);
+* ``ConsistencyPolicy.ssp(slack)``          — bounded-stale contributions
+  (Algorithm 1).
+
+This example shows, on real data, what each dial position buys: how much
+of the payload arrives, how far off the partially-reduced result is, and
+how much communication it saves — the trade-off Figures 8-10 quantify in
+time.  Every collective routes through the algorithm registry; the policy
+travels with the call and is recorded on the result.
 
 Run with:  python examples/threshold_collectives.py [--ranks 8] [--elements 100000]
 """
@@ -14,36 +27,64 @@ import argparse
 
 import numpy as np
 
-from repro import Communicator, run_spmd
+from repro import Communicator, ConsistencyPolicy, run_spmd
 from repro.bench.report import format_kv_table
 from repro.core import ThresholdCompressor, threshold_elements
 
 
-def worker(runtime, elements, thresholds):
+def worker(runtime, elements, fractions):
     comm = Communicator(runtime)
     rng = np.random.default_rng(comm.rank)
     contribution = rng.standard_normal(elements)
 
     exact = comm.allreduce(contribution.copy(), algorithm="ring")
     rows = []
-    for threshold in thresholds:
+    for fraction in fractions:
+        policy = (
+            ConsistencyPolicy.strict()
+            if fraction == 1.0
+            else ConsistencyPolicy.data_threshold(fraction)
+        )
         recv = np.zeros(elements)
-        comm.reduce(contribution.copy(), recv, root=0, threshold=threshold, mode="data")
+        result = comm.reduce(contribution.copy(), recv, root=0, policy=policy)
         if comm.rank == 0:
-            k = threshold_elements(elements, threshold)
+            k = threshold_elements(elements, fraction)
             err = np.linalg.norm(recv[:k] - exact[:k]) / (np.linalg.norm(exact[:k]) + 1e-30)
-            coverage = k / elements
             rows.append(
                 {
-                    "threshold": f"{int(threshold * 100)}%",
+                    "policy": policy.describe(),
+                    "algorithm": result.algorithm,
                     "elements reduced": k,
-                    "coverage": round(coverage, 3),
+                    "coverage": round(k / elements, 3),
                     "relative error (reduced prefix)": f"{err:.1e}",
                     "bytes shipped per child": k * 8,
                 }
             )
         comm.barrier()
-    return rows if comm.rank == 0 else None
+
+    # Process thresholds: full vectors, but the ranks farthest from the
+    # root stay silent (Figure 10).
+    proc_rows = []
+    for fraction in fractions:
+        result = comm.reduce(
+            contribution.copy(),
+            np.zeros(elements),
+            root=0,
+            policy=ConsistencyPolicy.process_threshold(fraction),
+        )
+        participated = comm.allreduce(
+            np.array([1.0 if result.participated else 0.0]), algorithm="ring"
+        )
+        if comm.rank == 0:
+            proc_rows.append(
+                {
+                    "policy": f"{int(fraction * 100)}% processes",
+                    "contributing ranks": int(participated[0]),
+                    "of": comm.size,
+                }
+            )
+        comm.barrier()
+    return (rows, proc_rows) if comm.rank == 0 else None
 
 
 def main() -> None:
@@ -52,9 +93,12 @@ def main() -> None:
     parser.add_argument("--elements", type=int, default=100_000)
     args = parser.parse_args()
 
-    thresholds = (0.25, 0.5, 0.75, 1.0)
-    results = run_spmd(args.ranks, worker, args.elements, thresholds)
-    print(format_kv_table(results[0], title="eventually consistent Reduce: data thresholds"))
+    fractions = (0.25, 0.5, 0.75, 1.0)
+    results = run_spmd(args.ranks, worker, args.elements, fractions)
+    data_rows, proc_rows = results[0]
+    print(format_kv_table(data_rows, title="eventually consistent Reduce: data-threshold policies"))
+    print()
+    print(format_kv_table(proc_rows, title="eventually consistent Reduce: process-threshold policies"))
 
     # The compression extension (paper §IV-A "future work"): drop small values
     # instead of a prefix.

@@ -23,12 +23,16 @@ The package is organised as follows (see DESIGN.md for the full map):
 Quick start::
 
     import numpy as np
-    from repro import run_spmd, Communicator
+    from repro import run_spmd, Communicator, ConsistencyPolicy
 
     def worker(runtime):
         comm = Communicator(runtime)
         grad = np.random.default_rng(comm.rank).random(1 << 20)
-        return comm.allreduce(grad, op="sum", algorithm="ring")
+        total = comm.allreduce(grad, op="sum")     # algorithm="auto"
+        comm.bcast(grad, root=0,
+                   policy=ConsistencyPolicy.data_threshold(0.25))
+        half = comm.split(comm.rank % 2)           # sub-communicator
+        return total
 
     results = run_spmd(8, worker)
 """
@@ -40,6 +44,7 @@ from .gaspi import (
     GaspiRuntime,
     GaspiTimeoutError,
     Group,
+    GroupRuntime,
     ThreadedRuntime,
     ThreadedWorld,
     WorldConfig,
@@ -47,12 +52,18 @@ from .gaspi import (
 )
 from .core import (
     REGISTRY,
+    AlgorithmCapabilities,
+    AlgorithmInfo,
+    CollectiveRequest,
+    CollectiveResult,
     Communicator,
     CommunicationSchedule,
+    ConsistencyPolicy,
     Message,
     Protocol,
     ReductionOp,
     SSPAllreduce,
+    TuningTable,
     alltoall,
     alltoallv,
     bst_bcast,
@@ -60,6 +71,7 @@ from .core import (
     notification_barrier,
     ring_allgather,
     ring_allreduce,
+    select_algorithm,
     ssp_allreduce_once,
 )
 from .simulate import (
@@ -90,7 +102,15 @@ __all__ = [
     "run_spmd",
     # core
     "REGISTRY",
+    "AlgorithmCapabilities",
+    "AlgorithmInfo",
+    "CollectiveRequest",
+    "CollectiveResult",
     "Communicator",
+    "ConsistencyPolicy",
+    "TuningTable",
+    "select_algorithm",
+    "GroupRuntime",
     "CommunicationSchedule",
     "Message",
     "Protocol",

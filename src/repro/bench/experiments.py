@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..core.policy import ConsistencyPolicy
 from ..core.registry import REGISTRY
 from ..ml.datasets import movielens_like
 from ..ml.sgd import DistributedSGDConfig, run_slack_sweep
@@ -185,11 +186,11 @@ def fig08_bcast(scale: str = "small", elements: int = 10_000) -> Dict:
             "100% mpi-def": "mpi_bcast_default",
             "100% mpi-bin": "mpi_bcast_binomial",
         },
-        algorithm_kwargs={
-            "25% gaspi": {"threshold": 0.25},
-            "50% gaspi": {"threshold": 0.50},
-            "75% gaspi": {"threshold": 0.75},
-            "100% gaspi": {"threshold": 1.0},
+        policies={
+            "25% gaspi": ConsistencyPolicy.data_threshold(0.25),
+            "50% gaspi": ConsistencyPolicy.data_threshold(0.50),
+            "75% gaspi": ConsistencyPolicy.data_threshold(0.75),
+            "100% gaspi": ConsistencyPolicy.strict(),
         },
     )
     series = run_node_sweep(experiment, _node_counts(scale), elements * DOUBLE)
@@ -223,11 +224,11 @@ def fig09_reduce(scale: str = "small", elements: int = 10_000) -> Dict:
             "100% mpi-def": "mpi_reduce_default",
             "100% mpi-bin": "mpi_reduce_binomial",
         },
-        algorithm_kwargs={
-            "25% gaspi": {"threshold": 0.25, "mode": "data"},
-            "50% gaspi": {"threshold": 0.50, "mode": "data"},
-            "75% gaspi": {"threshold": 0.75, "mode": "data"},
-            "100% gaspi": {"threshold": 1.0, "mode": "data"},
+        policies={
+            "25% gaspi": ConsistencyPolicy.data_threshold(0.25),
+            "50% gaspi": ConsistencyPolicy.data_threshold(0.50),
+            "75% gaspi": ConsistencyPolicy.data_threshold(0.75),
+            "100% gaspi": ConsistencyPolicy.strict(),
         },
     )
     series = run_node_sweep(experiment, _node_counts(scale), elements * DOUBLE)
@@ -261,11 +262,11 @@ def fig10_reduce_processes(scale: str = "small", elements: int = 1_000_000) -> D
             "100% mpi-def": "mpi_reduce_default",
             "100% mpi-bin": "mpi_reduce_binomial",
         },
-        algorithm_kwargs={
-            "25% procs gaspi": {"threshold": 0.25, "mode": "processes"},
-            "50% procs gaspi": {"threshold": 0.50, "mode": "processes"},
-            "75% procs gaspi": {"threshold": 0.75, "mode": "processes"},
-            "100% procs gaspi": {"threshold": 1.0, "mode": "processes"},
+        policies={
+            "25% procs gaspi": ConsistencyPolicy.process_threshold(0.25),
+            "50% procs gaspi": ConsistencyPolicy.process_threshold(0.50),
+            "75% procs gaspi": ConsistencyPolicy.process_threshold(0.75),
+            "100% procs gaspi": ConsistencyPolicy.process_threshold(1.0),
         },
     )
     series = run_node_sweep(experiment, _node_counts(scale), elements * DOUBLE)

@@ -2,7 +2,10 @@
 
 Public surface:
 
-* :class:`~repro.core.api.Communicator` — high-level per-rank API.
+* :class:`~repro.core.api.Communicator` — high-level per-rank API, driven
+  by :class:`~repro.core.policy.ConsistencyPolicy` objects and routed
+  through the algorithm :data:`~repro.core.registry.REGISTRY`
+  (``algorithm="auto"`` consults the :mod:`~repro.core.tuning` tables).
 * Functional collectives: :func:`~repro.core.bcast.bst_bcast`,
   :func:`~repro.core.reduce.bst_reduce`,
   :func:`~repro.core.allreduce_ring.ring_allreduce`,
@@ -15,6 +18,13 @@ Public surface:
 """
 
 from .api import Communicator
+from .policy import (
+    CollectiveRequest,
+    CollectiveResult,
+    ConsistencyPolicy,
+    coerce_policy,
+)
+from .tuning import TuningRule, TuningTable, select_algorithm
 from .allgather import ring_allgather, ring_allgather_schedule
 from .allreduce_ring import RingAllreduceStats, ring_allreduce, ring_allreduce_schedule
 from .allreduce_ssp import (
@@ -47,7 +57,12 @@ from .compression import (
 )
 from .reduce import ReduceMode, ReduceResult, bst_reduce, bst_reduce_schedule
 from .reduction_ops import MAX, MIN, PROD, SUM, ReductionOp, available_ops, get_op, register_op
-from .registry import REGISTRY, AlgorithmInfo, AlgorithmRegistry
+from .registry import (
+    REGISTRY,
+    AlgorithmCapabilities,
+    AlgorithmInfo,
+    AlgorithmRegistry,
+)
 from .schedule import (
     CommunicationSchedule,
     LocalCompute,
@@ -68,6 +83,14 @@ from .topology import (
 
 __all__ = [
     "Communicator",
+    "CollectiveRequest",
+    "CollectiveResult",
+    "ConsistencyPolicy",
+    "coerce_policy",
+    "TuningRule",
+    "TuningTable",
+    "select_algorithm",
+    "AlgorithmCapabilities",
     "ring_allgather",
     "ring_allgather_schedule",
     "RingAllreduceStats",

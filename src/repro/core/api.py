@@ -1,43 +1,107 @@
-"""High-level user-facing API: the :class:`Communicator`.
+"""High-level user-facing API: the policy-driven :class:`Communicator`.
 
 A :class:`Communicator` wraps one rank's GASPI runtime and exposes the
-paper's collectives with an mpi4py-flavoured interface::
+paper's collectives with an mpi4py-flavoured interface.  Three ideas make
+up the v2 API:
 
-    from repro import run_spmd, Communicator
+1. **Consistency policies.**  The paper's consistency dial — data
+   thresholds, process thresholds, SSP slack — is a first-class value
+   object, :class:`~repro.core.policy.ConsistencyPolicy`, accepted by
+   every collective (and settable as the communicator default) instead of
+   loose per-call kwargs::
 
-    def worker(runtime):
-        comm = Communicator(runtime)
-        data = np.full(1_000, comm.rank, dtype=np.float64)
-        total = comm.allreduce(data, op="sum", algorithm="ring")
-        comm.bcast(data, root=0, threshold=0.25)     # eventually consistent
-        return total
+       from repro import run_spmd, Communicator, ConsistencyPolicy
 
-    results = run_spmd(8, worker)
+       def worker(runtime):
+           comm = Communicator(runtime)
+           data = np.full(1_000, comm.rank, dtype=np.float64)
+           total = comm.allreduce(data, op="sum")              # strict
+           comm.bcast(data, root=0,
+                      policy=ConsistencyPolicy.data_threshold(0.25))
+           return total
 
-The communicator hands out non-overlapping segment ids to the collectives
-it invokes and keeps persistent state (the SSP mailboxes) alive across
-iterations.
+       results = run_spmd(8, worker)
+
+2. **Registry-routed execution.**  Every collective resolves its
+   algorithm through :data:`~repro.core.registry.REGISTRY`; the default
+   ``algorithm="auto"`` consults a tuning table
+   (:mod:`repro.core.tuning`) that picks latency-optimal algorithms for
+   small payloads and bandwidth-optimal ones for large payloads, exactly
+   as Intel MPI's ``I_MPI_ADJUST_*`` tables do.  The resolved name is
+   recorded on the returned :class:`~repro.core.policy.CollectiveResult`
+   and on :attr:`Communicator.last_result`.
+
+3. **Sub-communicators.**  :meth:`Communicator.split` and
+   :meth:`Communicator.dup` carve rank subsets out of a communicator
+   (built on group-scoped runtimes with disjoint segment-id ranges), so
+   workloads can run collectives on rank subsets — and, when a machine
+   model is attached (``machine=``), every collective additionally
+   replays its registered schedule on the simulator
+   (:mod:`repro.simulate.executor`) and reports the simulated time.
+
+The legacy loose kwargs (``threshold=``, ``mode=``, ``slack=``) are still
+accepted as thin deprecation shims and fold into a policy object.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from ..gaspi.constants import GASPI_BLOCK
 from ..gaspi.runtime import GaspiRuntime
+from ..gaspi.subruntime import GroupRuntime
 from ..utils.validation import require
 from .allgather import ring_allgather
-from .allreduce_ring import ring_allreduce
-from .allreduce_ssp import SSPAllreduce, SSPAllreduceResult, ssp_allreduce_once
-from .alltoall import alltoall as _alltoall
-from .alltoall import alltoallv as _alltoallv
-from .bcast import BroadcastResult, bst_bcast, flat_bcast
-from .reduce import ReduceMode, ReduceResult, bst_reduce
+from .allreduce_ssp import SSPAllreduce, SSPAllreduceResult
+from .policy import (
+    STRICT,
+    CollectiveRequest,
+    CollectiveResult,
+    ConsistencyPolicy,
+    check_policy,
+    coerce_policy,
+)
+from .reduce import ReduceMode
 from .reduction_ops import ReductionOp
+from .registry import REGISTRY, AlgorithmInfo, AlgorithmRegistry
+from .tuning import DEFAULT_TABLES, TuningTable
 
 #: First segment id handed out by a communicator with ``segment_base=0``.
 _SEGMENT_BASE_DEFAULT = 200
+
+#: Width of the segment-id range a default communicator owns.  The lower
+#: half serves this communicator's own collectives; the upper half is
+#: partitioned among its sub-communicators.
+_SEGMENT_SPAN_DEFAULT = 1 << 30
+
+#: Maximum number of ``split()``/``dup()`` calls per communicator: each
+#: consumes one child slice of the upper half of the segment-id range.
+_MAX_CHILD_SPLITS = 16
+
+#: Shorthand algorithm aliases kept from the v1 API, per collective.
+_ALGORITHM_ALIASES: Dict[str, Dict[str, str]] = {
+    "allreduce": {
+        "ring": "gaspi_allreduce_ring",
+        "hypercube": "gaspi_allreduce_ssp_hypercube",
+        "ssp_hypercube": "gaspi_allreduce_ssp_hypercube",
+    },
+    "bcast": {"bst": "gaspi_bcast_bst", "flat": "gaspi_bcast_flat"},
+    "reduce": {"bst": "gaspi_reduce_bst"},
+    "alltoall": {"direct": "gaspi_alltoall"},
+    "allgather": {"ring": "gaspi_allgather_ring"},
+    "barrier": {"dissemination": "gaspi_barrier_dissemination"},
+}
+
+
+def _deprecated_kwarg(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"the {name}= kwarg is deprecated; pass {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class Communicator:
@@ -46,31 +110,100 @@ class Communicator:
     Parameters
     ----------
     runtime:
-        The rank's :class:`~repro.gaspi.runtime.GaspiRuntime`.
+        The rank's :class:`~repro.gaspi.runtime.GaspiRuntime` (or a
+        :class:`~repro.gaspi.subruntime.GroupRuntime` view of one).
     segment_base:
         First segment id this communicator may use.  Two communicators
         living on the same world must use disjoint ranges; every rank must
         construct its communicators in the same order with the same bases.
+    policy:
+        Default :class:`ConsistencyPolicy` for collectives called without
+        an explicit one (strict by default).
+    tuning:
+        :class:`~repro.core.tuning.TuningTable` backing
+        ``algorithm="auto"`` (the family default table when ``None``).
+    machine:
+        Optional :class:`~repro.simulate.machine.MachineModel`.  When set,
+        every dispatched collective also replays its registered schedule
+        on the simulator and attaches the
+        :class:`~repro.simulate.executor.SimulationResult` to the result
+        (the "simulator backend": one dispatch path serves correctness
+        runs and figure regeneration).
+    family:
+        Algorithm family ``auto`` selects from (``"gaspi"`` by default).
+    registry:
+        Algorithm registry to dispatch through (the global one by default).
     """
 
-    def __init__(self, runtime: GaspiRuntime, segment_base: int = _SEGMENT_BASE_DEFAULT) -> None:
+    def __init__(
+        self,
+        runtime: GaspiRuntime,
+        segment_base: int = _SEGMENT_BASE_DEFAULT,
+        *,
+        policy: Optional[ConsistencyPolicy] = None,
+        tuning: Optional[TuningTable] = None,
+        machine=None,
+        family: str = "gaspi",
+        registry: Optional[AlgorithmRegistry] = None,
+        segment_span: int = _SEGMENT_SPAN_DEFAULT,
+    ) -> None:
         self.runtime = runtime
         self._segment_base = int(segment_base)
+        self._segment_span = int(segment_span)
         self._next_segment = int(segment_base)
+        self._policy = policy or STRICT
+        check_policy(self._policy)
+        require(
+            tuning is not None or family in DEFAULT_TABLES,
+            f"unknown tuning family {family!r} (available: "
+            f"{sorted(DEFAULT_TABLES)}); pass an explicit tuning= table to "
+            f"use a custom family",
+        )
+        self._family = family
+        self._registry = registry if registry is not None else REGISTRY
+        self._tuning = tuning or DEFAULT_TABLES[family]
+        self._machine = machine
         self._ssp_instances: Dict[int, SSPAllreduce] = {}
+        self._split_count = 0
+        self._last_result: Optional[CollectiveResult] = None
 
     # ------------------------------------------------------------------ #
     # identity
     # ------------------------------------------------------------------ #
     @property
     def rank(self) -> int:
-        """This process's rank."""
+        """This process's rank within the communicator."""
         return self.runtime.rank
 
     @property
     def size(self) -> int:
-        """Number of ranks in the world."""
+        """Number of ranks in the communicator."""
         return self.runtime.size
+
+    @property
+    def policy(self) -> ConsistencyPolicy:
+        """The default consistency policy of this communicator."""
+        return self._policy
+
+    @property
+    def tuning(self) -> TuningTable:
+        """The tuning table backing ``algorithm="auto"``."""
+        return self._tuning
+
+    @property
+    def machine(self):
+        """The attached machine model (``None`` on pure threaded runs)."""
+        return self._machine
+
+    @property
+    def last_result(self) -> Optional[CollectiveResult]:
+        """Full result of the most recent dispatched collective."""
+        return self._last_result
+
+    @property
+    def is_subcommunicator(self) -> bool:
+        """True when this communicator covers a strict rank subset."""
+        return isinstance(self.runtime, GroupRuntime)
 
     def _allocate_segment_id(self) -> int:
         """Next unused segment id.
@@ -79,15 +212,103 @@ class Communicator:
         sequence of collective calls (the usual SPMD contract).
         """
         sid = self._next_segment
+        require(
+            sid < self._segment_base + self._segment_span // 2,
+            f"communicator exhausted its segment-id range "
+            f"[{self._segment_base}, {self._segment_base + self._segment_span // 2})",
+        )
         self._next_segment += 1
         return sid
 
     # ------------------------------------------------------------------ #
+    # algorithm resolution and dispatch
+    # ------------------------------------------------------------------ #
+    def resolve(
+        self,
+        collective: str,
+        nbytes: int = 0,
+        algorithm: str = "auto",
+        policy: Optional[ConsistencyPolicy] = None,
+    ) -> AlgorithmInfo:
+        """Resolve which registered algorithm a call would execute.
+
+        ``algorithm="auto"`` consults the tuning table with this
+        communicator's size; explicit names accept full registry names
+        ("gaspi_allreduce_ring") or the short v1 aliases ("ring").
+        Raises :class:`ValueError` for unknown or mismatched names.
+        """
+        policy = policy or self._policy
+        if algorithm in (None, "auto"):
+            return self._tuning.select(
+                collective,
+                self.size,
+                nbytes,
+                policy=policy,
+                registry=self._registry,
+                executable=True,
+            )
+        name = str(algorithm)
+        candidates = [
+            name,
+            _ALGORITHM_ALIASES.get(collective, {}).get(name, ""),
+            f"{self._family}_{collective}_{name}",
+        ]
+        for candidate in candidates:
+            if candidate and candidate in self._registry:
+                info = self._registry.get(candidate)
+                require(
+                    info.collective == collective,
+                    f"algorithm {candidate!r} implements {info.collective!r}, "
+                    f"not {collective!r}",
+                )
+                return info
+        known = self._registry.names(collective=collective)
+        raise ValueError(
+            f"unknown {collective} algorithm {algorithm!r}; registered: "
+            f"{', '.join(known) or '<none>'} (or 'auto')"
+        )
+
+    def _schedule_nbytes(self, collective: str, request: CollectiveRequest) -> int:
+        """Payload size the schedule builders expect for this collective."""
+        if collective == "alltoall":
+            return request.nbytes // max(self.size, 1)
+        return request.nbytes
+
+    def _dispatch(
+        self, collective: str, algorithm: str, request: CollectiveRequest
+    ) -> CollectiveResult:
+        """Route one collective through the registry (and the simulator)."""
+        check_policy(request.policy)
+        nbytes = self._schedule_nbytes(collective, request)
+        info = self.resolve(collective, nbytes, algorithm, request.policy)
+        request.segment_id = self._allocate_segment_id()
+        result = info.run(self.runtime, request)
+        if self._machine is not None:
+            from ..simulate.executor import simulate_schedule
+
+            schedule = info.builder(
+                self.size, nbytes, **info.schedule_kwargs(request.policy)
+            )
+            result.simulated = simulate_schedule(
+                schedule, self._machine.with_ranks(self.size)
+            )
+        self._last_result = result
+        return result
+
+    # ------------------------------------------------------------------ #
     # synchronisation
     # ------------------------------------------------------------------ #
-    def barrier(self) -> None:
-        """Global barrier over all ranks."""
-        self.runtime.barrier()
+    def barrier(self, algorithm: Optional[str] = None) -> None:
+        """Barrier over the communicator's ranks.
+
+        The default uses the runtime's native group barrier; passing
+        ``algorithm`` (e.g. ``"auto"`` or ``"dissemination"``) routes
+        through the registered notification barrier instead.
+        """
+        if algorithm is None:
+            self.runtime.barrier()
+            return
+        self._dispatch("barrier", algorithm, CollectiveRequest(collective="barrier"))
 
     # ------------------------------------------------------------------ #
     # broadcast / reduce (eventually consistent)
@@ -96,23 +317,24 @@ class Communicator:
         self,
         buffer: np.ndarray,
         root: int = 0,
-        threshold: float = 1.0,
-        algorithm: str = "bst",
-    ) -> BroadcastResult:
+        policy: Optional[ConsistencyPolicy] = None,
+        algorithm: str = "auto",
+        threshold: Optional[float] = None,
+    ) -> CollectiveResult:
         """Broadcast ``buffer`` from ``root`` (in place on non-root ranks).
 
-        ``threshold < 1`` ships only the leading fraction of the payload —
-        the eventually consistent mode of the paper.
+        A policy with ``threshold < 1`` ships only the leading fraction of
+        the payload — the eventually consistent mode of the paper.
         """
-        impl = {"bst": bst_bcast, "flat": flat_bcast}.get(algorithm)
-        require(impl is not None, f"unknown bcast algorithm {algorithm!r}")
-        return impl(
-            self.runtime,
-            buffer,
-            root=root,
-            threshold=threshold,
-            segment_id=self._allocate_segment_id(),
+        if threshold is not None:
+            _deprecated_kwarg("threshold", "policy=ConsistencyPolicy.data_threshold(...)")
+        effective = coerce_policy(policy, threshold=threshold) if (
+            policy is not None or threshold is not None
+        ) else self._policy
+        request = CollectiveRequest(
+            collective="bcast", sendbuf=buffer, root=root, policy=effective
         )
+        return self._dispatch("bcast", algorithm, request)
 
     def reduce(
         self,
@@ -120,25 +342,31 @@ class Communicator:
         recvbuf: Optional[np.ndarray] = None,
         root: int = 0,
         op: str | ReductionOp = "sum",
-        threshold: float = 1.0,
-        mode: ReduceMode | str = ReduceMode.DATA,
-    ) -> ReduceResult:
-        """Reduce ``sendbuf`` onto ``root`` with an optional threshold.
+        policy: Optional[ConsistencyPolicy] = None,
+        algorithm: str = "auto",
+        threshold: Optional[float] = None,
+        mode: Optional[ReduceMode | str] = None,
+    ) -> CollectiveResult:
+        """Reduce ``sendbuf`` onto ``root`` under a consistency policy.
 
-        ``mode="data"`` reduces only the leading ``threshold`` fraction of
-        the vector; ``mode="processes"`` reduces the full vector over a
-        ``threshold`` fraction of the processes (paper Figures 9 and 10).
+        ``ConsistencyPolicy.data_threshold(f)`` reduces only the leading
+        ``f`` fraction of the vector; ``process_threshold(f)`` reduces the
+        full vector over a fraction of the processes (Figures 9 and 10).
         """
-        return bst_reduce(
-            self.runtime,
-            sendbuf,
+        if threshold is not None or mode is not None:
+            _deprecated_kwarg("threshold/mode", "policy=ConsistencyPolicy(...)")
+        effective = coerce_policy(policy, threshold=threshold, mode=mode) if (
+            policy is not None or threshold is not None or mode is not None
+        ) else self._policy
+        request = CollectiveRequest(
+            collective="reduce",
+            sendbuf=sendbuf,
             recvbuf=recvbuf,
             root=root,
             op=op,
-            threshold=threshold,
-            mode=mode,
-            segment_id=self._allocate_segment_id(),
+            policy=effective,
         )
+        return self._dispatch("reduce", algorithm, request)
 
     # ------------------------------------------------------------------ #
     # allreduce
@@ -148,63 +376,65 @@ class Communicator:
         sendbuf: np.ndarray,
         recvbuf: Optional[np.ndarray] = None,
         op: str | ReductionOp = "sum",
-        algorithm: str = "ring",
+        policy: Optional[ConsistencyPolicy] = None,
+        algorithm: str = "auto",
     ) -> np.ndarray:
-        """Consistent allreduce.
+        """Consistent allreduce; returns the reduced vector.
 
-        ``algorithm="ring"`` is the paper's segmented pipelined ring (best
-        for large vectors); ``algorithm="hypercube"`` is the synchronous
-        hypercube (small vectors / reference).
+        ``algorithm="auto"`` picks the latency-optimal hypercube for small
+        payloads and the paper's segmented pipelined ring for large ones;
+        explicit choices ("ring", "hypercube", or any registry name) are
+        honoured after a capability check.  The dispatched algorithm and
+        status live on :attr:`last_result`.
         """
-        require(
-            algorithm in ("ring", "hypercube"),
-            f"unknown allreduce algorithm {algorithm!r}",
-        )
-        if algorithm == "ring":
-            if recvbuf is None:
-                recvbuf = np.array(sendbuf, copy=True)
-            ring_allreduce(
-                self.runtime,
-                np.ascontiguousarray(sendbuf),
-                recvbuf,
-                op=op,
-                segment_id=self._allocate_segment_id(),
-            )
-            return recvbuf
-        result = ssp_allreduce_once(
-            self.runtime,
-            np.ascontiguousarray(sendbuf),
-            slack=0,
+        request = CollectiveRequest(
+            collective="allreduce",
+            sendbuf=sendbuf,
+            recvbuf=recvbuf,
             op=op,
-            segment_id=self._allocate_segment_id(),
+            policy=policy or self._policy,
         )
-        if recvbuf is not None:
-            recvbuf[:] = result
-            return recvbuf
-        return result
+        return self._dispatch("allreduce", algorithm, request).value
 
     def allreduce_ssp(
         self,
         contribution: np.ndarray,
-        slack: int,
+        slack: Optional[int] = None,
         op: str | ReductionOp = "sum",
         key: int = 0,
         clock: Optional[int] = None,
+        policy: Optional[ConsistencyPolicy] = None,
     ) -> SSPAllreduceResult:
         """Eventually consistent allreduce following the SSP model.
 
         The first call with a given ``key`` creates the persistent mailbox
         state (sized for ``contribution``); subsequent calls with the same
-        ``key`` advance the logical clock and reuse it.  Use
+        ``key`` advance the logical clock and reuse it.  The slack comes
+        from ``policy.slack`` (or the legacy ``slack=`` argument).  Use
         :meth:`close_ssp` when the iterative phase ends.
         """
+        if policy is not None:
+            require(slack is None, "pass either policy= or slack=, not both")
+            effective_slack = policy.slack
+        elif slack is not None:
+            effective_slack = int(slack)
+        else:
+            effective_slack = self._policy.slack
         contribution = np.ascontiguousarray(contribution)
         inst = self._ssp_instances.get(key)
         if inst is None:
+            # The persistent SSP collective cannot be re-dispatched per call
+            # (it keeps mailbox state), but its registry entry still vets the
+            # request — power-of-two world, slack support — so misuse fails
+            # with the same error messages as the one-shot path.
+            info = self._registry.get("gaspi_allreduce_ssp_hypercube")
+            info.check_request(
+                self.size, ConsistencyPolicy.ssp(effective_slack), contribution.dtype
+            )
             inst = SSPAllreduce(
                 self.runtime,
                 contribution.size,
-                slack=slack,
+                slack=effective_slack,
                 op=op,
                 dtype=contribution.dtype,
                 segment_id=self._allocate_segment_id(),
@@ -226,20 +456,28 @@ class Communicator:
     # allgather / alltoall
     # ------------------------------------------------------------------ #
     def allgather(
-        self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray] = None
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray] = None,
+        algorithm: str = "auto",
     ) -> np.ndarray:
         """Gather equal-sized blocks from all ranks onto all ranks."""
-        return ring_allgather(
-            self.runtime, sendbuf, recvbuf, segment_id=self._allocate_segment_id()
+        request = CollectiveRequest(
+            collective="allgather", sendbuf=sendbuf, recvbuf=recvbuf, policy=self._policy
         )
+        return self._dispatch("allgather", algorithm, request).value
 
     def alltoall(
-        self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray] = None
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray] = None,
+        algorithm: str = "auto",
     ) -> np.ndarray:
         """Exchange equal-sized blocks between every pair of ranks."""
-        return _alltoall(
-            self.runtime, sendbuf, recvbuf, segment_id=self._allocate_segment_id()
+        request = CollectiveRequest(
+            collective="alltoall", sendbuf=sendbuf, recvbuf=recvbuf, policy=self._policy
         )
+        return self._dispatch("alltoall", algorithm, request).value
 
     def alltoallv(
         self,
@@ -247,16 +485,94 @@ class Communicator:
         send_counts: Sequence[int],
         recv_counts: Sequence[int],
         recvbuf: Optional[np.ndarray] = None,
+        algorithm: str = "auto",
     ) -> np.ndarray:
         """Variable-size AlltoAll (``MPI_Alltoallv`` equivalent)."""
-        return _alltoallv(
-            self.runtime,
-            sendbuf,
-            send_counts,
-            recv_counts,
-            recvbuf,
-            segment_id=self._allocate_segment_id(),
+        request = CollectiveRequest(
+            collective="alltoall",
+            sendbuf=sendbuf,
+            recvbuf=recvbuf,
+            send_counts=send_counts,
+            recv_counts=recv_counts,
+            policy=self._policy,
         )
+        return self._dispatch("alltoall", algorithm, request).value
+
+    # ------------------------------------------------------------------ #
+    # sub-communicators
+    # ------------------------------------------------------------------ #
+    def _child_segment_range(self, split_seq: int) -> tuple[int, int]:
+        """Disjoint segment-id slice for the ``split_seq``-th child.
+
+        Children live in the upper half of this communicator's range, so
+        parent and child collectives can interleave freely; the same slice
+        is reused across the colors of one split because the color groups
+        are disjoint rank sets that never address each other's segments.
+        """
+        require(
+            split_seq < _MAX_CHILD_SPLITS,
+            f"communicator supports at most {_MAX_CHILD_SPLITS} split()/dup() calls",
+        )
+        child_span = self._segment_span // (2 * _MAX_CHILD_SPLITS)
+        base = self._segment_base + self._segment_span // 2 + split_seq * child_span
+        return base, child_span
+
+    def split(self, color: Optional[int], key: int = 0) -> Optional["Communicator"]:
+        """Partition the communicator into disjoint sub-communicators.
+
+        Collective over **all** ranks of this communicator (like
+        ``MPI_Comm_split``): every rank passes a ``color``; ranks sharing
+        a color form a new communicator whose ranks are ordered by
+        ``(key, old rank)``.  Ranks passing ``color=None`` opt out and
+        receive ``None``.
+
+        The sub-communicator inherits this communicator's default policy,
+        tuning table and machine model, and owns a disjoint segment-id
+        range, so parent and child collectives never collide.
+        """
+        require(
+            color is None or isinstance(color, (int, np.integer)),
+            f"color must be an int or None, got {color!r}",
+        )
+        # Exchange (participates, color, key) over the current group.
+        mine = np.array(
+            [0 if color is None else 1, 0 if color is None else int(color), int(key)],
+            dtype=np.int64,
+        )
+        gathered = ring_allgather(
+            self.runtime, mine, segment_id=self._allocate_segment_id()
+        ).reshape(self.size, 3)
+        split_seq = self._split_count
+        self._split_count += 1
+        if color is None:
+            return None
+        members = [
+            r
+            for r in range(self.size)
+            if gathered[r, 0] and gathered[r, 1] == int(color)
+        ]
+        members.sort(key=lambda r: (int(gathered[r, 2]), r))
+        child_base, child_span = self._child_segment_range(split_seq)
+        return Communicator(
+            GroupRuntime(self.runtime, members),
+            segment_base=child_base,
+            segment_span=child_span,
+            policy=self._policy,
+            tuning=self._tuning,
+            machine=self._machine,
+            family=self._family,
+            registry=self._registry,
+        )
+
+    def dup(self) -> "Communicator":
+        """Duplicate the communicator (same ranks, fresh segment range).
+
+        Collective over all ranks.  Useful to give a library layer its own
+        communication context, as ``MPI_Comm_dup`` does.
+        """
+        dup = self.split(0, key=0)
+        assert dup is not None  # every rank participates with the same color
+        return dup
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -273,4 +589,5 @@ class Communicator:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Communicator(rank={self.rank}, size={self.size})"
+        kind = "subcommunicator" if self.is_subcommunicator else "world"
+        return f"Communicator(rank={self.rank}, size={self.size}, {kind})"

@@ -1,0 +1,244 @@
+"""First-class consistency policies for the collective API.
+
+The paper's central idea is that a collective should expose a *consistency
+dial* rather than a single synchronous semantics: ship only a fraction of
+the data (data threshold), engage only a fraction of the processes
+(process threshold), or accept bounded-stale contributions (SSP slack).
+The seed API scattered these knobs as loose keyword arguments
+(``threshold=``, ``mode=``, ``slack=``) across per-collective methods;
+this module makes them one value object, :class:`ConsistencyPolicy`, that
+every :class:`~repro.core.api.Communicator` collective accepts and every
+registered algorithm advertises support for
+(:class:`~repro.core.registry.AlgorithmCapabilities`).
+
+The other two dataclasses form the uniform currency of the dispatch path:
+
+* :class:`CollectiveRequest` — everything an executable algorithm needs to
+  run one collective (buffers, root, operator, policy, workspace segment);
+* :class:`CollectiveResult` — the outcome: the value, the algorithm that
+  produced it, the per-algorithm status detail (e.g.
+  :class:`~repro.core.bcast.BroadcastResult`) and, when a machine model is
+  attached, the simulated :class:`~repro.simulate.executor.SimulationResult`.
+
+``CollectiveResult`` delegates unknown attributes to its ``detail`` so
+existing code written against the old per-collective result types
+(``result.elements_received``, ``result.participated``, …) keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..gaspi.constants import GASPI_BLOCK
+from ..utils.validation import check_fraction, require
+from .reduce import ReduceMode
+from .reduction_ops import ReductionOp
+
+
+@dataclass(frozen=True)
+class ConsistencyPolicy:
+    """The paper's consistency dial as a single immutable value object.
+
+    Attributes
+    ----------
+    threshold:
+        Fraction in ``(0, 1]`` of the data (``mode="data"``) or of the
+        processes (``mode="processes"``) a collective must cover before it
+        is considered complete.  ``1.0`` is the fully consistent behaviour.
+    mode:
+        What the threshold applies to: :data:`ReduceMode.DATA` ships only
+        the leading fraction of every vector (paper Figures 8 & 9);
+        :data:`ReduceMode.PROCESSES` ships full vectors but lets the ranks
+        farthest from the root stay silent (Figure 10).
+    slack:
+        Stale Synchronous Parallelism slack in iterations for the SSP
+        collectives (paper Algorithm 1); ``0`` means fully synchronous.
+    """
+
+    threshold: float = 1.0
+    mode: ReduceMode = ReduceMode.DATA
+    slack: int = 0
+
+    def __post_init__(self) -> None:
+        check_fraction(self.threshold, "policy threshold")
+        object.__setattr__(self, "mode", ReduceMode(self.mode))
+        require(
+            isinstance(self.slack, (int, np.integer)) and self.slack >= 0,
+            f"policy slack must be a non-negative integer, got {self.slack!r}",
+        )
+        object.__setattr__(self, "slack", int(self.slack))
+
+    # ------------------------------------------------------------------ #
+    # constructors for the three dial positions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def strict(cls) -> "ConsistencyPolicy":
+        """Fully consistent: all data, all processes, zero slack."""
+        return cls()
+
+    @classmethod
+    def data_threshold(cls, threshold: float) -> "ConsistencyPolicy":
+        """Eventually consistent in the data: ship the leading fraction."""
+        return cls(threshold=threshold, mode=ReduceMode.DATA)
+
+    @classmethod
+    def process_threshold(cls, threshold: float) -> "ConsistencyPolicy":
+        """Eventually consistent in the processes: a rank subset reduces."""
+        return cls(threshold=threshold, mode=ReduceMode.PROCESSES)
+
+    @classmethod
+    def ssp(cls, slack: int) -> "ConsistencyPolicy":
+        """Stale-synchronous: accept contributions up to ``slack`` old."""
+        return cls(slack=slack)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_strict(self) -> bool:
+        """True when this policy requests the fully consistent semantics."""
+        return self.threshold >= 1.0 and self.slack == 0
+
+    def describe(self) -> str:
+        """Short human-readable form used in error messages and reports."""
+        if self.is_strict:
+            return "strict"
+        parts = []
+        if self.threshold < 1.0:
+            parts.append(f"{int(self.threshold * 100)}% {self.mode.value}")
+        if self.slack > 0:
+            parts.append(f"slack={self.slack}")
+        return ", ".join(parts)
+
+
+#: The default policy used when a collective is called without one.
+STRICT = ConsistencyPolicy()
+
+
+def check_policy(policy: object) -> None:
+    """Reject non-policy values early with a migration hint.
+
+    Catches v1-style positional calls (``comm.bcast(buf, 0, 0.25)``) where
+    a bare threshold float lands in the ``policy`` parameter — without
+    this, the mistake surfaces as an AttributeError deep in capability
+    checking.
+    """
+    if not isinstance(policy, ConsistencyPolicy):
+        raise TypeError(
+            f"policy must be a ConsistencyPolicy, got {policy!r}; a bare "
+            f"threshold is no longer accepted positionally — pass "
+            f"policy=ConsistencyPolicy.data_threshold(...) instead"
+        )
+
+
+def coerce_policy(
+    policy: Optional[ConsistencyPolicy],
+    threshold: Optional[float] = None,
+    mode: Optional[ReduceMode | str] = None,
+    slack: Optional[int] = None,
+) -> ConsistencyPolicy:
+    """Merge a policy object with legacy loose kwargs into one policy.
+
+    The deprecated per-call kwargs (``threshold=``, ``mode=``, ``slack=``)
+    may not be combined with an explicit ``policy`` — that would make the
+    effective consistency ambiguous.
+    """
+    loose = {
+        k: v
+        for k, v in (("threshold", threshold), ("mode", mode), ("slack", slack))
+        if v is not None
+    }
+    if policy is not None:
+        check_policy(policy)
+        require(
+            not loose,
+            f"pass either policy= or the legacy kwargs {sorted(loose)}, not both",
+        )
+        return policy
+    if not loose:
+        return STRICT
+    return ConsistencyPolicy(
+        threshold=threshold if threshold is not None else 1.0,
+        mode=mode if mode is not None else ReduceMode.DATA,
+        slack=slack if slack is not None else 0,
+    )
+
+
+@dataclass
+class CollectiveRequest:
+    """One collective invocation, as handed to a registered algorithm.
+
+    The request is backend-agnostic: the threaded runners execute it with
+    real data movement, while the simulator backend additionally replays
+    the algorithm's communication schedule on a machine model.
+    """
+
+    collective: str
+    sendbuf: Optional[np.ndarray] = None
+    recvbuf: Optional[np.ndarray] = None
+    root: int = 0
+    op: str | ReductionOp = "sum"
+    policy: ConsistencyPolicy = field(default_factory=ConsistencyPolicy)
+    send_counts: Optional[Sequence[int]] = None
+    recv_counts: Optional[Sequence[int]] = None
+    segment_id: int = 0
+    queue: int = 0
+    timeout: float = GASPI_BLOCK
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (0 for data-free collectives)."""
+        if self.sendbuf is None:
+            return 0
+        return int(np.asarray(self.sendbuf).nbytes)
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one dispatched collective on one rank.
+
+    Attributes
+    ----------
+    value:
+        The rank's output buffer (``None`` for pure synchronisation).
+    algorithm:
+        Registry name of the algorithm that actually ran — with
+        ``algorithm="auto"`` this records the tuning table's choice.
+    policy:
+        The effective consistency policy.
+    detail:
+        The algorithm's own status object (:class:`BroadcastResult`,
+        :class:`ReduceResult`, :class:`RingAllreduceStats`, …).
+    simulated:
+        :class:`~repro.simulate.executor.SimulationResult` of the
+        algorithm's schedule when the communicator carries a machine
+        model; ``None`` otherwise.
+    """
+
+    value: Optional[np.ndarray]
+    algorithm: str = ""
+    policy: ConsistencyPolicy = field(default_factory=ConsistencyPolicy)
+    detail: Any = None
+    simulated: Any = None
+
+    @property
+    def simulated_seconds(self) -> Optional[float]:
+        """Simulated completion time, when a machine model was attached."""
+        return None if self.simulated is None else self.simulated.total_time
+
+    def __getattr__(self, name: str) -> Any:
+        # Delegate unknown attributes to the per-algorithm detail object so
+        # callers written against the old result types keep working
+        # (e.g. ``result.elements_received`` on a broadcast).
+        detail = object.__getattribute__(self, "detail")
+        if detail is not None and not name.startswith("_"):
+            try:
+                return getattr(detail, name)
+            except AttributeError:
+                pass
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r} "
+            f"(detail is {type(detail).__name__!r})"
+        )

@@ -1,38 +1,181 @@
-"""Registry of collective algorithms (schedule builders).
+"""Registry of collective algorithms: schedule builders *and* runners.
 
-The benchmark harness regenerates the paper's figures by asking the
-registry for named algorithms ("gaspi_allreduce_ring", "mpi_allreduce_ring",
-"mpi_bcast_binomial", …) and simulating their schedules over a machine
-model.  Registering by name keeps the per-figure experiment definitions
-declarative (collective kind + algorithm names + sweep parameters).
+Every registered :class:`AlgorithmInfo` carries up to three things:
 
-A schedule builder is any callable ``builder(num_ranks, nbytes, **kwargs)``
-returning a :class:`~repro.core.schedule.CommunicationSchedule`.
+* a **schedule builder** ``builder(num_ranks, nbytes, **kwargs)`` returning
+  a :class:`~repro.core.schedule.CommunicationSchedule` for the timing
+  simulator (all algorithms have one — it is how the paper's figures are
+  regenerated);
+* an executable **runner** ``run(runtime, request)`` that performs the
+  collective for real on a :class:`~repro.gaspi.runtime.GaspiRuntime`,
+  taking a :class:`~repro.core.policy.CollectiveRequest` and returning a
+  :class:`~repro.core.policy.CollectiveResult` (the GASPI collectives and
+  the functional MPI baselines have one; schedule-only entries raise a
+  descriptive error when asked to execute);
+* **capability metadata** (:class:`AlgorithmCapabilities`) describing which
+  consistency policies, world sizes and dtypes the algorithm accepts, so
+  dispatch failures surface as clear errors *before* any communication and
+  the tuning tables can skip unsupported candidates.
+
+The user-facing :class:`~repro.core.api.Communicator` routes every
+collective through this registry (``algorithm="auto"`` consults the tuning
+table in :mod:`repro.core.tuning`); the benchmark harness resolves the
+same names, so the two paths cannot diverge.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
+from ..utils.validation import is_power_of_two
+from .policy import CollectiveRequest, CollectiveResult, ConsistencyPolicy
 from .schedule import CommunicationSchedule
 
 ScheduleBuilder = Callable[..., CommunicationSchedule]
+Runner = Callable[..., CollectiveResult]  # runner(runtime, request)
+
+
+@dataclass(frozen=True)
+class AlgorithmCapabilities:
+    """What a registered algorithm can and cannot do.
+
+    Attributes
+    ----------
+    supports_threshold:
+        Accepts ``policy.threshold < 1`` (the eventually consistent modes).
+    modes:
+        Threshold interpretations accepted (``"data"`` and/or
+        ``"processes"``).
+    supports_slack:
+        Accepts ``policy.slack > 0`` (the SSP collectives).
+    supports_op:
+        Honours the reduction-operator argument (reducing collectives).
+    min_ranks / max_ranks:
+        Valid communicator-size range (``None`` = unbounded above).
+    requires_power_of_two:
+        World size must be 2^k (hypercube/recursive-doubling algorithms).
+    dtype:
+        Required element dtype name, when the implementation is fixed to
+        one (the two-sided MPI baselines stage float64 envelopes).
+    """
+
+    supports_threshold: bool = False
+    modes: Tuple[str, ...] = ("data",)
+    supports_slack: bool = False
+    supports_op: bool = False
+    min_ranks: int = 1
+    max_ranks: Optional[int] = None
+    requires_power_of_two: bool = False
+    dtype: Optional[str] = None
+
+    def unsupported_reason(
+        self,
+        num_ranks: int,
+        policy: Optional[ConsistencyPolicy] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> Optional[str]:
+        """Why a request is unsupported, or ``None`` when it is fine."""
+        if num_ranks < self.min_ranks:
+            return f"needs at least {self.min_ranks} ranks, got {num_ranks}"
+        if self.max_ranks is not None and num_ranks > self.max_ranks:
+            return f"supports at most {self.max_ranks} ranks, got {num_ranks}"
+        if self.requires_power_of_two and not is_power_of_two(num_ranks):
+            return f"requires a power-of-two world size, got {num_ranks}"
+        if policy is not None:
+            if policy.threshold < 1.0:
+                if not self.supports_threshold:
+                    return "does not support partial (threshold < 1) delivery"
+                if policy.mode.value not in self.modes:
+                    return (
+                        f"does not support the {policy.mode.value!r} threshold "
+                        f"mode (supported: {', '.join(self.modes)})"
+                    )
+            if policy.slack > 0 and not self.supports_slack:
+                return "does not support SSP slack"
+        if self.dtype is not None and dtype is not None:
+            if np.dtype(dtype) != np.dtype(self.dtype):
+                return f"only supports dtype {self.dtype}, got {np.dtype(dtype)}"
+        return None
 
 
 @dataclass(frozen=True)
 class AlgorithmInfo:
-    """Registered algorithm metadata."""
+    """Registered algorithm: identity, builder, runner and capabilities."""
 
     name: str
     collective: str
     family: str  # "gaspi" or "mpi"
     builder: ScheduleBuilder
     description: str = ""
+    runner: Optional[Runner] = None
+    capabilities: AlgorithmCapabilities = field(default_factory=AlgorithmCapabilities)
+
+    @property
+    def executable(self) -> bool:
+        """True when the algorithm has a real ``run`` entry point."""
+        return self.runner is not None
+
+    # ------------------------------------------------------------------ #
+    # capability checking
+    # ------------------------------------------------------------------ #
+    def supports(
+        self,
+        num_ranks: int,
+        policy: Optional[ConsistencyPolicy] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> Tuple[bool, str]:
+        """(supported?, reason-if-not) for a prospective request."""
+        reason = self.capabilities.unsupported_reason(num_ranks, policy, dtype)
+        return (reason is None), (reason or "")
+
+    def check_request(
+        self,
+        num_ranks: int,
+        policy: Optional[ConsistencyPolicy] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> None:
+        """Raise :class:`ValueError` when the algorithm cannot serve this."""
+        reason = self.capabilities.unsupported_reason(num_ranks, policy, dtype)
+        if reason is not None:
+            raise ValueError(f"algorithm {self.name!r} {reason}")
+
+    def schedule_kwargs(self, policy: Optional[ConsistencyPolicy] = None) -> dict:
+        """Builder kwargs encoding the policy, for simulation of this entry."""
+        if policy is None:
+            return {}
+        kwargs: dict = {}
+        if self.capabilities.supports_threshold:
+            kwargs["threshold"] = policy.threshold
+            if len(self.capabilities.modes) > 1:
+                kwargs["mode"] = policy.mode
+        return kwargs
+
+    # ------------------------------------------------------------------ #
+    def run(self, runtime, request: CollectiveRequest) -> CollectiveResult:
+        """Execute the collective for real on ``runtime``.
+
+        Validates capabilities against the world size, policy and payload
+        dtype first so misuse fails fast with a clear message instead of a
+        deadlocked collective.
+        """
+        if self.runner is None:
+            raise ValueError(
+                f"algorithm {self.name!r} is schedule-only (no executable "
+                f"runner); simulate it through the benchmark harness instead"
+            )
+        dtype = None if request.sendbuf is None else np.asarray(request.sendbuf).dtype
+        self.check_request(runtime.size, request.policy, dtype)
+        result = self.runner(runtime, request)
+        result.algorithm = self.name
+        result.policy = request.policy
+        return result
 
 
 class AlgorithmRegistry:
-    """Name → schedule-builder registry with per-collective listing."""
+    """Name → :class:`AlgorithmInfo` registry with per-collective listing."""
 
     def __init__(self) -> None:
         self._algorithms: Dict[str, AlgorithmInfo] = {}
@@ -44,9 +187,11 @@ class AlgorithmRegistry:
         family: str,
         builder: ScheduleBuilder,
         description: str = "",
+        runner: Optional[Runner] = None,
+        capabilities: Optional[AlgorithmCapabilities] = None,
         overwrite: bool = False,
     ) -> None:
-        """Register a schedule builder under a unique name."""
+        """Register an algorithm under a unique name."""
         if name in self._algorithms and not overwrite:
             raise ValueError(f"algorithm {name!r} is already registered")
         self._algorithms[name] = AlgorithmInfo(
@@ -55,6 +200,26 @@ class AlgorithmRegistry:
             family=family,
             builder=builder,
             description=description,
+            runner=runner,
+            capabilities=capabilities or AlgorithmCapabilities(),
+        )
+
+    def attach_runner(
+        self,
+        name: str,
+        runner: Runner,
+        capabilities: Optional[AlgorithmCapabilities] = None,
+    ) -> None:
+        """Add (or replace) the executable path of an existing entry."""
+        info = self.get(name)
+        self._algorithms[name] = AlgorithmInfo(
+            name=info.name,
+            collective=info.collective,
+            family=info.family,
+            builder=info.builder,
+            description=info.description,
+            runner=runner,
+            capabilities=capabilities or info.capabilities,
         )
 
     def get(self, name: str) -> AlgorithmInfo:
@@ -68,15 +233,24 @@ class AlgorithmRegistry:
         """Build the schedule of a registered algorithm."""
         return self.get(name).builder(num_ranks, nbytes, **kwargs)
 
+    def run(self, name: str, runtime, request: CollectiveRequest) -> CollectiveResult:
+        """Execute a registered algorithm for real (capability-checked)."""
+        return self.get(name).run(runtime, request)
+
     def names(
-        self, collective: Optional[str] = None, family: Optional[str] = None
+        self,
+        collective: Optional[str] = None,
+        family: Optional[str] = None,
+        executable: Optional[bool] = None,
     ) -> List[str]:
-        """Registered names, optionally filtered by collective and/or family."""
+        """Registered names, optionally filtered."""
         out = []
         for name, info in sorted(self._algorithms.items()):
             if collective is not None and info.collective != collective:
                 continue
             if family is not None and info.family != family:
+                continue
+            if executable is not None and info.executable != executable:
                 continue
             out.append(name)
         return out
@@ -91,8 +265,140 @@ class AlgorithmRegistry:
         return list(self._algorithms.values())
 
 
-#: Global registry used by the benchmark harness.
+#: Global registry shared by the Communicator and the benchmark harness.
 REGISTRY = AlgorithmRegistry()
+
+
+# --------------------------------------------------------------------------- #
+# runners for the GASPI collectives
+# --------------------------------------------------------------------------- #
+def _run_bcast_bst(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .bcast import bst_bcast
+
+    detail = bst_bcast(
+        runtime,
+        request.sendbuf,
+        root=request.root,
+        threshold=request.policy.threshold,
+        segment_id=request.segment_id,
+        queue=request.queue,
+        timeout=request.timeout,
+    )
+    return CollectiveResult(value=request.sendbuf, detail=detail)
+
+
+def _run_bcast_flat(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .bcast import flat_bcast
+
+    detail = flat_bcast(
+        runtime,
+        request.sendbuf,
+        root=request.root,
+        threshold=request.policy.threshold,
+        segment_id=request.segment_id,
+        queue=request.queue,
+        timeout=request.timeout,
+    )
+    return CollectiveResult(value=request.sendbuf, detail=detail)
+
+
+def _run_reduce_bst(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .reduce import bst_reduce
+
+    detail = bst_reduce(
+        runtime,
+        request.sendbuf,
+        recvbuf=request.recvbuf,
+        root=request.root,
+        op=request.op,
+        threshold=request.policy.threshold,
+        mode=request.policy.mode,
+        segment_id=request.segment_id,
+        queue=request.queue,
+        timeout=request.timeout,
+    )
+    return CollectiveResult(value=request.recvbuf, detail=detail)
+
+
+def _run_allreduce_ring(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .allreduce_ring import ring_allreduce
+
+    recvbuf = request.recvbuf
+    if recvbuf is None:
+        recvbuf = np.array(request.sendbuf, copy=True)
+    detail = ring_allreduce(
+        runtime,
+        np.ascontiguousarray(request.sendbuf),
+        recvbuf,
+        op=request.op,
+        segment_id=request.segment_id,
+        queue=request.queue,
+        timeout=request.timeout,
+    )
+    return CollectiveResult(value=recvbuf, detail=detail)
+
+
+def _run_allreduce_hypercube(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .allreduce_ssp import ssp_allreduce_once
+
+    value = ssp_allreduce_once(
+        runtime,
+        np.ascontiguousarray(request.sendbuf),
+        slack=request.policy.slack,
+        op=request.op,
+        segment_id=request.segment_id,
+    )
+    if request.recvbuf is not None:
+        request.recvbuf[:] = value
+        value = request.recvbuf
+    return CollectiveResult(value=value)
+
+
+def _run_alltoall(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .alltoall import alltoall, alltoallv
+
+    if request.send_counts is not None or request.recv_counts is not None:
+        value = alltoallv(
+            runtime,
+            request.sendbuf,
+            request.send_counts,
+            request.recv_counts,
+            request.recvbuf,
+            segment_id=request.segment_id,
+            queue=request.queue,
+            timeout=request.timeout,
+        )
+    else:
+        value = alltoall(
+            runtime,
+            request.sendbuf,
+            request.recvbuf,
+            segment_id=request.segment_id,
+            queue=request.queue,
+            timeout=request.timeout,
+        )
+    return CollectiveResult(value=value)
+
+
+def _run_allgather_ring(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .allgather import ring_allgather
+
+    value = ring_allgather(
+        runtime,
+        request.sendbuf,
+        request.recvbuf,
+        segment_id=request.segment_id,
+        queue=request.queue,
+        timeout=request.timeout,
+    )
+    return CollectiveResult(value=value)
+
+
+def _run_barrier(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .barrier import notification_barrier
+
+    notification_barrier(runtime, segment_id=request.segment_id, timeout=request.timeout)
+    return CollectiveResult(value=None)
 
 
 def _register_core_algorithms() -> None:
@@ -114,6 +420,8 @@ def _register_core_algorithms() -> None:
         collective="bcast",
         family="gaspi",
         builder=bst_bcast_schedule,
+        runner=_run_bcast_bst,
+        capabilities=AlgorithmCapabilities(supports_threshold=True, modes=("data",)),
         description="Binomial spanning tree broadcast with data threshold (paper III-B)",
     )
     REGISTRY.register(
@@ -121,6 +429,8 @@ def _register_core_algorithms() -> None:
         collective="bcast",
         family="gaspi",
         builder=flat_bcast_schedule,
+        runner=_run_bcast_flat,
+        capabilities=AlgorithmCapabilities(supports_threshold=True, modes=("data",)),
         description="Flat broadcast: P-1 write_notify calls from the root",
     )
     REGISTRY.register(
@@ -128,6 +438,10 @@ def _register_core_algorithms() -> None:
         collective="reduce",
         family="gaspi",
         builder=bst_reduce_schedule,
+        runner=_run_reduce_bst,
+        capabilities=AlgorithmCapabilities(
+            supports_threshold=True, modes=("data", "processes"), supports_op=True
+        ),
         description="Binomial spanning tree reduce with data/process threshold (paper III-B)",
     )
     REGISTRY.register(
@@ -135,6 +449,8 @@ def _register_core_algorithms() -> None:
         collective="allreduce",
         family="gaspi",
         builder=ring_allreduce_schedule,
+        runner=_run_allreduce_ring,
+        capabilities=AlgorithmCapabilities(supports_op=True),
         description="Segmented pipelined ring allreduce with notifications (paper IV-A)",
     )
     REGISTRY.register(
@@ -142,6 +458,10 @@ def _register_core_algorithms() -> None:
         collective="allreduce",
         family="gaspi",
         builder=hypercube_allreduce_schedule,
+        runner=_run_allreduce_hypercube,
+        capabilities=AlgorithmCapabilities(
+            supports_op=True, supports_slack=True, requires_power_of_two=True
+        ),
         description="Hypercube allreduce underlying allreduce_SSP (paper III-A)",
     )
     REGISTRY.register(
@@ -149,6 +469,7 @@ def _register_core_algorithms() -> None:
         collective="alltoall",
         family="gaspi",
         builder=alltoall_schedule,
+        runner=_run_alltoall,
         description="Direct write_notify AlltoAll (paper IV-B)",
     )
     REGISTRY.register(
@@ -156,6 +477,7 @@ def _register_core_algorithms() -> None:
         collective="allgather",
         family="gaspi",
         builder=ring_allgather_schedule,
+        runner=_run_allgather_ring,
         description="Ring allgather (second stage of the pipelined ring allreduce)",
     )
     REGISTRY.register(
@@ -165,6 +487,7 @@ def _register_core_algorithms() -> None:
         builder=lambda num_ranks, nbytes=0, **kw: dissemination_barrier_schedule(
             num_ranks, **kw
         ),
+        runner=_run_barrier,
         description="Dissemination barrier built on notifications",
     )
 

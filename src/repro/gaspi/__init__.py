@@ -43,6 +43,7 @@ from .notifications import NotificationBoard
 from .queue import CommunicationQueue, WriteRequest
 from .group import Group
 from .runtime import GaspiRuntime
+from .subruntime import GroupRuntime
 from .threaded import ThreadedWorld, ThreadedRuntime, WorldConfig
 from .spmd import run_spmd, SpmdError
 
@@ -63,6 +64,7 @@ __all__ = [
     "CommunicationQueue",
     "WriteRequest",
     "Group",
+    "GroupRuntime",
     "GaspiRuntime",
     "ThreadedWorld",
     "ThreadedRuntime",

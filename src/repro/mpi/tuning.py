@@ -25,6 +25,14 @@ from typing import Callable, Dict
 
 from ..core.registry import REGISTRY
 from ..core.schedule import CommunicationSchedule
+from ..core.tuning import (
+    ALLREDUCE_MEDIUM,
+    ALLREDUCE_SMALL,
+    ALLTOALL_MEDIUM,
+    ALLTOALL_SMALL,
+    BCAST_SMALL,
+    REDUCE_SMALL,
+)
 
 #: Human-readable labels of the Figure 11 variants (mpi1..mpi12).
 ALLREDUCE_VARIANT_LABELS: Dict[str, str] = {
@@ -42,13 +50,16 @@ ALLREDUCE_VARIANT_LABELS: Dict[str, str] = {
     "mpi12_shm_knary": "topology aware SHM-based Knary",
 }
 
-# Selection thresholds (bytes).
-_ALLREDUCE_SMALL = 8 * 1024
-_ALLREDUCE_MEDIUM = 256 * 1024
-_BCAST_SMALL = 12 * 1024
-_REDUCE_SMALL = 32 * 1024
-_ALLTOALL_SMALL = 1024
-_ALLTOALL_MEDIUM = 64 * 1024
+# Selection thresholds (bytes) — the canonical values live in
+# repro.core.tuning so the GASPI auto-selection and the MPI defaults are
+# tuned on the same scale; the underscored aliases are kept for
+# backwards compatibility.
+_ALLREDUCE_SMALL = ALLREDUCE_SMALL
+_ALLREDUCE_MEDIUM = ALLREDUCE_MEDIUM
+_BCAST_SMALL = BCAST_SMALL
+_REDUCE_SMALL = REDUCE_SMALL
+_ALLTOALL_SMALL = ALLTOALL_SMALL
+_ALLTOALL_MEDIUM = ALLTOALL_MEDIUM
 
 
 def select_allreduce_variant(num_ranks: int, nbytes: int) -> Callable[..., CommunicationSchedule]:
@@ -98,21 +109,31 @@ def default_allreduce_schedule(num_ranks: int, nbytes: int, **kwargs) -> Communi
 
 
 def register_mpi_algorithms(overwrite: bool = False) -> None:
-    """Register every MPI baseline in the global algorithm registry."""
+    """Register every MPI baseline in the global algorithm registry.
+
+    Schedule builders serve the timing simulator; where a functional
+    two-sided implementation exists (:mod:`repro.mpi.executable`), the
+    entry additionally carries an executable runner and its capability
+    metadata, so the Communicator can run the baseline for real.
+    """
     from . import allreduce_variants as av
     from . import alltoall_variants as atv
     from . import bcast_variants as bv
     from . import reduce_variants as rv
+    from .executable import EXECUTABLE_BASELINES
 
     def reg(name: str, collective: str, builder, description: str) -> None:
         if name in REGISTRY and not overwrite:
             return
+        runner, capabilities = EXECUTABLE_BASELINES.get(name, (None, None))
         REGISTRY.register(
             name,
             collective=collective,
             family="mpi",
             builder=builder,
             description=description,
+            runner=runner,
+            capabilities=capabilities,
             overwrite=overwrite,
         )
 

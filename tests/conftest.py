@@ -1,12 +1,17 @@
-"""Shared pytest fixtures and helpers for the test suite."""
+"""Shared pytest fixtures for the test suite.
+
+Plain helper functions live in :mod:`tests.helpers` (re-exported here for
+backwards compatibility); conftest keeps only fixtures.
+"""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.gaspi import ThreadedWorld, WorldConfig, run_spmd
+from repro.gaspi import ThreadedWorld, WorldConfig
 from repro.simulate import skylake_fdr
+
+from tests.helpers import expected_sum, rank_vector, spmd  # noqa: F401
 
 
 @pytest.fixture
@@ -39,21 +44,3 @@ def machine32():
     return skylake_fdr(32)
 
 
-def spmd(num_ranks, fn, *args, **kwargs):
-    """Run an SPMD region with a CI-friendly timeout."""
-    kwargs.setdefault("timeout", 60.0)
-    return run_spmd(num_ranks, fn, *args, **kwargs)
-
-
-def rank_vector(rank: int, n: int, dtype=np.float64) -> np.ndarray:
-    """Deterministic per-rank test vector."""
-    rng = np.random.default_rng(1000 + rank)
-    return rng.standard_normal(n).astype(dtype)
-
-
-def expected_sum(num_ranks: int, n: int, dtype=np.float64) -> np.ndarray:
-    """Exact elementwise sum of every rank's :func:`rank_vector`."""
-    total = np.zeros(n, dtype=np.float64)
-    for r in range(num_ranks):
-        total += rank_vector(r, n, dtype)
-    return total.astype(dtype)

@@ -7,7 +7,7 @@ import pytest
 from repro.core import Communicator, SSPAllreduce, ssp_allreduce_once
 from repro.gaspi import run_spmd
 
-from ..conftest import expected_sum, rank_vector, spmd
+from tests.helpers import expected_sum, rank_vector, spmd
 
 
 POW2_SIZES = [1, 2, 4, 8]

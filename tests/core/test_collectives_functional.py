@@ -24,7 +24,7 @@ from repro.core import (
 )
 from repro.gaspi import WorldConfig, run_spmd
 
-from ..conftest import expected_sum, rank_vector, spmd
+from tests.helpers import expected_sum, rank_vector, spmd
 
 
 SIZES = [1, 2, 3, 4, 5, 8]

@@ -1,0 +1,35 @@
+"""Shared test helpers, importable as :mod:`tests.helpers`.
+
+These used to live in ``tests/conftest.py``, but importing helpers from a
+conftest via relative imports breaks pytest's module loading ("attempted
+relative import with no known parent package").  Keeping them in a proper
+module lets every test package import them the same way::
+
+    from tests.helpers import expected_sum, rank_vector, spmd
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaspi import run_spmd
+
+
+def spmd(num_ranks, fn, *args, **kwargs):
+    """Run an SPMD region with a CI-friendly timeout."""
+    kwargs.setdefault("timeout", 60.0)
+    return run_spmd(num_ranks, fn, *args, **kwargs)
+
+
+def rank_vector(rank: int, n: int, dtype=np.float64) -> np.ndarray:
+    """Deterministic per-rank test vector."""
+    rng = np.random.default_rng(1000 + rank)
+    return rng.standard_normal(n).astype(dtype)
+
+
+def expected_sum(num_ranks: int, n: int, dtype=np.float64) -> np.ndarray:
+    """Exact elementwise sum of every rank's :func:`rank_vector`."""
+    total = np.zeros(n, dtype=np.float64)
+    for r in range(num_ranks):
+        total += rank_vector(r, n, dtype)
+    return total.astype(dtype)

@@ -12,7 +12,7 @@ from repro.core import Communicator, ring_allreduce, ssp_allreduce_once
 from repro.mpi import TwoSidedLayer
 from repro.mpi.allreduce_variants import recursive_doubling_allreduce, ring_allreduce_twosided
 
-from ..conftest import expected_sum, rank_vector, spmd
+from tests.helpers import expected_sum, rank_vector, spmd
 
 
 class TestAllreduceAgreement:

@@ -25,7 +25,7 @@ from repro.mpi.bcast_variants import binomial_bcast_schedule, binomial_bcast_two
 from repro.mpi.reduce_variants import binomial_reduce_schedule, binomial_reduce_twosided, reduce_scatter_gather_schedule
 from repro.mpi.tuning import ALLREDUCE_VARIANT_LABELS, select_bcast_variant, select_reduce_variant
 
-from ..conftest import expected_sum, rank_vector, spmd
+from tests.helpers import expected_sum, rank_vector, spmd
 
 
 # --------------------------------------------------------------------------- #
