@@ -1,0 +1,50 @@
+"""Fault experiments — crash count and arrival skew vs. completion/error."""
+
+import pytest
+
+from repro.bench.faults import crash_sweep, skew_sweep
+
+from .conftest import run_once
+
+
+def test_crash_sweep(benchmark):
+    result = run_once(
+        benchmark, crash_sweep, num_ranks=8, crash_counts=(0, 1, 2), elements=1024
+    )
+
+    print()
+    print(result["title"])
+    print(result["table"])
+
+    rows = {r["crashes"]: r for r in result["rows"]}
+    # Degraded completion never waits for the dead: fewer contributors,
+    # strictly less simulated exchange time.
+    assert rows[2]["simulated_us"] < rows[1]["simulated_us"] < rows[0]["simulated_us"]
+    # The degraded error grows with the crash count; the correction pass
+    # restores the exact result once the crashed ranks re-contribute.
+    assert rows[0]["degraded_error"] < 1e-12
+    assert rows[1]["degraded_error"] > 0.01
+    assert rows[2]["degraded_error"] > rows[1]["degraded_error"]
+    for row in rows.values():
+        assert row["corrected_error"] < 1e-12
+
+
+@pytest.mark.parametrize("scenario", ["sorted_arrival", "random_arrival"])
+def test_skew_sweep(benchmark, scenario):
+    result = run_once(
+        benchmark,
+        skew_sweep,
+        num_ranks=8,
+        skews_us=(0.0, 100.0, 1000.0),
+        scenario=scenario,
+    )
+
+    print()
+    print(result["title"])
+    print(result["table"])
+
+    times = [r["simulated_us"] for r in result["rows"]]
+    # A strict exchange is gated by the latest arrival: completion time is
+    # monotone in the skew amplitude and eventually dominated by it.
+    assert times == sorted(times)
+    assert times[-1] > times[0] + 500.0

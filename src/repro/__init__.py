@@ -89,6 +89,18 @@ from .simulate import (
 # Importing repro.mpi registers the MPI baselines in REGISTRY.
 from . import mpi  # noqa: F401  (import for registration side effect)
 
+# Importing repro.faults registers the fault-tolerant collectives.
+from . import faults  # noqa: F401  (import for registration side effect)
+from .faults import (
+    DegradedCollectiveError,
+    DegradedResult,
+    FaultPlan,
+    FaultyRuntime,
+    RankCrashedError,
+    get_scenario,
+    scenario_names,
+)
+
 __all__ = [
     "__version__",
     # gaspi
@@ -135,4 +147,13 @@ __all__ = [
     "simulate_schedule",
     "skylake_fdr",
     "mpi",
+    # faults
+    "faults",
+    "DegradedCollectiveError",
+    "DegradedResult",
+    "FaultPlan",
+    "FaultyRuntime",
+    "RankCrashedError",
+    "get_scenario",
+    "scenario_names",
 ]

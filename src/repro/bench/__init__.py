@@ -16,8 +16,14 @@ from .harness import (
     run_size_sweep,
     time_algorithm,
 )
-from .report import format_series_table, format_comparison, series_to_rows
+from .report import (
+    format_comparison,
+    format_kv_table,
+    format_series_table,
+    series_to_rows,
+)
 from . import experiments
+from . import faults
 
 __all__ = [
     "Measurement",
@@ -30,6 +36,8 @@ __all__ = [
     "time_algorithm",
     "format_series_table",
     "format_comparison",
+    "format_kv_table",
     "series_to_rows",
     "experiments",
+    "faults",
 ]

@@ -1,0 +1,226 @@
+"""Fault experiments: completion time and result error under failures.
+
+Two sweeps quantify what the degraded-mode collectives buy:
+
+* :func:`crash_sweep` — crash count vs. completion time (simulated on a
+  machine model: fewer senders, less traffic, *no* waiting for the dead)
+  and vs. result error (measured on the threaded substrate: the degraded
+  sum simply lacks the crashed contributions, and a correction pass
+  restores the exact value when they arrive late);
+* :func:`skew_sweep` — arrival-pattern skew vs. completion time, the
+  Proficz-style imbalanced-PAP experiment: completion of a strict
+  collective is gated by the latest arrival, which is exactly why the
+  process-threshold policies pay off.
+
+Both produce plain dict rows; render them with
+:func:`repro.bench.report.format_kv_table`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..faults.injection import FaultPlan, FaultyRuntime, RankCrashedError
+from ..faults.recovery import (
+    FAULT_SEGMENT_ID,
+    send_late_contribution,
+    tolerant_allreduce,
+    tolerant_allreduce_schedule,
+)
+from ..faults.scenarios import get_scenario
+from ..gaspi.spmd import run_spmd
+from ..simulate.executor import simulate_schedule
+from ..simulate.machine import MachineModel, skylake_fdr
+from ..utils.validation import require
+from .report import format_kv_table
+
+#: Detection window used by the threaded error measurements; short, so the
+#: sweep stays fast, yet much longer than a threaded exchange needs.
+BENCH_DETECT_TIMEOUT = 0.25
+
+
+def _rank_vector(rank: int, elements: int) -> np.ndarray:
+    rng = np.random.default_rng(4242 + rank)
+    return rng.standard_normal(elements)
+
+
+def _relative_error(value: np.ndarray, exact: np.ndarray) -> float:
+    scale = float(np.linalg.norm(exact))
+    if scale == 0.0:
+        return float(np.linalg.norm(value - exact))
+    return float(np.linalg.norm(value - exact) / scale)
+
+
+# --------------------------------------------------------------------------- #
+# crash count sweep
+# --------------------------------------------------------------------------- #
+def measure_crash_errors(
+    num_ranks: int = 8,
+    crash_counts: Sequence[int] = (0, 1, 2),
+    elements: int = 1024,
+    threshold: float = 0.5,
+    correct: bool = True,
+) -> List[Dict]:
+    """Threaded degraded-allreduce error per crash count.
+
+    For each crash count ``k`` the last ``k`` ranks crash before
+    contributing; the survivors complete at the process threshold and, when
+    ``correct`` is set, the crashed ranks recover and re-contribute so the
+    correction pass restores the exact result.  Returns one row per crash
+    count with the pre- and post-correction relative errors.
+    """
+    require(num_ranks >= 2, "need at least 2 ranks")
+    exact = np.zeros(elements)
+    for r in range(num_ranks):
+        exact += _rank_vector(r, elements)
+    rows: List[Dict] = []
+    for crashes in crash_counts:
+        require(
+            crashes < num_ranks * (1 - threshold) + 1,
+            f"{crashes} crashes cannot meet a {threshold} process threshold",
+        )
+        crashed_ranks = list(range(num_ranks - crashes, num_ranks))
+        survivors = num_ranks - crashes
+        degraded_done = threading.Barrier(survivors)
+        resend = threading.Event()
+
+        def worker(runtime, crashed_ranks=crashed_ranks, degraded_done=degraded_done,
+                   resend=resend):
+            plan = FaultPlan.crashes(crashed_ranks, at_op=0)
+            rt = FaultyRuntime(runtime, plan)
+            data = _rank_vector(rt.rank, elements)
+            try:
+                detail = tolerant_allreduce(
+                    rt,
+                    data,
+                    threshold=threshold,
+                    on_failure="complete",
+                    detect_timeout=BENCH_DETECT_TIMEOUT,
+                )
+            except RankCrashedError:
+                if correct:
+                    resend.wait(30.0)
+                    rt.recover()
+                    send_late_contribution(rt, data, FAULT_SEGMENT_ID)
+                return None
+            contributors = detail.contributors
+            missing = detail.missing_ranks
+            err_degraded = _relative_error(detail.value, exact)
+            degraded_done.wait(30.0)
+            resend.set()
+            if correct and detail.missing_ranks:
+                detail.correct(timeout=10.0)
+            err_corrected = _relative_error(detail.value, exact)
+            detail.close()
+            return (contributors, missing, err_degraded, err_corrected)
+
+        results = [r for r in run_spmd(num_ranks, worker, timeout=60.0) if r]
+        contributors, missing, err_degraded, err_corrected = results[0]
+        rows.append(
+            {
+                "crashes": int(crashes),
+                "contributors": contributors,
+                "missing": len(missing),
+                "degraded_error": err_degraded,
+                "corrected_error": err_corrected if correct else float("nan"),
+            }
+        )
+    return rows
+
+
+def crash_sweep(
+    num_ranks: int = 8,
+    crash_counts: Sequence[int] = (0, 1, 2),
+    nbytes: int = 64 * 1024,
+    machine: Optional[MachineModel] = None,
+    threshold: float = 0.5,
+    elements: int = 1024,
+    measure_errors: bool = True,
+) -> Dict:
+    """Completion time (simulated) and result error (threaded) vs. crashes.
+
+    The simulated side replays the tolerant flat-exchange schedule with
+    the crashed senders removed — degraded completion means *not* waiting
+    for the dead, so completion time falls as the crash count rises.  The
+    threaded side reports the relative error of the degraded sum and of
+    the corrected sum.
+    """
+    machine = machine or skylake_fdr()
+    sim_rows: List[Dict] = []
+    for crashes in crash_counts:
+        failed = range(num_ranks - int(crashes), num_ranks)
+        schedule = tolerant_allreduce_schedule(
+            num_ranks, nbytes, threshold=threshold, failed=failed
+        )
+        result = simulate_schedule(schedule, machine.with_ranks(num_ranks))
+        sim_rows.append(
+            {
+                "crashes": int(crashes),
+                "contributors": num_ranks - int(crashes),
+                "simulated_us": result.total_time * 1e6,
+            }
+        )
+    rows = sim_rows
+    if measure_errors:
+        error_rows = measure_crash_errors(
+            num_ranks, crash_counts, elements=elements, threshold=threshold
+        )
+        rows = [
+            {**sim, **{k: v for k, v in err.items() if k != "crashes"}}
+            for sim, err in zip(sim_rows, error_rows)
+        ]
+    return {
+        "title": (
+            f"tolerant allreduce, {num_ranks} ranks, {nbytes} B payload, "
+            f"process threshold {threshold}"
+        ),
+        "rows": rows,
+        "table": format_kv_table(rows, title="completion time / error vs. crash count"),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# arrival-skew sweep
+# --------------------------------------------------------------------------- #
+def skew_sweep(
+    num_ranks: int = 8,
+    skews_us: Iterable[float] = (0.0, 10.0, 100.0, 1000.0),
+    nbytes: int = 64 * 1024,
+    machine: Optional[MachineModel] = None,
+    scenario: str = "sorted_arrival",
+) -> Dict:
+    """Simulated completion time under a scaled process-arrival pattern.
+
+    The scenario's arrival offsets are normalised and scaled to each sweep
+    amplitude, then handed to the executor as ``rank_offsets`` — a strict
+    collective cannot complete before the last arrival, so completion time
+    grows with the skew, which is the imbalance the paper's thresholds
+    exploit.
+    """
+    machine = machine or skylake_fdr()
+    shape = get_scenario(scenario).arrival_offsets(num_ranks, seed=1)
+    peak = max(shape) or 1.0
+    schedule = tolerant_allreduce_schedule(num_ranks, nbytes)
+    rows: List[Dict] = []
+    for skew_us in skews_us:
+        offsets = [s / peak * skew_us * 1e-6 for s in shape]
+        result = simulate_schedule(
+            schedule, machine.with_ranks(num_ranks), rank_offsets=offsets
+        )
+        rows.append(
+            {
+                "skew_us": float(skew_us),
+                "simulated_us": result.total_time * 1e6,
+            }
+        )
+    return {
+        "title": (
+            f"tolerant allreduce, {num_ranks} ranks, {nbytes} B payload, "
+            f"{scenario} arrival pattern"
+        ),
+        "rows": rows,
+        "table": format_kv_table(rows, title=f"completion time vs. {scenario} skew"),
+    }

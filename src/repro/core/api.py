@@ -45,8 +45,9 @@ accepted as thin deprecation shims and fold into a policy object.
 
 from __future__ import annotations
 
+import time
 import warnings
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -81,15 +82,24 @@ _SEGMENT_SPAN_DEFAULT = 1 << 30
 #: consumes one child slice of the upper half of the segment-id range.
 _MAX_CHILD_SPLITS = 16
 
+#: Degraded-collective workspaces kept open for correction; older handles
+#: are closed so a persistent failure cannot grow memory without bound.
+_MAX_OPEN_DEGRADED = 8
+
 #: Shorthand algorithm aliases kept from the v1 API, per collective.
 _ALGORITHM_ALIASES: Dict[str, Dict[str, str]] = {
     "allreduce": {
         "ring": "gaspi_allreduce_ring",
         "hypercube": "gaspi_allreduce_ssp_hypercube",
         "ssp_hypercube": "gaspi_allreduce_ssp_hypercube",
+        "tolerant": "gaspi_allreduce_tolerant",
     },
-    "bcast": {"bst": "gaspi_bcast_bst", "flat": "gaspi_bcast_flat"},
-    "reduce": {"bst": "gaspi_reduce_bst"},
+    "bcast": {
+        "bst": "gaspi_bcast_bst",
+        "flat": "gaspi_bcast_flat",
+        "tolerant": "gaspi_bcast_tolerant",
+    },
+    "reduce": {"bst": "gaspi_reduce_bst", "tolerant": "gaspi_reduce_tolerant"},
     "alltoall": {"direct": "gaspi_alltoall"},
     "allgather": {"ring": "gaspi_allgather_ring"},
     "barrier": {"dissemination": "gaspi_barrier_dissemination"},
@@ -133,6 +143,18 @@ class Communicator:
         Algorithm family ``auto`` selects from (``"gaspi"`` by default).
     registry:
         Algorithm registry to dispatch through (the global one by default).
+    faults:
+        Optional :class:`~repro.faults.injection.FaultPlan`.  The runtime
+        is wrapped in a fault-injecting
+        :class:`~repro.faults.injection.FaultyRuntime`, the plan's arrival
+        skew is applied at every collective entry, ``algorithm="auto"``
+        prefers registered ``fault_tolerant`` algorithms, ranks reported
+        missing are remembered (:attr:`suspected_ranks`) and skipped by
+        subsequent fault-tolerant collectives, and the simulator backend
+        replays the degraded schedule with the plan's arrival offsets.
+    detect_timeout:
+        Failure-detection window (seconds) handed to fault-tolerant
+        collectives (their module default when ``None``).
     """
 
     def __init__(
@@ -146,7 +168,17 @@ class Communicator:
         family: str = "gaspi",
         registry: Optional[AlgorithmRegistry] = None,
         segment_span: int = _SEGMENT_SPAN_DEFAULT,
+        faults=None,
+        detect_timeout: Optional[float] = None,
     ) -> None:
+        if faults is not None:
+            from ..faults.injection import FaultyRuntime
+
+            runtime = FaultyRuntime(runtime, faults)
+        require(
+            detect_timeout is None or detect_timeout > 0,
+            f"detect_timeout must be positive, got {detect_timeout!r}",
+        )
         self.runtime = runtime
         self._segment_base = int(segment_base)
         self._segment_span = int(segment_span)
@@ -163,9 +195,15 @@ class Communicator:
         self._registry = registry if registry is not None else REGISTRY
         self._tuning = tuning or DEFAULT_TABLES[family]
         self._machine = machine
+        self._faults = faults
+        self._detect_timeout = detect_timeout
+        self._suspected: Set[int] = set()
+        self._open_degraded: List = []
+        self._collective_seq = 0
         self._ssp_instances: Dict[int, SSPAllreduce] = {}
         self._split_count = 0
         self._last_result: Optional[CollectiveResult] = None
+        self._last_segment_id: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # identity
@@ -199,6 +237,41 @@ class Communicator:
     def last_result(self) -> Optional[CollectiveResult]:
         """Full result of the most recent dispatched collective."""
         return self._last_result
+
+    @property
+    def last_segment_id(self) -> Optional[int]:
+        """Workspace segment id of the most recent dispatched collective.
+
+        A recovered rank needs it to push a late contribution into the
+        degraded exchange it crashed out of
+        (:func:`~repro.faults.recovery.send_late_contribution`): segment
+        ids are allocated in SPMD lock-step, so every rank — including one
+        whose dispatch raised mid-collective — observes the same id here.
+        """
+        return self._last_segment_id
+
+    @property
+    def faults(self):
+        """The attached fault plan (``None`` on unperturbed runs)."""
+        return self._faults
+
+    @property
+    def suspected_ranks(self) -> frozenset:
+        """Ranks a fault-tolerant collective has reported missing.
+
+        Subsequent fault-tolerant collectives neither write to nor wait
+        for them; :meth:`reinstate` clears entries once a rank recovered.
+        """
+        return frozenset(self._suspected)
+
+    def reinstate(self, *ranks: int) -> None:
+        """Stop suspecting ranks (collective hygiene, call it on all ranks).
+
+        Use after a crashed rank recovered and its late contribution was
+        folded in, so the next collectives include it again.
+        """
+        for rank in ranks:
+            self._suspected.discard(int(rank))
 
     @property
     def is_subcommunicator(self) -> bool:
@@ -239,6 +312,14 @@ class Communicator:
         """
         policy = policy or self._policy
         if algorithm in (None, "auto"):
+            if (
+                (self._faults is not None and self._faults.can_lose_contributions)
+                or self.runtime.fault_injected
+                or policy.on_failure != "abort"
+            ):
+                info = self._fault_tolerant_candidate(collective, policy)
+                if info is not None:
+                    return info
             return self._tuning.select(
                 collective,
                 self.size,
@@ -268,6 +349,38 @@ class Communicator:
             f"{', '.join(known) or '<none>'} (or 'auto')"
         )
 
+    def _fault_tolerant_candidate(
+        self, collective: str, policy: ConsistencyPolicy
+    ) -> Optional[AlgorithmInfo]:
+        """First registered fault-tolerant algorithm serving this request.
+
+        Consulted by ``algorithm="auto"`` when a fault plan is attached or
+        the policy asks for degraded completion; ``None`` (fall back to
+        the tuning table) when no tolerant implementation fits.
+        """
+        for name in self._registry.names(collective=collective, executable=True):
+            info = self._registry.get(name)
+            if not info.capabilities.fault_tolerant:
+                continue
+            supported, _ = info.supports(self.size, policy)
+            if supported:
+                return info
+        return None
+
+    def _track_degraded(self, detail) -> None:
+        """Remember a correction-capable workspace for eventual cleanup.
+
+        A persistent failure would otherwise grow one workspace segment
+        per degraded collective; the oldest handles are closed beyond a
+        small window — correcting a long-superseded collective is not a
+        supported pattern, re-running it is.
+        """
+        if not getattr(detail, "correctable", False):
+            return
+        self._open_degraded.append(detail)
+        while len(self._open_degraded) > _MAX_OPEN_DEGRADED:
+            self._open_degraded.pop(0).close()
+
     def _schedule_nbytes(self, collective: str, request: CollectiveRequest) -> int:
         """Payload size the schedule builders expect for this collective."""
         if collective == "alltoall":
@@ -279,18 +392,50 @@ class Communicator:
     ) -> CollectiveResult:
         """Route one collective through the registry (and the simulator)."""
         check_policy(request.policy)
+        seq = self._collective_seq
+        self._collective_seq += 1
+        if self._faults is not None:
+            # Arrival skew: the rank enters the collective late, which is
+            # the process-arrival-pattern regime of the fault scenarios.
+            pause = self._faults.arrival_skew(self.rank, seq)
+            if pause > 0.0:
+                time.sleep(pause)
+        if self._suspected:
+            request.metadata.setdefault("known_failed", frozenset(self._suspected))
+        if self._detect_timeout is not None:
+            request.metadata.setdefault("detect_timeout", self._detect_timeout)
         nbytes = self._schedule_nbytes(collective, request)
         info = self.resolve(collective, nbytes, algorithm, request.policy)
         request.segment_id = self._allocate_segment_id()
-        result = info.run(self.runtime, request)
+        self._last_segment_id = request.segment_id
+        try:
+            result = info.run(self.runtime, request)
+        except Exception as exc:
+            # A below-threshold abort still leaves a correction-capable
+            # workspace behind; track it so close() can release it even if
+            # the caller never touches exc.detail.
+            self._track_degraded(getattr(exc, "detail", None))
+            raise
+        if result.missing_ranks:
+            self._suspected.update(result.missing_ranks)
+            self._track_degraded(result.detail)
         if self._machine is not None:
             from ..simulate.executor import simulate_schedule
 
-            schedule = info.builder(
-                self.size, nbytes, **info.schedule_kwargs(request.policy)
-            )
+            builder_kwargs = info.schedule_kwargs(request.policy)
+            if info.capabilities.fault_tolerant and request.metadata.get("known_failed"):
+                builder_kwargs["failed"] = sorted(request.metadata["known_failed"])
+            schedule = info.builder(self.size, nbytes, **builder_kwargs)
+            rank_offsets = None
+            if self._faults is not None:
+                from ..faults.injection import degrade_schedule
+
+                schedule = degrade_schedule(schedule, self._faults)
+                rank_offsets = self._faults.arrival_offsets(self.size, seq)
             result.simulated = simulate_schedule(
-                schedule, self._machine.with_ranks(self.size)
+                schedule,
+                self._machine.with_ranks(self.size),
+                rank_offsets=rank_offsets,
             )
         self._last_result = result
         return result
@@ -553,7 +698,7 @@ class Communicator:
         ]
         members.sort(key=lambda r: (int(gathered[r, 2]), r))
         child_base, child_span = self._child_segment_range(split_seq)
-        return Communicator(
+        child = Communicator(
             GroupRuntime(self.runtime, members),
             segment_base=child_base,
             segment_span=child_span,
@@ -562,7 +707,17 @@ class Communicator:
             machine=self._machine,
             family=self._family,
             registry=self._registry,
+            detect_timeout=self._detect_timeout,
         )
+        # Fault injection stays attached through the wrapped runtime (its
+        # `fault_injected` flag keeps auto-selection on the tolerant
+        # algorithms); per-collective arrival skew is world-scoped and not
+        # re-applied at the child level.  Suspected ranks carry over in the
+        # child's numbering.
+        child._suspected = {
+            members.index(r) for r in self._suspected if r in members
+        }
+        return child
 
     def dup(self) -> "Communicator":
         """Duplicate the communicator (same ranks, fresh segment range).
@@ -578,9 +733,13 @@ class Communicator:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release all persistent collective state (SSP mailboxes)."""
+        """Release all persistent collective state (SSP mailboxes, and any
+        degraded-collective workspaces still held open for correction)."""
         for key in list(self._ssp_instances):
             self.close_ssp(key)
+        for detail in self._open_degraded:
+            detail.close()
+        self._open_degraded.clear()
 
     def __enter__(self) -> "Communicator":
         return self

@@ -28,7 +28,7 @@ existing code written against the old per-collective result types
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,11 +56,21 @@ class ConsistencyPolicy:
     slack:
         Stale Synchronous Parallelism slack in iterations for the SSP
         collectives (paper Algorithm 1); ``0`` means fully synchronous.
+    on_failure:
+        What a fault-tolerant collective does when, after its detection
+        timeout, fewer contributors than the threshold requires have
+        arrived: ``"abort"`` (the default) raises
+        :class:`~repro.faults.recovery.DegradedCollectiveError`;
+        ``"complete"`` publishes the degraded result anyway, with the
+        absent ranks recorded in
+        :attr:`CollectiveResult.missing_ranks`.  Algorithms without the
+        ``fault_tolerant`` capability ignore this field.
     """
 
     threshold: float = 1.0
     mode: ReduceMode = ReduceMode.DATA
     slack: int = 0
+    on_failure: str = "abort"
 
     def __post_init__(self) -> None:
         check_fraction(self.threshold, "policy threshold")
@@ -70,6 +80,11 @@ class ConsistencyPolicy:
             f"policy slack must be a non-negative integer, got {self.slack!r}",
         )
         object.__setattr__(self, "slack", int(self.slack))
+        require(
+            self.on_failure in ("abort", "complete"),
+            f"policy on_failure must be 'abort' or 'complete', got "
+            f"{self.on_failure!r}",
+        )
 
     # ------------------------------------------------------------------ #
     # constructors for the three dial positions
@@ -80,14 +95,20 @@ class ConsistencyPolicy:
         return cls()
 
     @classmethod
-    def data_threshold(cls, threshold: float) -> "ConsistencyPolicy":
+    def data_threshold(
+        cls, threshold: float, on_failure: str = "abort"
+    ) -> "ConsistencyPolicy":
         """Eventually consistent in the data: ship the leading fraction."""
-        return cls(threshold=threshold, mode=ReduceMode.DATA)
+        return cls(threshold=threshold, mode=ReduceMode.DATA, on_failure=on_failure)
 
     @classmethod
-    def process_threshold(cls, threshold: float) -> "ConsistencyPolicy":
+    def process_threshold(
+        cls, threshold: float, on_failure: str = "abort"
+    ) -> "ConsistencyPolicy":
         """Eventually consistent in the processes: a rank subset reduces."""
-        return cls(threshold=threshold, mode=ReduceMode.PROCESSES)
+        return cls(
+            threshold=threshold, mode=ReduceMode.PROCESSES, on_failure=on_failure
+        )
 
     @classmethod
     def ssp(cls, slack: int) -> "ConsistencyPolicy":
@@ -102,13 +123,17 @@ class ConsistencyPolicy:
 
     def describe(self) -> str:
         """Short human-readable form used in error messages and reports."""
-        if self.is_strict:
+        if self.is_strict and self.on_failure == "abort":
             return "strict"
+        if self.is_strict:
+            return f"strict, on_failure={self.on_failure}"
         parts = []
         if self.threshold < 1.0:
             parts.append(f"{int(self.threshold * 100)}% {self.mode.value}")
         if self.slack > 0:
             parts.append(f"slack={self.slack}")
+        if self.on_failure != "abort":
+            parts.append(f"on_failure={self.on_failure}")
         return ", ".join(parts)
 
 
@@ -215,6 +240,11 @@ class CollectiveResult:
         :class:`~repro.simulate.executor.SimulationResult` of the
         algorithm's schedule when the communicator carries a machine
         model; ``None`` otherwise.
+    missing_ranks:
+        Ranks whose contribution never arrived before a fault-tolerant
+        collective completed (empty for ordinary collectives).  The
+        per-algorithm ``detail`` (:class:`~repro.faults.recovery.DegradedResult`)
+        carries the matching correction handle.
     """
 
     value: Optional[np.ndarray]
@@ -222,6 +252,7 @@ class CollectiveResult:
     policy: ConsistencyPolicy = field(default_factory=ConsistencyPolicy)
     detail: Any = None
     simulated: Any = None
+    missing_ranks: Tuple[int, ...] = ()
 
     @property
     def simulated_seconds(self) -> Optional[float]:

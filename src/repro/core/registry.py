@@ -60,6 +60,13 @@ class AlgorithmCapabilities:
     dtype:
         Required element dtype name, when the implementation is fixed to
         one (the two-sided MPI baselines stage float64 envelopes).
+    fault_tolerant:
+        The algorithm detects non-contributing ranks (notification
+        timeouts), completes degraded at the policy's threshold and
+        reports :attr:`~repro.core.policy.CollectiveResult.missing_ranks`.
+        ``Communicator(..., faults=plan)`` prefers these entries for
+        ``algorithm="auto"``, as does any policy with
+        ``on_failure="complete"``.
     """
 
     supports_threshold: bool = False
@@ -70,6 +77,7 @@ class AlgorithmCapabilities:
     max_ranks: Optional[int] = None
     requires_power_of_two: bool = False
     dtype: Optional[str] = None
+    fault_tolerant: bool = False
 
     def unsupported_reason(
         self,

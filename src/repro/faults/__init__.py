@@ -1,0 +1,63 @@
+"""Fault injection, failure scenarios and degraded-mode collectives.
+
+This package turns the repository's eventual-consistency story from a
+timing optimisation into a tested resilience property:
+
+* :mod:`repro.faults.injection` — :class:`FaultPlan` (crashes, message
+  delay/drop, arrival skew) and :class:`FaultyRuntime`, a decorator that
+  perturbs any GASPI runtime according to the plan; plus
+  :func:`degrade_schedule` to replay the same plan on the simulator.
+* :mod:`repro.faults.scenarios` — a catalog of named scenarios
+  (single/double/late crash, rolling stragglers, Proficz sorted/random
+  arrival patterns, partition-then-heal, message loss) shared by tests,
+  benchmarks and the simulator backend.
+* :mod:`repro.faults.recovery` — degraded-mode broadcast / reduce /
+  allreduce: detect non-contributing ranks via notification timeouts,
+  complete at the policy's process threshold recording
+  ``missing_ranks``, and re-converge survivors through a Küttler-style
+  correction pass once late contributions arrive.
+
+Importing this package registers the ``gaspi_*_tolerant`` algorithms in
+the global registry (with the ``fault_tolerant`` capability flag);
+``Communicator(..., faults=plan)`` routes to them automatically.
+"""
+
+from .injection import FaultPlan, FaultyRuntime, RankCrashedError, degrade_schedule
+from .recovery import (
+    DEFAULT_CORRECTION_TIMEOUT,
+    DEFAULT_DETECT_TIMEOUT,
+    FAULT_SEGMENT_ID,
+    DegradedCollectiveError,
+    DegradedResult,
+    send_late_contribution,
+    tolerant_allreduce,
+    tolerant_allreduce_schedule,
+    tolerant_bcast,
+    tolerant_bcast_schedule,
+    tolerant_reduce,
+    tolerant_reduce_schedule,
+)
+from .scenarios import SCENARIOS, FaultScenario, get_scenario, scenario_names
+
+__all__ = [
+    "FaultPlan",
+    "FaultyRuntime",
+    "RankCrashedError",
+    "degrade_schedule",
+    "DegradedCollectiveError",
+    "DegradedResult",
+    "DEFAULT_DETECT_TIMEOUT",
+    "DEFAULT_CORRECTION_TIMEOUT",
+    "FAULT_SEGMENT_ID",
+    "send_late_contribution",
+    "tolerant_allreduce",
+    "tolerant_allreduce_schedule",
+    "tolerant_bcast",
+    "tolerant_bcast_schedule",
+    "tolerant_reduce",
+    "tolerant_reduce_schedule",
+    "FaultScenario",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+]

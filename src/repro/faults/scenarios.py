@@ -1,0 +1,185 @@
+"""Named fault scenarios usable from tests, benchmarks and the simulator.
+
+Each scenario is a recipe turning ``(num_ranks, seed)`` into a
+:class:`~repro.faults.injection.FaultPlan`.  The catalog covers the two
+failure regimes named by the related work — crashed ranks (Küttler &
+Härtig's correction-based fault-tolerant collectives) and skewed process
+arrival patterns (Proficz's imbalanced-PAP allreduce) — plus message-level
+degradations (loss, partitions) that exercise the notification timeouts of
+the degraded-mode collectives.
+
+Catalog
+-------
+``single_crash``
+    The last rank dies before contributing anything.
+``double_crash``
+    The two last ranks die before contributing.
+``late_crash``
+    One rank dies mid-collective, after a few sends are already out.
+``rolling_stragglers``
+    A different rank is slow in every collective (round-robin skew).
+``sorted_arrival``
+    Proficz's *sorted* process-arrival pattern: arrival offsets grow
+    linearly with the rank id.
+``random_arrival``
+    Proficz's *random* PAP: seeded uniform arrival offsets.
+``partition_heal``
+    The world splits in two halves whose cross-links drop messages until
+    the partition heals at a fixed operation index.
+``message_loss``
+    Every message is dropped with a small seeded probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..utils.validation import require
+from .injection import FaultPlan
+
+#: Default arrival-skew amplitude (seconds) for the PAP scenarios; small
+#: enough to keep test runs fast, large enough to dominate thread jitter.
+DEFAULT_SKEW = 0.05
+
+#: Default per-message loss probability of the ``message_loss`` scenario.
+DEFAULT_LOSS = 0.05
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named recipe producing a :class:`FaultPlan` for a world size."""
+
+    name: str
+    description: str
+    factory: Callable[[int, int], FaultPlan]
+
+    def plan(self, num_ranks: int, seed: int = 0) -> FaultPlan:
+        """Materialise the scenario for ``num_ranks`` ranks."""
+        require(num_ranks >= 1, "num_ranks must be >= 1")
+        return self.factory(num_ranks, seed)
+
+    def arrival_offsets(
+        self, num_ranks: int, seed: int = 0, collective_index: int = 0
+    ) -> List[float]:
+        """Per-rank arrival offsets for the simulator's ``rank_offsets``."""
+        return self.plan(num_ranks, seed).arrival_offsets(num_ranks, collective_index)
+
+
+# --------------------------------------------------------------------------- #
+# scenario factories
+# --------------------------------------------------------------------------- #
+def _single_crash(num_ranks: int, seed: int) -> FaultPlan:
+    return FaultPlan.single_crash(num_ranks - 1, at_op=0, seed=seed)
+
+
+def _double_crash(num_ranks: int, seed: int) -> FaultPlan:
+    ranks = [num_ranks - 1] if num_ranks < 3 else [num_ranks - 1, num_ranks - 2]
+    return FaultPlan.crashes(ranks, at_op=0, seed=seed)
+
+
+def _late_crash(num_ranks: int, seed: int) -> FaultPlan:
+    # Dies after (roughly) half of its peer writes went out, so some
+    # survivors already hold its contribution — the forwarding/correction
+    # regime of Küttler-style recovery.
+    return FaultPlan.single_crash(num_ranks - 1, at_op=max(1, (num_ranks - 1) // 2), seed=seed)
+
+
+def _rolling_stragglers(num_ranks: int, seed: int) -> FaultPlan:
+    def skew_fn(rank: int, collective_index: int) -> float:
+        return DEFAULT_SKEW if rank == collective_index % num_ranks else 0.0
+
+    return FaultPlan(skew_fn=skew_fn, seed=seed)
+
+
+def _sorted_arrival(num_ranks: int, seed: int) -> FaultPlan:
+    if num_ranks == 1:
+        return FaultPlan(seed=seed)
+    return FaultPlan(
+        skew={r: DEFAULT_SKEW * r / (num_ranks - 1) for r in range(num_ranks)},
+        seed=seed,
+    )
+
+
+def _random_arrival(num_ranks: int, seed: int) -> FaultPlan:
+    rng = np.random.default_rng((seed, num_ranks))
+    return FaultPlan(
+        skew={r: float(rng.uniform(0.0, DEFAULT_SKEW)) for r in range(num_ranks)},
+        seed=seed,
+    )
+
+
+def _partition_heal(num_ranks: int, seed: int) -> FaultPlan:
+    half = max(1, num_ranks // 2)
+    return FaultPlan.partition(
+        range(half), range(half, num_ranks), heal_at_op=num_ranks, seed=seed
+    )
+
+
+def _message_loss(num_ranks: int, seed: int) -> FaultPlan:
+    return FaultPlan(drop_probability=DEFAULT_LOSS, seed=seed)
+
+
+#: The scenario catalog, keyed by name.
+SCENARIOS: Dict[str, FaultScenario] = {
+    s.name: s
+    for s in (
+        FaultScenario(
+            "single_crash",
+            "last rank dies before contributing anything",
+            _single_crash,
+        ),
+        FaultScenario(
+            "double_crash",
+            "two last ranks die before contributing",
+            _double_crash,
+        ),
+        FaultScenario(
+            "late_crash",
+            "one rank dies mid-collective, after some sends are out",
+            _late_crash,
+        ),
+        FaultScenario(
+            "rolling_stragglers",
+            "a different rank is slow in every collective (round-robin)",
+            _rolling_stragglers,
+        ),
+        FaultScenario(
+            "sorted_arrival",
+            "Proficz sorted PAP: arrival offset grows linearly with rank",
+            _sorted_arrival,
+        ),
+        FaultScenario(
+            "random_arrival",
+            "Proficz random PAP: seeded uniform arrival offsets",
+            _random_arrival,
+        ),
+        FaultScenario(
+            "partition_heal",
+            "two halves cut off from each other until the partition heals",
+            _partition_heal,
+        ),
+        FaultScenario(
+            "message_loss",
+            f"every message dropped with probability {DEFAULT_LOSS}",
+            _message_loss,
+        ),
+    )
+}
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of the catalogued scenarios."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> FaultScenario:
+    """Look up a scenario by name, with a helpful error."""
+    try:
+        return SCENARIOS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown fault scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from exc

@@ -100,6 +100,32 @@ class NotificationBoard:
         with self._cond:
             return self._values.pop(notification_id, 0)
 
+    def drain(self, begin: int = 0, count: Optional[int] = None) -> Dict[int, int]:
+        """Atomically consume every pending slot in ``[begin, begin + count)``.
+
+        Returns ``{id: value}`` for the slots that held a value > 0; all of
+        them are reset in one critical section, so a concurrent ``post``
+        either lands entirely before (and is drained) or entirely after
+        (and stays pending).  This is the timeout-free sweep the degraded
+        collectives run after their detection deadline.
+        """
+        if count is None:
+            count = self._num_slots - begin
+        if count <= 0:
+            raise GaspiInvalidArgumentError(f"count must be positive, got {count}")
+        self._check_id(begin)
+        self._check_id(begin + count - 1)
+        end = begin + count
+        with self._cond:
+            hits = {
+                nid: val
+                for nid, val in self._values.items()
+                if begin <= nid < end and val > 0
+            }
+            for nid in hits:
+                del self._values[nid]
+            return hits
+
     def wait_some(
         self,
         begin: int = 0,

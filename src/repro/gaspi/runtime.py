@@ -53,6 +53,20 @@ class GaspiRuntime(abc.ABC):
         """The group containing every rank (``GASPI_GROUP_ALL``)."""
         return Group.world(self.size)
 
+    @property
+    def fault_injected(self) -> bool:
+        """True when this runtime (or a layer it wraps) injects faults
+        that can lose contributions (crashes or message drops).
+
+        Group-scoped views forward it, so a sub-communicator carved out of
+        a fault-injected world still dispatches fault-tolerant algorithms
+        even though the fault plan itself lives at the world layer.  Pure
+        timing perturbations (delays, arrival skew) do not set it: they
+        make ranks late, not absent, and the tuned regular algorithms
+        remain the right choice under them.
+        """
+        return False
+
     # ------------------------------------------------------------------ #
     # segments
     # ------------------------------------------------------------------ #
@@ -181,6 +195,34 @@ class GaspiRuntime(abc.ABC):
     def notify_peek(self, segment_id_local: int, notification_id: int) -> int:
         """Read a notification value without resetting it (convenience)."""
         raise NotImplementedError
+
+    def notify_drain(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count: Optional[int] = None,
+    ) -> dict:
+        """Consume every pending notification in a range, without blocking.
+
+        Returns ``{notification_id: value}`` for all slots of the range
+        that held a value > 0 (each reset exactly once).  The degraded
+        collectives use this as a final non-blocking sweep after their
+        detection deadline, so a contribution racing the timeout is still
+        credited rather than misreported as missing.
+        """
+        drained: dict = {}
+        while True:
+            nid = self.notify_waitsome(
+                segment_id_local,
+                notification_begin,
+                notification_count,
+                timeout=0.0,
+            )
+            if nid is None:
+                return drained
+            value = self.notify_reset(segment_id_local, nid)
+            if value > 0:
+                drained[nid] = drained.get(nid, 0) + value
 
     # ------------------------------------------------------------------ #
     # queues and global synchronisation

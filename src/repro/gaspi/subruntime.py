@@ -83,6 +83,10 @@ class GroupRuntime(GaspiRuntime):
         """Base-runtime ranks of the group, indexed by group rank."""
         return self._members
 
+    @property
+    def fault_injected(self) -> bool:
+        return self._base.fault_injected
+
     def to_base_rank(self, group_rank: int) -> int:
         """Translate a group rank to the base runtime's numbering."""
         try:
@@ -207,6 +211,16 @@ class GroupRuntime(GaspiRuntime):
 
     def notify_peek(self, segment_id_local: int, notification_id: int) -> int:
         return self._base.notify_peek(segment_id_local, notification_id)
+
+    def notify_drain(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count=None,
+    ):
+        return self._base.notify_drain(
+            segment_id_local, notification_begin, notification_count
+        )
 
     # ------------------------------------------------------------------ #
     # queues / barrier / atomics

@@ -39,6 +39,7 @@ from .errors import (
     GaspiInvalidArgumentError,
     GaspiResourceError,
     GaspiSegmentError,
+    GaspiTimeoutError,
 )
 from .group import Group
 from .notifications import NotificationBoard  # noqa: F401  (re-exported for tests)
@@ -256,7 +257,10 @@ class ThreadedWorld:
     def barrier_for(self, group: Group) -> threading.Barrier:
         with self._barriers_lock:
             barrier = self._barriers.get(group)
-            if barrier is None:
+            if barrier is None or barrier.broken:
+                # A barrier broken by a timed-out waiter (the degraded
+                # collectives' entry handshake) stays broken; hand out a
+                # fresh one so later collectives on the group still work.
                 barrier = threading.Barrier(group.size)
                 self._barriers[group] = barrier
             return barrier
@@ -432,6 +436,15 @@ class ThreadedRuntime(GaspiRuntime):
         seg = self._world.get_segment(self._rank, segment_id_local)
         return seg.notifications.peek(notification_id)
 
+    def notify_drain(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count: Optional[int] = None,
+    ) -> Dict[int, int]:
+        seg = self._world.get_segment(self._rank, segment_id_local)
+        return seg.notifications.drain(notification_begin, notification_count)
+
     # -- queues / barriers ----------------------------------------------- #
     def wait(self, queue: int = 0, timeout: float = GASPI_BLOCK) -> None:
         self._world.queue_of(self._rank, queue).wait(timeout)
@@ -445,10 +458,18 @@ class ThreadedRuntime(GaspiRuntime):
                 f"rank {self._rank} called barrier on group {group} it is not part of"
             )
         barrier = self._world.barrier_for(group)
-        if timeout == GASPI_BLOCK:
-            barrier.wait()
-        else:
-            barrier.wait(timeout=timeout)
+        try:
+            if timeout == GASPI_BLOCK:
+                barrier.wait()
+            else:
+                barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError as exc:
+            # Either this waiter timed out (breaking the barrier) or another
+            # one did; surface both as the GASPI timeout condition so a
+            # finite-timeout barrier can never hang on a dead rank.
+            raise GaspiTimeoutError(
+                f"barrier over {group} timed out after {timeout} s"
+            ) from exc
         if self._world.config.collect_stats:
             self._world.stats[self._rank].barriers += 1
 

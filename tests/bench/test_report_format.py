@@ -1,0 +1,98 @@
+"""Unit tests of the plain-text report rendering (bench/report.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SweepPoint
+from repro.bench.report import (
+    format_comparison,
+    format_kv_table,
+    format_series_table,
+    series_to_rows,
+)
+
+
+def _point(parameter, seconds, algorithm="algo", num_ranks=8, payload=1024):
+    return SweepPoint(
+        parameter=parameter,
+        seconds=seconds,
+        algorithm=algorithm,
+        num_ranks=num_ranks,
+        payload_bytes=payload,
+    )
+
+
+@pytest.fixture
+def series():
+    return {
+        "gaspi": [_point(2, 1e-6, "gaspi"), _point(4, 2e-6, "gaspi")],
+        "mpi": [_point(2, 2e-6, "mpi"), _point(4, 8e-6, "mpi")],
+    }
+
+
+class TestSeriesToRows:
+    def test_flattens_every_point(self, series):
+        rows = series_to_rows(series)
+        assert len(rows) == 4
+        assert {r["algorithm"] for r in rows} == {"gaspi", "mpi"}
+        first = rows[0]
+        assert set(first) == {
+            "algorithm", "parameter", "num_ranks", "payload_bytes", "seconds",
+        }
+
+    def test_empty_series(self):
+        assert series_to_rows({}) == []
+
+
+class TestSeriesTable:
+    def test_contains_header_rows_and_unit(self, series):
+        table = format_series_table(series, "nodes", "us", title="Fig X")
+        lines = table.splitlines()
+        assert lines[0] == "Fig X"
+        assert "nodes" in table and "gaspi" in table and "mpi" in table
+        assert "(times in us)" in table
+        # Both sweep parameters appear as row labels.
+        assert any(line.strip().startswith("2 ") for line in lines)
+        assert any(line.strip().startswith("4 ") for line in lines)
+
+    def test_unit_scaling(self, series):
+        us = format_series_table(series, "nodes", "us")
+        ms = format_series_table(series, "nodes", "ms")
+        assert "1.00" in us  # 1e-6 s -> 1.00 us
+        assert "0.00" in ms  # 1e-6 s -> 0.001 ms, rendered at 2 decimals
+
+    def test_missing_points_leave_blank_cells(self, series):
+        series["mpi"] = series["mpi"][:1]  # drop the 4-node point
+        table = format_series_table(series, "nodes", "us")
+        four_row = [l for l in table.splitlines() if l.strip().startswith("4")][0]
+        assert len(four_row.split()) == 2  # parameter + single surviving cell
+
+
+class TestComparison:
+    def test_ratios_relative_to_baseline(self, series):
+        table = format_comparison(series, "gaspi")
+        assert "relative to 'gaspi'" in table
+        assert "2.00" in table  # mpi is 2x slower at 2 nodes
+        assert "4.00" in table  # and 4x slower at 4 nodes
+
+    def test_unknown_baseline_rejected(self, series):
+        with pytest.raises(KeyError, match="not among"):
+            format_comparison(series, "nope")
+
+
+class TestKvTable:
+    def test_alignment_and_float_formatting(self):
+        rows = [
+            {"crashes": 0, "error": 0.0},
+            {"crashes": 2, "error": 0.46875},
+        ]
+        table = format_kv_table(rows, title="faults")
+        lines = table.splitlines()
+        assert lines[0] == "faults"
+        assert lines[1].split() == ["crashes", "error"]
+        assert "0.4688" in table  # floats rendered at 4 significant digits
+
+    def test_empty_rows_render_title_only(self):
+        assert format_kv_table([], title="empty") == "empty"
+        assert format_kv_table([]) == ""

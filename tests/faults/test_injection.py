@@ -1,0 +1,177 @@
+"""FaultPlan semantics and the FaultyRuntime decorator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.allreduce_ring import ring_allreduce_schedule
+from repro.faults import FaultPlan, FaultyRuntime, RankCrashedError, degrade_schedule
+from repro.gaspi import ThreadedWorld
+
+from tests.helpers import spmd
+
+
+class TestFaultPlan:
+    def test_benign_plan(self):
+        plan = FaultPlan.none()
+        assert plan.is_benign
+        assert plan.crash_step(0) is None
+        assert not plan.should_drop(0, 1, 0)
+        assert plan.send_delay(0, 0) == 0.0
+        assert plan.arrival_skew(0) == 0.0
+        assert plan.describe() == "benign"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_at={0: -1})
+        with pytest.raises(ValueError):
+            FaultPlan(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(delay={1: -0.5})
+        with pytest.raises(ValueError):
+            FaultPlan(jitter=-1.0)
+
+    def test_drops_are_deterministic(self):
+        a = FaultPlan(drop_probability=0.5, seed=7)
+        b = FaultPlan(drop_probability=0.5, seed=7)
+        pattern_a = [a.should_drop(0, 1, op) for op in range(64)]
+        pattern_b = [b.should_drop(0, 1, op) for op in range(64)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+        other_seed = [FaultPlan(drop_probability=0.5, seed=8).should_drop(0, 1, op) for op in range(64)]
+        assert other_seed != pattern_a
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        plan = FaultPlan(jitter=0.01, seed=3)
+        values = [plan.send_delay(2, op) for op in range(32)]
+        assert values == [plan.send_delay(2, op) for op in range(32)]
+        assert all(0.0 <= v <= 0.01 for v in values)
+        assert len(set(values)) > 1
+
+    def test_partition_window(self):
+        plan = FaultPlan.partition([0, 1], [2, 3], heal_at_op=4)
+        assert plan.should_drop(0, 2, 0)
+        assert plan.should_drop(3, 1, 3)
+        # Intra-group traffic is never cut.
+        assert not plan.should_drop(0, 1, 0)
+        # The partition heals at op 4.
+        assert not plan.should_drop(0, 2, 4)
+
+    def test_recover_clears_crash(self):
+        plan = FaultPlan.single_crash(2, at_op=5)
+        assert plan.crash_step(2) == 5
+        plan.recover(2)
+        assert plan.crash_step(2) is None
+
+    def test_arrival_offsets(self):
+        plan = FaultPlan(skew={1: 0.25})
+        assert plan.arrival_offsets(3) == [0.0, 0.25, 0.0]
+        rolling = FaultPlan(skew_fn=lambda rank, k: 0.1 if rank == k % 2 else 0.0)
+        assert rolling.arrival_skew(0, 0) == pytest.approx(0.1)
+        assert rolling.arrival_skew(1, 1) == pytest.approx(0.1)
+        assert rolling.arrival_skew(0, 1) == 0.0
+
+
+class TestFaultyRuntime:
+    def test_crash_at_op_counts_data_plane_only(self, world2):
+        def worker(rt):
+            faulty = FaultyRuntime(rt, FaultPlan.single_crash(1, at_op=1))
+            faulty.segment_create(10, 64)
+            faulty.barrier()  # barriers are not data-plane ops
+            if faulty.rank == 1:
+                faulty.notify(0, 10, 0)  # op 0: fine
+                with pytest.raises(RankCrashedError):
+                    faulty.notify(0, 10, 1)  # op 1: crash
+                assert faulty.is_crashed
+                # Every subsequent operation keeps failing ...
+                with pytest.raises(RankCrashedError):
+                    faulty.wait(0)
+                # ... until the rank is recovered.
+                faulty.recover()
+                faulty.notify(0, 10, 2)
+                return True
+            got = rt.notify_waitsome(10, 0, 4, timeout=5.0)
+            return got is not None
+
+        assert all(spmd(2, worker))
+
+    def test_dropped_messages_never_arrive(self, world2):
+        def worker(rt):
+            plan = FaultPlan(drop_links=frozenset({(0, 1)}))
+            faulty = FaultyRuntime(rt, plan)
+            faulty.segment_create(11, 64)
+            faulty.barrier()
+            if faulty.rank == 0:
+                faulty.notify(1, 11, 0)
+                faulty.wait(0)
+                faulty.barrier()
+                return True
+            faulty.barrier()
+            return faulty.notify_peek(11, 0) == 0
+
+        assert all(spmd(2, worker))
+
+    def test_delay_slows_the_sender(self, world2):
+        import time
+
+        def worker(rt):
+            faulty = FaultyRuntime(rt, FaultPlan(delay={0: 0.05}))
+            faulty.segment_create(12, 64)
+            faulty.barrier()
+            if faulty.rank == 0:
+                start = time.monotonic()
+                faulty.notify(1, 12, 0)
+                return time.monotonic() - start
+            rt.notify_waitsome(12, 0, 1, timeout=5.0)
+            return None
+
+        elapsed = spmd(2, worker)[0]
+        assert elapsed >= 0.05
+
+    def test_wrapper_preserves_identity_and_reads(self):
+        world = ThreadedWorld(2)
+        try:
+            faulty = FaultyRuntime(world.runtime(1), FaultPlan.none())
+            assert faulty.rank == 1
+            assert faulty.size == 2
+            faulty.segment_create(13, 32)
+            view = faulty.segment_view(13, count=4)
+            view[:] = 7.0
+            assert np.all(faulty.segment_read(13, count=4) == 7.0)
+            assert faulty.ops_performed == 0
+        finally:
+            world.close()
+
+
+class TestDegradeSchedule:
+    def test_crashed_sender_messages_removed(self):
+        schedule = ring_allreduce_schedule(4, 4096)
+        degraded = degrade_schedule(schedule, FaultPlan.single_crash(2, at_op=0))
+        assert degraded.total_messages() < schedule.total_messages()
+        # Nothing leaves the dead rank and nothing is delivered to it.
+        assert all(m.src != 2 and m.dst != 2 for m in degraded.messages())
+        touching_crashed = sum(1 for m in schedule.messages() if 2 in (m.src, m.dst))
+        assert degraded.metadata["dropped_messages"] == touching_crashed
+
+    def test_late_crash_keeps_early_messages(self):
+        schedule = ring_allreduce_schedule(4, 4096)
+        degraded = degrade_schedule(schedule, FaultPlan.single_crash(2, at_op=2))
+        early = [m for m in degraded.messages() if m.src == 2]
+        assert len(early) == 2
+
+    def test_replay_is_deterministic(self):
+        schedule = ring_allreduce_schedule(8, 1 << 16)
+        plan = FaultPlan(drop_probability=0.3, seed=11)
+        a = degrade_schedule(schedule, plan)
+        b = degrade_schedule(schedule, plan)
+        assert [(m.src, m.dst, m.nbytes) for m in a.messages()] == [
+            (m.src, m.dst, m.nbytes) for m in b.messages()
+        ]
+        assert a.metadata["dropped_messages"] == b.metadata["dropped_messages"] > 0
+
+    def test_benign_plan_is_identity(self):
+        schedule = ring_allreduce_schedule(4, 4096)
+        degraded = degrade_schedule(schedule, FaultPlan.none())
+        assert degraded.total_messages() == schedule.total_messages()
+        assert degraded.total_bytes() == schedule.total_bytes()

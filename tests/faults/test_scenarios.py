@@ -1,0 +1,85 @@
+"""The named fault-scenario catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import SCENARIOS, get_scenario, scenario_names
+from repro.faults.scenarios import DEFAULT_SKEW
+
+
+class TestCatalog:
+    def test_expected_scenarios_present(self):
+        names = scenario_names()
+        for required in (
+            "single_crash",
+            "double_crash",
+            "late_crash",
+            "rolling_stragglers",
+            "sorted_arrival",
+            "random_arrival",
+            "partition_heal",
+            "message_loss",
+        ):
+            assert required in names
+
+    def test_unknown_scenario_lists_available(self):
+        with pytest.raises(KeyError, match="single_crash"):
+            get_scenario("nope")
+
+    def test_every_scenario_materialises(self):
+        for name in scenario_names():
+            plan = SCENARIOS[name].plan(8, seed=1)
+            assert plan.describe()  # non-empty even for pure-skew plans
+
+    def test_descriptions_nonempty(self):
+        assert all(s.description for s in SCENARIOS.values())
+
+
+class TestCrashScenarios:
+    def test_single_crash_kills_last_rank(self):
+        plan = get_scenario("single_crash").plan(8)
+        assert plan.crash_step(7) == 0
+        assert plan.crash_step(0) is None
+
+    def test_double_crash(self):
+        plan = get_scenario("double_crash").plan(8)
+        assert plan.crash_step(7) == 0 and plan.crash_step(6) == 0
+
+    def test_late_crash_is_mid_collective(self):
+        plan = get_scenario("late_crash").plan(8)
+        assert 1 <= plan.crash_step(7) < 7
+
+
+class TestArrivalPatterns:
+    def test_sorted_arrival_is_monotone(self):
+        offsets = get_scenario("sorted_arrival").arrival_offsets(8)
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0.0
+        assert offsets[-1] == pytest.approx(DEFAULT_SKEW)
+
+    def test_random_arrival_is_seeded(self):
+        scenario = get_scenario("random_arrival")
+        assert scenario.arrival_offsets(8, seed=5) == scenario.arrival_offsets(8, seed=5)
+        assert scenario.arrival_offsets(8, seed=5) != scenario.arrival_offsets(8, seed=6)
+        assert all(0.0 <= o <= DEFAULT_SKEW for o in scenario.arrival_offsets(8, seed=5))
+
+    def test_rolling_straggler_rotates(self):
+        plan = get_scenario("rolling_stragglers").plan(4)
+        for k in range(8):
+            slow = [r for r in range(4) if plan.arrival_skew(r, k) > 0]
+            assert slow == [k % 4]
+
+
+class TestDegradationScenarios:
+    def test_partition_cuts_cross_links_then_heals(self):
+        plan = get_scenario("partition_heal").plan(8)
+        assert plan.should_drop(0, 4, 0)
+        assert plan.should_drop(5, 3, 0)
+        assert not plan.should_drop(0, 1, 0)
+        assert not plan.should_drop(0, 4, 8)  # healed at op = num_ranks
+
+    def test_message_loss_probability(self):
+        plan = get_scenario("message_loss").plan(8, seed=2)
+        drops = sum(plan.should_drop(0, 1, op) for op in range(1000))
+        assert 10 <= drops <= 120  # ~5% of 1000, loosely bounded

@@ -1,0 +1,104 @@
+"""Unit tests of the trace recorder's summaries and the skew replay path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import Message, Protocol
+from repro.simulate import simulate_schedule, skylake_fdr
+from repro.simulate.trace import MessageTrace, TraceRecorder
+
+
+def _record(recorder, round_index, src, dst, nbytes, inject, arrival, complete,
+            rendezvous=False, intra=False, tag=""):
+    recorder.record(
+        round_index,
+        Message(src=src, dst=dst, nbytes=nbytes, protocol=Protocol.ONESIDED, tag=tag),
+        inject_time=inject,
+        arrival_time=arrival,
+        complete_time=complete,
+        rendezvous=rendezvous,
+        intra_node=intra,
+    )
+
+
+class TestMessageTrace:
+    def test_derived_times(self):
+        trace = MessageTrace(
+            round_index=0, src=0, dst=1, nbytes=100,
+            inject_time=1.0, arrival_time=3.0, complete_time=3.5,
+            rendezvous=False, intra_node=True,
+        )
+        assert trace.transfer_time == pytest.approx(2.0)
+        assert trace.receiver_time == pytest.approx(0.5)
+
+
+class TestTraceRecorder:
+    def test_disabled_recorder_records_nothing(self):
+        recorder = TraceRecorder(enabled=False)
+        _record(recorder, 0, 0, 1, 10, 0.0, 1.0, 2.0)
+        assert len(recorder) == 0
+        assert recorder.total_bytes() == 0
+
+    def test_summaries(self):
+        recorder = TraceRecorder()
+        _record(recorder, 0, 0, 1, 100, 0.0, 1.0, 2.0, rendezvous=True, intra=True)
+        _record(recorder, 0, 0, 2, 300, 0.0, 2.0, 3.0)
+        _record(recorder, 1, 1, 2, 600, 2.0, 3.0, 9.0)
+        assert len(recorder) == 3
+        assert recorder.total_bytes() == 1000
+        assert recorder.bytes_by_rank() == {0: 400, 1: 600}
+        assert recorder.rendezvous_fraction() == pytest.approx(1 / 3)
+        assert recorder.intra_node_fraction() == pytest.approx(1 / 3)
+
+    def test_slowest_messages_ordering(self):
+        recorder = TraceRecorder()
+        _record(recorder, 0, 0, 1, 1, 0.0, 0.5, 1.0)   # 1.0 end-to-end
+        _record(recorder, 0, 1, 2, 1, 0.0, 4.0, 5.0)   # 5.0 end-to-end
+        _record(recorder, 0, 2, 3, 1, 0.0, 1.0, 2.5)   # 2.5 end-to-end
+        slowest = recorder.slowest_messages(2)
+        assert [(t.src, t.dst) for t in slowest] == [(1, 2), (2, 3)]
+
+    def test_empty_recorder_fractions_are_zero(self):
+        recorder = TraceRecorder()
+        assert recorder.rendezvous_fraction() == 0.0
+        assert recorder.intra_node_fraction() == 0.0
+        assert recorder.slowest_messages() == []
+
+
+class TestRankOffsets:
+    """The executor's process-arrival-pattern support (``rank_offsets``)."""
+
+    def _schedule(self):
+        from repro.core.allreduce_ring import ring_allreduce_schedule
+
+        return ring_allreduce_schedule(4, 4096)
+
+    def test_offsets_shift_completion(self):
+        machine = skylake_fdr(4)
+        base = simulate_schedule(self._schedule(), machine).total_time
+        skewed = simulate_schedule(
+            self._schedule(), machine, rank_offsets=[0.0, 0.0, 0.0, 1.0]
+        ).total_time
+        assert skewed >= base + 1.0
+
+    def test_offsets_length_validated(self):
+        with pytest.raises(ValueError, match="one entry per rank"):
+            simulate_schedule(
+                self._schedule(), skylake_fdr(4), rank_offsets=[0.0, 0.0]
+            )
+
+    def test_negative_offsets_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            simulate_schedule(
+                self._schedule(), skylake_fdr(4), rank_offsets=[0.0, -1.0, 0.0, 0.0]
+            )
+
+    def test_zero_offsets_match_default(self):
+        machine = skylake_fdr(4)
+        base = simulate_schedule(self._schedule(), machine)
+        zeroed = simulate_schedule(
+            self._schedule(), machine, rank_offsets=[0.0] * 4
+        )
+        assert base.total_time == zeroed.total_time
+        assert zeroed.metadata["max_arrival_skew"] == 0.0
