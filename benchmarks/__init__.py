@@ -1,0 +1,7 @@
+"""Figure-regeneration benchmarks (pytest-benchmark based).
+
+A package so the benchmark modules can import the shared helpers with
+``from .conftest import run_once`` under pytest's default import mode.
+Run with ``pytest benchmarks/ -s`` (optionally ``--json PATH`` for a
+machine-readable report).
+"""

@@ -60,6 +60,9 @@ from .core import (
     CommunicationSchedule,
     ConsistencyPolicy,
     Message,
+    PersistentCollective,
+    PlanCacheStats,
+    PlanKey,
     Protocol,
     ReductionOp,
     SSPAllreduce,
@@ -120,6 +123,9 @@ __all__ = [
     "CollectiveResult",
     "Communicator",
     "ConsistencyPolicy",
+    "PersistentCollective",
+    "PlanCacheStats",
+    "PlanKey",
     "TuningTable",
     "select_algorithm",
     "GroupRuntime",

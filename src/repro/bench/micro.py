@@ -1,0 +1,228 @@
+"""Microbenchmarks of the collective hot path: cold vs compiled-plan.
+
+This is the perf-regression baseline the repository tracks across PRs: a
+latency/throughput sweep over ``collective x algorithm x payload size x
+cached-vs-cold`` on the real threaded backend, written as a
+machine-readable :data:`~repro.bench.harness.BENCH_SCHEMA` report
+(``BENCH_pr3.json`` at the repo root by default).
+
+* **cold** runs on a communicator with ``plan_cache=0``: every call pays
+  the full per-call setup — topology construction, workspace segment
+  registration with its two barriers, schedule state, teardown.
+* **cached** runs on a communicator with the default plan cache: the
+  first (warm-up) call compiles the :class:`~repro.core.plan.CollectivePlan`,
+  every measured call is pure data movement over the pooled workspace.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python -m repro.bench.micro              # full sweep
+    PYTHONPATH=src python -m repro.bench.micro --quick      # CI smoke
+    PYTHONPATH=src python -m repro.bench.micro --out my.json
+
+The sweep *measures and records* the speedup; it never asserts on
+timings (CI runners are noisy), so the perf-smoke job fails only on
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.api import Communicator
+from ..gaspi.spmd import run_spmd
+from .harness import BenchRecord, write_json_report
+from .report import format_kv_table
+
+#: Default sweep: (collective, short algorithm alias) pairs.  Covers the
+#: three acceptance collectives, with both allreduce algorithms so the
+#: latency- and bandwidth-optimal paths are tracked.
+DEFAULT_CASES: Tuple[Tuple[str, str], ...] = (
+    ("bcast", "bst"),
+    ("reduce", "bst"),
+    ("allreduce", "ring"),
+    ("allreduce", "hypercube"),
+)
+
+#: Default payload sizes (bytes): small / medium / large.
+DEFAULT_SIZES: Tuple[int, ...] = (1_024, 16_384, 262_144)
+
+DEFAULT_OUT = "BENCH_pr3.json"
+
+
+def _collective_caller(comm: Communicator, collective: str, algorithm: str,
+                       sendbuf: np.ndarray, recvbuf: np.ndarray):
+    """Closure performing one call of the requested collective."""
+    if collective == "bcast":
+        return lambda: comm.bcast(sendbuf, root=0, algorithm=algorithm)
+    if collective == "reduce":
+        return lambda: comm.reduce(sendbuf, recvbuf=recvbuf, root=0, algorithm=algorithm)
+    if collective == "allreduce":
+        return lambda: comm.allreduce(sendbuf, recvbuf=recvbuf, algorithm=algorithm)
+    raise ValueError(f"unsupported micro collective {collective!r}")
+
+
+def time_threaded_collective(
+    collective: str,
+    algorithm: str,
+    nbytes: int,
+    *,
+    ranks: int = 4,
+    iterations: int = 20,
+    warmup: int = 2,
+    plan_cache: Optional[int] = None,
+    timeout: float = 120.0,
+) -> Dict[str, float]:
+    """Per-call latency of one collective on the threaded backend.
+
+    Every rank runs ``warmup`` unmeasured calls (on the cached variant the
+    first of them compiles the plan), synchronises, then times a tight
+    loop of ``iterations`` calls.  The reported latency is the slowest
+    rank's mean — the completion time of the collective, not the fastest
+    returner's.  Returns latency plus the resolved registry name.
+    """
+    kwargs = {} if plan_cache is None else {"plan_cache": plan_cache}
+
+    def worker(runtime):
+        comm = Communicator(runtime, **kwargs)
+        elements = max(1, nbytes // 8)
+        sendbuf = np.full(elements, float(runtime.rank) + 1.0, dtype=np.float64)
+        recvbuf = np.empty_like(sendbuf)
+        call = _collective_caller(comm, collective, algorithm, sendbuf, recvbuf)
+        for _ in range(max(warmup, 1)):
+            call()
+        resolved = comm.last_result.algorithm
+        runtime.barrier()
+        start = time.perf_counter()
+        for _ in range(iterations):
+            call()
+        elapsed = time.perf_counter() - start
+        runtime.barrier()
+        stats = comm.plan_cache_stats()
+        comm.close()
+        return elapsed / iterations, resolved, stats.hits
+
+    results = run_spmd(ranks, worker, timeout=timeout)
+    latency = max(r[0] for r in results)
+    return {
+        "latency_seconds": latency,
+        "algorithm": results[0][1],
+        "plan_hits": results[0][2],
+    }
+
+
+def run_micro_sweep(
+    cases: Sequence[Tuple[str, str]] = DEFAULT_CASES,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    *,
+    ranks: int = 4,
+    iterations: int = 20,
+    warmup: int = 2,
+) -> Tuple[List[BenchRecord], List[Dict[str, object]]]:
+    """The full cold-vs-cached sweep; returns (records, speedup summary)."""
+    records: List[BenchRecord] = []
+    summary: List[Dict[str, object]] = []
+    for collective, algorithm in cases:
+        for nbytes in sizes:
+            timings: Dict[str, Dict[str, float]] = {}
+            for mode, plan_cache in (("cold", 0), ("cached", None)):
+                measured = time_threaded_collective(
+                    collective,
+                    algorithm,
+                    nbytes,
+                    ranks=ranks,
+                    iterations=iterations,
+                    warmup=warmup,
+                    plan_cache=plan_cache,
+                )
+                timings[mode] = measured
+                latency = measured["latency_seconds"]
+                records.append(
+                    BenchRecord(
+                        benchmark="micro",
+                        metric="latency_seconds",
+                        value=latency,
+                        collective=collective,
+                        algorithm=str(measured["algorithm"]),
+                        payload_bytes=int(nbytes),
+                        mode=mode,
+                        extra={
+                            "ranks": ranks,
+                            "iterations": iterations,
+                            "throughput_bytes_per_second": (
+                                nbytes / latency if latency > 0 else 0.0
+                            ),
+                            "plan_cache_hits": measured["plan_hits"],
+                        },
+                    )
+                )
+            cold = timings["cold"]["latency_seconds"]
+            cached = timings["cached"]["latency_seconds"]
+            summary.append(
+                {
+                    "collective": collective,
+                    "algorithm": str(timings["cached"]["algorithm"]),
+                    "payload_bytes": int(nbytes),
+                    "cold_us": cold * 1e6,
+                    "cached_us": cached * 1e6,
+                    "speedup": cold / cached if cached > 0 else float("inf"),
+                }
+            )
+    return records, summary
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ranks", type=int, default=4,
+                        help="threaded world size (power of two for hypercube)")
+    parser.add_argument("--sizes", type=str, default=None,
+                        help="comma-separated payload sizes in bytes")
+    parser.add_argument("--iterations", type=int, default=20,
+                        help="measured calls per configuration")
+    parser.add_argument("--warmup", type=int, default=2,
+                        help="unmeasured calls before timing (compiles the plan)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweep for CI smoke runs")
+    parser.add_argument("--out", type=str, default=DEFAULT_OUT,
+                        help=f"JSON report path (default: {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    sizes: Sequence[int]
+    if args.sizes:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+    elif args.quick:
+        sizes = (1_024, 16_384, 65_536)
+    else:
+        sizes = DEFAULT_SIZES
+    iterations = 5 if args.quick and args.iterations == 20 else args.iterations
+
+    records, summary = run_micro_sweep(
+        sizes=sizes, ranks=args.ranks, iterations=iterations, warmup=args.warmup
+    )
+    min_speedup = min(row["speedup"] for row in summary)
+    small = [r["speedup"] for r in summary if r["payload_bytes"] == min(sizes)]
+    write_json_report(
+        args.out,
+        records,
+        benchmark="micro",
+        meta={
+            "ranks": args.ranks,
+            "iterations": iterations,
+            "warmup": args.warmup,
+            "sizes": list(sizes),
+            "quick": bool(args.quick),
+            "speedup_summary": summary,
+            "min_speedup": min_speedup,
+            "small_payload_speedups": small,
+        },
+    )
+    print(format_kv_table(summary, title="plan-cache speedup (cold / cached)"))
+    print(f"\nreport written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    raise SystemExit(main())

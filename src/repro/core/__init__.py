@@ -17,7 +17,8 @@ Public surface:
   :data:`~repro.core.registry.REGISTRY` the benchmark harness uses.
 """
 
-from .api import Communicator
+from .api import Communicator, PersistentCollective
+from .plan import CollectivePlan, PlanCache, PlanCacheStats, PlanKey
 from .policy import (
     CollectiveRequest,
     CollectiveResult,
@@ -83,6 +84,11 @@ from .topology import (
 
 __all__ = [
     "Communicator",
+    "PersistentCollective",
+    "CollectivePlan",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanKey",
     "CollectiveRequest",
     "CollectiveResult",
     "ConsistencyPolicy",

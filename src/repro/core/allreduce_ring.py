@@ -27,6 +27,8 @@ import numpy as np
 from ..gaspi.constants import GASPI_BLOCK
 from ..gaspi.runtime import GaspiRuntime
 from ..utils.validation import require
+from . import kernels
+from .plan import CollectivePlan
 from .reduction_ops import ReductionOp, get_op
 from .schedule import CommunicationSchedule, Message, Protocol
 from .topology import Ring, chunk_bounds
@@ -146,7 +148,7 @@ def ring_allreduce(
             )
             bytes_received += (r_end - r_begin) * itemsize
             if incoming.size:
-                operator.reduce_into(work[r_begin:r_end], incoming)
+                kernels.reduce_into(operator, work[r_begin:r_end], incoming)
 
         # ----------------------------- Allgather --------------------------- #
         for step in range(size - 1):
@@ -236,16 +238,181 @@ def _recv_chunk(
     slot_bytes: int,
     timeout: float,
 ) -> np.ndarray:
-    """Wait for the step's notification and return a copy of the staged chunk."""
+    """Wait for the step's notification and return a view of the staged chunk.
+
+    Zero-copy: once the notification is consumed the slot is quiescent (the
+    predecessor writes each step's slot exactly once per call), so the
+    caller can reduce or copy straight out of the segment view.
+    """
     got = runtime.notify_waitsome(segment_id, step, 1, timeout=timeout)
     if got is None:
         raise TimeoutError(f"rank {runtime.rank}: ring step {step} never completed")
     runtime.notify_reset(segment_id, step)
     if count == 0:
         return np.empty(0, dtype=dtype)
-    return runtime.segment_read(
+    return runtime.segment_view(
         segment_id, dtype=dtype, offset=step * slot_bytes, count=count
     )
+
+
+# --------------------------------------------------------------------------- #
+# compiled plan (persistent workspace, zero per-call setup)
+# --------------------------------------------------------------------------- #
+class RingAllreducePlan(CollectivePlan):
+    """Compiled pipelined-ring allreduce: frozen step table, pooled slots.
+
+    The ring needs no extra cross-call synchronisation: each step's slot
+    and notification id are consumed exactly once per call, and before
+    rank ``r`` can post its call-``k+1`` step-``s`` write, the transitive
+    recv-from-predecessor chain guarantees its successor has already
+    finished call-``k`` step ``s + P - 2 >= s`` — i.e. consumed the slot
+    being overwritten.  The per-call work is therefore exactly the data
+    movement plus the reduction kernels; all offsets, chunk bounds and
+    notification ids come from the frozen step table below.
+    """
+
+    def __init__(self, runtime, key, segment_id: int, policy) -> None:
+        super().__init__(runtime, key, segment_id)
+        self.dtype = np.dtype(key.dtype)
+        self.elements = key.nbytes // self.dtype.itemsize
+        size = runtime.size
+        rank = runtime.rank
+        self.ring = Ring(size)
+        self.next_rank = self.ring.next_rank(rank)
+        itemsize = self.dtype.itemsize
+        max_chunk = -(-self.elements // size) if size else 0
+        self.slot_bytes = max(max_chunk * itemsize, itemsize)
+        self.total_steps = 2 * (size - 1)
+        self.send_region = self.slot_bytes * self.total_steps
+        # Frozen step table: (step, send bounds, recv bounds, reduce?).
+        self.steps = []
+        for step in range(size - 1):
+            self.steps.append(
+                (
+                    step,
+                    chunk_bounds(self.elements, size, self.ring.scatter_reduce_send_chunk(rank, step)),
+                    chunk_bounds(self.elements, size, self.ring.scatter_reduce_recv_chunk(rank, step)),
+                    True,
+                )
+            )
+        for step in range(size - 1):
+            self.steps.append(
+                (
+                    (size - 1) + step,
+                    chunk_bounds(self.elements, size, self.ring.allgather_send_chunk(rank, step)),
+                    chunk_bounds(self.elements, size, self.ring.allgather_recv_chunk(rank, step)),
+                    False,
+                )
+            )
+        if size > 1:
+            self._create_workspace(self.slot_bytes * self.total_steps * 2)
+            # Frozen zero-copy views per step: the send staging slot and
+            # the receive slot (the latter sliced to the chunk length).
+            self._send_slots = [
+                runtime.segment_view(
+                    segment_id,
+                    dtype=self.dtype,
+                    offset=self.send_region + step * self.slot_bytes,
+                    count=(s_end - s_begin),
+                )
+                if s_end > s_begin
+                else None
+                for step, (s_begin, s_end), _, _ in self.steps
+            ]
+            self._recv_slots = [
+                runtime.segment_view(
+                    segment_id,
+                    dtype=self.dtype,
+                    offset=step * self.slot_bytes,
+                    count=(r_end - r_begin),
+                )
+                if r_end > r_begin
+                else None
+                for step, _, (r_begin, r_end), _ in self.steps
+            ]
+
+    def execute(self, request) -> "CollectiveResult":
+        from .policy import CollectiveResult
+
+        sendbuf = self._check_payload(np.asarray(request.sendbuf), "allreduce sendbuf")
+        require(
+            sendbuf.ndim == 1 and sendbuf.flags["C_CONTIGUOUS"],
+            "allreduce sendbuf must be a contiguous vector",
+        )
+        operator = get_op(request.op)
+        rt = self.runtime
+        rank = rt.rank
+        size = rt.size
+        recvbuf = request.recvbuf
+        if recvbuf is None:
+            recvbuf = np.array(sendbuf, copy=True)
+        else:
+            recvbuf = np.asarray(recvbuf)
+            require(
+                recvbuf.shape == sendbuf.shape and recvbuf.dtype == sendbuf.dtype,
+                "recvbuf must match sendbuf in shape and dtype",
+            )
+
+        if size == 1:
+            recvbuf[:] = sendbuf
+            self.calls += 1
+            return CollectiveResult(
+                value=recvbuf, detail=RingAllreduceStats(rank, 1, 0, 0, 0)
+            )
+
+        work = sendbuf.astype(self.dtype, copy=True)
+        sid = self.segment_id
+        queue = request.queue
+        timeout = request.timeout
+        itemsize = self.dtype.itemsize
+        bytes_sent = 0
+        bytes_received = 0
+
+        for i, (step, (s_begin, s_end), (r_begin, r_end), reduce_step) in enumerate(
+            self.steps
+        ):
+            send_slot = self._send_slots[i]
+            if send_slot is not None:
+                send_slot[:] = work[s_begin:s_end]
+                rt.write_notify(
+                    segment_id_local=sid,
+                    offset_local=self.send_region + step * self.slot_bytes,
+                    target_rank=self.next_rank,
+                    segment_id_remote=sid,
+                    offset_remote=step * self.slot_bytes,
+                    size=(s_end - s_begin) * itemsize,
+                    notification_id=step,
+                    queue=queue,
+                )
+            else:
+                rt.notify(self.next_rank, sid, step, queue=queue)
+            rt.wait(queue)
+            bytes_sent += (s_end - s_begin) * itemsize
+
+            got = rt.notify_waitsome(sid, step, 1, timeout=timeout)
+            if got is None:
+                raise TimeoutError(
+                    f"rank {rank}: planned ring step {step} never completed"
+                )
+            rt.notify_reset(sid, step)
+            bytes_received += (r_end - r_begin) * itemsize
+            recv_slot = self._recv_slots[i]
+            if recv_slot is not None:
+                if reduce_step:
+                    kernels.reduce_into(operator, work[r_begin:r_end], recv_slot)
+                else:
+                    work[r_begin:r_end] = recv_slot
+
+        recvbuf[:] = work
+        self.calls += 1
+        detail = RingAllreduceStats(
+            rank=rank,
+            num_chunks=size,
+            steps=self.total_steps,
+            bytes_sent=bytes_sent,
+            bytes_received=bytes_received,
+        )
+        return CollectiveResult(value=recvbuf, detail=detail)
 
 
 # --------------------------------------------------------------------------- #

@@ -52,11 +52,13 @@ from typing import Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from ..gaspi.constants import GASPI_BLOCK
+from ..gaspi.errors import GaspiError
 from ..gaspi.runtime import GaspiRuntime
 from ..gaspi.subruntime import GroupRuntime
 from ..utils.validation import require
 from .allgather import ring_allgather
 from .allreduce_ssp import SSPAllreduce, SSPAllreduceResult
+from .plan import CollectivePlan, PlanCache, PlanCacheStats, PlanKey
 from .policy import (
     STRICT,
     CollectiveRequest,
@@ -85,6 +87,12 @@ _MAX_CHILD_SPLITS = 16
 #: Degraded-collective workspaces kept open for correction; older handles
 #: are closed so a persistent failure cannot grow memory without bound.
 _MAX_OPEN_DEGRADED = 8
+
+#: Compiled collective plans kept in the LRU cache; like the degraded
+#: workspace cap, this bounds the pooled segments a communicator can hold
+#: open — a workload that never repeats a shape evicts (and frees) the
+#: oldest plan instead of growing without limit.
+_MAX_CACHED_PLANS = 16
 
 #: Shorthand algorithm aliases kept from the v1 API, per collective.
 _ALGORITHM_ALIASES: Dict[str, Dict[str, str]] = {
@@ -155,6 +163,17 @@ class Communicator:
     detect_timeout:
         Failure-detection window (seconds) handed to fault-tolerant
         collectives (their module default when ``None``).
+    plan_cache:
+        Capacity of the compiled-plan LRU cache (``0`` disables planning
+        entirely, forcing every call down the cold path).  Repeated calls
+        with the same shape — ``(collective, algorithm, size, root,
+        nbytes, dtype, op, policy)`` — are served by a compiled
+        :class:`~repro.core.plan.CollectivePlan`: frozen topology and
+        notification layout, a pooled workspace segment and a cached
+        simulator schedule, so the steady-state cost is the data movement
+        and the reduction kernels only.  Observe it through
+        :meth:`plan_cache_stats`; pin plans explicitly with
+        :meth:`persistent`.
     """
 
     def __init__(
@@ -170,6 +189,7 @@ class Communicator:
         segment_span: int = _SEGMENT_SPAN_DEFAULT,
         faults=None,
         detect_timeout: Optional[float] = None,
+        plan_cache: int = _MAX_CACHED_PLANS,
     ) -> None:
         if faults is not None:
             from ..faults.injection import FaultyRuntime
@@ -204,6 +224,7 @@ class Communicator:
         self._split_count = 0
         self._last_result: Optional[CollectiveResult] = None
         self._last_segment_id: Optional[int] = None
+        self._plans = PlanCache(plan_cache)
 
     # ------------------------------------------------------------------ #
     # identity
@@ -387,6 +408,72 @@ class Communicator:
             return request.nbytes // max(self.size, 1)
         return request.nbytes
 
+    # ------------------------------------------------------------------ #
+    # compiled plans
+    # ------------------------------------------------------------------ #
+    def _plan_for(
+        self, info: AlgorithmInfo, request: CollectiveRequest
+    ) -> Optional[CollectivePlan]:
+        """Cached (or freshly compiled) plan serving this request, or ``None``.
+
+        ``None`` routes the call down the cold path: planning disabled
+        (capacity 0), an unplannable algorithm, a loss-capable fault plan
+        (degraded completions must keep their per-call correction
+        workspaces), suspected ranks in play, or SSP slack (whose
+        cross-call staleness semantics belong to the explicit
+        :meth:`allreduce_ssp` state, not a transparent cache).
+
+        Cache state evolves in SPMD lock-step — every rank dispatches the
+        same sequence with the same keys — so hits, builds and evictions
+        agree on all ranks and the collective plan construction pairs up.
+        """
+        if self._plans.capacity == 0 or not info.plannable:
+            return None
+        if request.policy.slack > 0:
+            return None
+        if request.metadata.get("known_failed"):
+            return None
+        if self.runtime.fault_injected:
+            # A loss-capable fault plan is attached somewhere in the runtime
+            # stack (the wrapper advertises exactly can_lose_contributions).
+            return None
+        key = PlanKey.from_request(info, self.runtime, request)
+        if key is None:
+            return None
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = info.plan(
+                self.runtime, key, self._allocate_segment_id(), request.policy
+            )
+            evicted = self._plans.put(key, plan)
+            if evicted:
+                # Deferred-consumption notifications of an evicted plan (the
+                # bcast consume-acks) may still be in flight from a rank
+                # that is a step behind; evictions happen at the same
+                # dispatch on every rank, so one barrier drains them before
+                # the pooled segments are freed.
+                self._quiesce_plans()
+                for old in evicted:
+                    old.close()
+        return plan
+
+    def _quiesce_plans(self) -> None:
+        """Synchronise ranks before freeing pooled plan segments.
+
+        Best effort: a runtime that can no longer synchronise (a fault
+        plan crashed this rank, a peer died mid-run) must not turn
+        teardown into a hang — the subsequent segment deletes tolerate
+        whatever the missing synchronisation leaves behind.
+        """
+        try:
+            self.runtime.barrier()
+        except GaspiError:
+            pass
+
+    def plan_cache_stats(self) -> PlanCacheStats:
+        """Hit/miss/eviction counters of the compiled-plan cache."""
+        return self._plans.stats()
+
     def _dispatch(
         self, collective: str, algorithm: str, request: CollectiveRequest
     ) -> CollectiveResult:
@@ -406,10 +493,14 @@ class Communicator:
             request.metadata.setdefault("detect_timeout", self._detect_timeout)
         nbytes = self._schedule_nbytes(collective, request)
         info = self.resolve(collective, nbytes, algorithm, request.policy)
-        request.segment_id = self._allocate_segment_id()
+        plan = self._plan_for(info, request)
+        if plan is not None:
+            request.segment_id = plan.segment_id
+        else:
+            request.segment_id = self._allocate_segment_id()
         self._last_segment_id = request.segment_id
         try:
-            result = info.run(self.runtime, request)
+            result = info.run(self.runtime, request, plan=plan)
         except Exception as exc:
             # A below-threshold abort still leaves a correction-capable
             # workspace behind; track it so close() can release it even if
@@ -422,10 +513,16 @@ class Communicator:
         if self._machine is not None:
             from ..simulate.executor import simulate_schedule
 
-            builder_kwargs = info.schedule_kwargs(request.policy)
-            if info.capabilities.fault_tolerant and request.metadata.get("known_failed"):
-                builder_kwargs["failed"] = sorted(request.metadata["known_failed"])
-            schedule = info.builder(self.size, nbytes, **builder_kwargs)
+            if plan is not None and self._faults is None:
+                # Compiled fast path: the schedule is built once per plan.
+                schedule = plan.schedule(info)
+            else:
+                builder_kwargs = info.schedule_kwargs(request.policy)
+                if info.capabilities.fault_tolerant and request.metadata.get(
+                    "known_failed"
+                ):
+                    builder_kwargs["failed"] = sorted(request.metadata["known_failed"])
+                schedule = info.builder(self.size, nbytes, **builder_kwargs)
             rank_offsets = None
             if self._faults is not None:
                 from ..faults.injection import degrade_schedule
@@ -598,6 +695,63 @@ class Communicator:
             inst.close()
 
     # ------------------------------------------------------------------ #
+    # persistent (initialised) collectives
+    # ------------------------------------------------------------------ #
+    def persistent(
+        self,
+        collective: str,
+        template: np.ndarray,
+        *,
+        root: int = 0,
+        op: str | ReductionOp = "sum",
+        algorithm: str = "auto",
+        policy: Optional[ConsistencyPolicy] = None,
+    ) -> "PersistentCollective":
+        """Compile a reusable handle for one collective shape (MPI-style).
+
+        The explicit counterpart of the transparent plan cache, mirroring
+        MPI persistent collectives (``MPI_Bcast_init`` & friends): the
+        topology, notification layout, workspace segment and simulator
+        schedule are compiled once, here, against ``template`` (only its
+        shape/dtype matter — e.g. ``np.empty(4096)``), and every
+        subsequent ``handle(buf)`` is pure data movement::
+
+            h = comm.persistent("allreduce", np.empty(4096))
+            for step in range(iters):
+                grads = h(grads).value
+
+        Collective: every rank must create (and close) the handle at the
+        same point.  The compiled plan is pinned in the plan cache — LRU
+        eviction skips it — until :meth:`PersistentCollective.close`.
+        """
+        policy = policy or self._policy
+        check_policy(policy)
+        template = np.ascontiguousarray(template)
+        probe = CollectiveRequest(
+            collective=collective,
+            sendbuf=template,
+            root=root,
+            op=op,
+            policy=policy,
+        )
+        nbytes = self._schedule_nbytes(collective, probe)
+        info = self.resolve(collective, nbytes, algorithm, policy)
+        require(
+            info.plannable,
+            f"algorithm {info.name!r} does not support compiled plans; "
+            f"plannable {collective} algorithms: "
+            f"{[n for n in self._registry.names(collective=collective) if self._registry.get(n).plannable] or '<none>'}",
+        )
+        plan = self._plan_for(info, probe)
+        require(
+            plan is not None,
+            "persistent collectives need the plan cache (plan_cache > 0) and "
+            "no loss-capable fault plan on the communicator",
+        )
+        self._plans.pin(plan.key)
+        return PersistentCollective(self, info, plan, root=root, op=op, policy=policy)
+
+    # ------------------------------------------------------------------ #
     # allgather / alltoall
     # ------------------------------------------------------------------ #
     def allgather(
@@ -708,6 +862,7 @@ class Communicator:
             family=self._family,
             registry=self._registry,
             detect_timeout=self._detect_timeout,
+            plan_cache=self._plans.capacity,
         )
         # Fault injection stays attached through the wrapped runtime (its
         # `fault_injected` flag keeps auto-selection on the tolerant
@@ -733,13 +888,26 @@ class Communicator:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release all persistent collective state (SSP mailboxes, and any
-        degraded-collective workspaces still held open for correction)."""
+        """Release all persistent collective state: SSP mailboxes, degraded
+        workspaces held open for correction, and every pooled plan segment.
+
+        Plan closes are idempotent (each pooled segment is freed exactly
+        once, whether the plan is dropped here, by LRU eviction, or via a
+        persistent handle) and tolerate a runtime that can no longer
+        perform segment operations — e.g. a fault plan wrapped the runtime
+        and this rank crashed — so teardown never raises after a failure.
+        """
         for key in list(self._ssp_instances):
             self.close_ssp(key)
         for detail in self._open_degraded:
             detail.close()
         self._open_degraded.clear()
+        if len(self._plans):
+            # Like close_ssp, plan teardown is collective: one barrier
+            # drains any deferred consume-acks still travelling toward a
+            # pooled segment, then each plan is freed exactly once.
+            self._quiesce_plans()
+        self._plans.close_all()
 
     def __enter__(self) -> "Communicator":
         return self
@@ -750,3 +918,100 @@ class Communicator:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "subcommunicator" if self.is_subcommunicator else "world"
         return f"Communicator(rank={self.rank}, size={self.size}, {kind})"
+
+
+class PersistentCollective:
+    """Handle over one compiled collective plan (MPI persistent style).
+
+    Created by :meth:`Communicator.persistent`; calling the handle runs
+    the planned collective through the communicator's normal dispatch (so
+    ``last_result``, the simulator backend and the cache statistics all
+    behave exactly as for implicit calls) with the plan guaranteed cached
+    and pinned.  Payloads must match the compiled shape — a mismatch is a
+    usage error, reported eagerly instead of silently recompiling.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        info: AlgorithmInfo,
+        plan: CollectivePlan,
+        root: int,
+        op: str | ReductionOp,
+        policy: ConsistencyPolicy,
+    ) -> None:
+        self._comm = comm
+        self._info = info
+        self._plan = plan
+        self._root = int(root)
+        self._op = op
+        self._policy = policy
+        self._closed = False
+
+    @property
+    def collective(self) -> str:
+        return self._info.collective
+
+    @property
+    def algorithm(self) -> str:
+        """Registry name of the compiled algorithm."""
+        return self._info.name
+
+    @property
+    def key(self) -> PlanKey:
+        """The plan key this handle was compiled for."""
+        return self._plan.key
+
+    @property
+    def calls(self) -> int:
+        """Number of planned executions served so far."""
+        return self._plan.calls
+
+    def __call__(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray] = None,
+    ) -> CollectiveResult:
+        """Run one planned call; returns the full :class:`CollectiveResult`."""
+        require(not self._closed, "persistent collective handle already closed")
+        require(not self._plan.closed, "the compiled plan was torn down")
+        sendbuf = np.asarray(sendbuf)
+        require(
+            sendbuf.nbytes == self._plan.key.nbytes
+            and sendbuf.dtype.str == self._plan.key.dtype,
+            f"payload ({sendbuf.nbytes} bytes, {sendbuf.dtype}) does not match "
+            f"the persistent plan compiled for {self._plan.key.nbytes} bytes "
+            f"of {np.dtype(self._plan.key.dtype)}",
+        )
+        request = CollectiveRequest(
+            collective=self._info.collective,
+            sendbuf=sendbuf,
+            recvbuf=recvbuf,
+            root=self._root,
+            op=self._op,
+            policy=self._policy,
+        )
+        return self._comm._dispatch(self._info.collective, self._info.name, request)
+
+    def close(self) -> None:
+        """Unpin the plan (collective hygiene: close on every rank).
+
+        The plan stays cached for transparent reuse; its pooled segment is
+        freed by LRU eviction or ``Communicator.close()``, exactly once.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._comm._plans.unpin(self._plan.key)
+
+    def __enter__(self) -> "PersistentCollective":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PersistentCollective({self._info.name}, "
+            f"{self._plan.key.nbytes}B, calls={self._plan.calls})"
+        )

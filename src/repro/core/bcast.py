@@ -24,6 +24,7 @@ import numpy as np
 from ..gaspi.constants import GASPI_BLOCK
 from ..gaspi.runtime import GaspiRuntime
 from ..utils.validation import check_fraction, require
+from .plan import CollectivePlan
 from .schedule import CommunicationSchedule, Message, Protocol
 from .topology import BinomialTree
 
@@ -337,3 +338,188 @@ def _require_vector(buffer: np.ndarray) -> np.ndarray:
     require(buffer.flags["C_CONTIGUOUS"], "broadcast buffer must be C-contiguous")
     require(buffer.size > 0, "broadcast buffer must not be empty")
     return buffer
+
+
+# --------------------------------------------------------------------------- #
+# compiled plans (persistent workspace, zero per-call setup)
+# --------------------------------------------------------------------------- #
+class BstBcastPlan(CollectivePlan):
+    """Compiled BST broadcast: frozen tree, pooled workspace, no barriers.
+
+    The cold path's segment-management barriers also serialise successive
+    calls; without them, reuse needs an explicit hand-shake.  This plan
+    uses *consume acknowledgements*: every child acks its parent once it
+    has (a) copied the payload out of its staging slot and (b) flushed its
+    own forwards, and a parent consumes each child's previous-call ack
+    immediately before overwriting that child's staging slot.  A parent
+    therefore can never clobber an unconsumed slot, however far ahead the
+    root races — and unlike a trailing barrier, the ack wait overlaps with
+    the next call's compute (MPI persistent-collective style pipelining).
+    """
+
+    def __init__(self, runtime, key, segment_id: int, policy) -> None:
+        super().__init__(runtime, key, segment_id)
+        self.dtype = np.dtype(key.dtype)
+        self.elements = key.nbytes // self.dtype.itemsize
+        self.send_elems = threshold_elements(self.elements, policy.threshold)
+        self.send_bytes = self.send_elems * self.dtype.itemsize
+        self.tree = BinomialTree(runtime.size, key.root)
+        rank = runtime.rank
+        self.children = self.tree.children(rank)
+        self.parent = self.tree.parent(rank)
+        self.stage = self.tree.stage_of(rank)
+        self.parent_ack_slot = (
+            None
+            if self.parent is None
+            else _NOTIF_ACK_BASE + self.tree.children(self.parent).index(rank)
+        )
+        self.child_ack_slots = [
+            _NOTIF_ACK_BASE + i for i in range(len(self.children))
+        ]
+        self._create_workspace(key.nbytes)
+        # The workspace buffer is stable for the plan's lifetime, so the
+        # staging view is computed once — zero per-call segment lookups.
+        self._staging = runtime.segment_view(
+            segment_id, dtype=self.dtype, count=self.elements
+        )
+
+    def execute(self, request) -> "CollectiveResult":
+        from .policy import CollectiveResult
+
+        buffer = self._check_payload(_require_vector(request.sendbuf), "bcast buffer")
+        rt = self.runtime
+        rank = rt.rank
+        root = self.key.root
+        sid = self.segment_id
+        queue = request.queue
+        timeout = request.timeout
+        send = self.send_elems
+
+        if rank == root:
+            self._staging[:send] = buffer[:send]
+        else:
+            got = rt.notify_waitsome(sid, _NOTIF_DATA, 1, timeout=timeout)
+            if got is None:
+                raise TimeoutError(
+                    f"rank {rank}: planned bcast data from parent "
+                    f"{self.parent} did not arrive"
+                )
+            rt.notify_reset(sid, _NOTIF_DATA)
+            buffer[:send] = self._staging[:send]
+
+        if self.children:
+            if self.calls:
+                # Consume each child's previous-call ack before its slot
+                # is overwritten (see the class docstring).
+                for slot in self.child_ack_slots:
+                    got = rt.notify_waitsome(sid, slot, 1, timeout=timeout)
+                    if got is None:
+                        raise TimeoutError(
+                            f"rank {rank}: planned bcast child never acknowledged "
+                            f"the previous call"
+                        )
+                    rt.notify_reset(sid, slot)
+            for child in self.children:
+                rt.write_notify(
+                    segment_id_local=sid,
+                    offset_local=0,
+                    target_rank=child,
+                    segment_id_remote=sid,
+                    offset_remote=0,
+                    size=self.send_bytes,
+                    notification_id=_NOTIF_DATA,
+                    queue=queue,
+                )
+            rt.wait(queue)
+
+        if self.parent is not None:
+            # Ack only after wait(queue): the forwards read the staging
+            # slot zero-copy, so it must stay stable until they flushed.
+            rt.notify(self.parent, sid, self.parent_ack_slot, queue=queue)
+            rt.wait(queue)
+
+        self.calls += 1
+        detail = BroadcastResult(
+            rank=rank,
+            root=root,
+            elements_total=buffer.size,
+            elements_received=buffer.size if rank == root else send,
+            bytes_received=0 if rank == root else self.send_bytes,
+            threshold=self.key.policy[0],
+            stage=self.stage,
+        )
+        return CollectiveResult(value=request.sendbuf, detail=detail)
+
+
+class FlatBcastPlan(CollectivePlan):
+    """Compiled flat broadcast: root fan-out over a pooled workspace.
+
+    Reuse safety mirrors :class:`BstBcastPlan`: every receiver acks the
+    root after copying the payload out, and the root consumes all P-1
+    previous-call acks before restaging — the cold path's barriers are
+    replaced by one ack round that the root overlaps with its next call.
+    """
+
+    def __init__(self, runtime, key, segment_id: int, policy) -> None:
+        super().__init__(runtime, key, segment_id)
+        self.dtype = np.dtype(key.dtype)
+        self.elements = key.nbytes // self.dtype.itemsize
+        self.send_elems = threshold_elements(self.elements, policy.threshold)
+        self.send_bytes = self.send_elems * self.dtype.itemsize
+        rank = runtime.rank
+        self.peers = [r for r in range(runtime.size) if r != key.root]
+        self.ack_slot = _NOTIF_ACK_BASE + rank
+        self.peer_ack_slots = [_NOTIF_ACK_BASE + r for r in self.peers]
+        self._create_workspace(key.nbytes)
+        self._staging = runtime.segment_view(
+            segment_id, dtype=self.dtype, count=self.elements
+        )
+
+    def execute(self, request) -> "CollectiveResult":
+        from .policy import CollectiveResult
+
+        buffer = self._check_payload(_require_vector(request.sendbuf), "bcast buffer")
+        rt = self.runtime
+        rank = rt.rank
+        root = self.key.root
+        sid = self.segment_id
+        queue = request.queue
+        timeout = request.timeout
+        send = self.send_elems
+
+        if rank == root:
+            if self.calls:
+                for slot in self.peer_ack_slots:
+                    got = rt.notify_waitsome(sid, slot, 1, timeout=timeout)
+                    if got is None:
+                        raise TimeoutError(
+                            f"rank {rank}: planned flat bcast peer never "
+                            f"acknowledged the previous call"
+                        )
+                    rt.notify_reset(sid, slot)
+            self._staging[:send] = buffer[:send]
+            for peer in self.peers:
+                rt.write_notify(
+                    sid, 0, peer, sid, 0, self.send_bytes, _NOTIF_DATA, queue=queue
+                )
+            rt.wait(queue)
+        else:
+            got = rt.notify_waitsome(sid, _NOTIF_DATA, 1, timeout=timeout)
+            if got is None:
+                raise TimeoutError(f"rank {rank}: planned flat bcast data never arrived")
+            rt.notify_reset(sid, _NOTIF_DATA)
+            buffer[:send] = self._staging[:send]
+            rt.notify(root, sid, self.ack_slot, queue=queue)
+            rt.wait(queue)
+
+        self.calls += 1
+        detail = BroadcastResult(
+            rank=rank,
+            root=root,
+            elements_total=buffer.size,
+            elements_received=buffer.size if rank == root else send,
+            bytes_received=0 if rank == root else self.send_bytes,
+            threshold=self.key.policy[0],
+            stage=0 if rank == root else 1,
+        )
+        return CollectiveResult(value=request.sendbuf, detail=detail)

@@ -1,0 +1,327 @@
+"""Compiled collective plans: the persistent fast path of the hot loop.
+
+The paper's pitch is *efficient* eventually consistent collectives, but a
+naive dispatch re-derives everything per call: topology objects are
+rebuilt, a workspace segment is registered and torn down (two barriers!),
+notification layouts are recomputed and the simulator schedule is rebuilt
+— for every single ``comm.allreduce(x)`` of an iterative application.
+Production MPI amortises exactly this setup through *persistent*
+(initialised) collectives; this module brings the same idea here.
+
+A :class:`CollectivePlan` freezes, for one :class:`PlanKey` — the tuple
+``(collective, algorithm, world size, root, payload bytes, dtype, op,
+policy fingerprint)`` — everything about a collective that does not depend
+on the payload *values*:
+
+* the topology (binomial tree / ring / hypercube neighbour lists),
+* the per-round send/receive offsets and the notification-id layout,
+* the communication schedule for the simulator backend (built once), and
+* a pooled workspace segment, registered once and reused by every call.
+
+Concrete plans live next to their algorithms
+(:class:`~repro.core.bcast.BstBcastPlan`,
+:class:`~repro.core.reduce.BstReducePlan`,
+:class:`~repro.core.allreduce_ring.RingAllreducePlan`, …) and are built
+through the registry's planner entry points
+(:meth:`~repro.core.registry.AlgorithmInfo.plan`).  The
+:class:`~repro.core.api.Communicator` keeps them in a bounded
+:class:`PlanCache` (transparent LRU; hits observable through
+:meth:`~repro.core.api.Communicator.plan_cache_stats`), and exposes an
+explicit MPI-persistent-style handle API via
+:meth:`~repro.core.api.Communicator.persistent`.
+
+Plan reuse changes the synchronisation structure: the cold path brackets
+every call with segment-management barriers, which also serialise
+successive calls.  Planned executors must therefore be *self-synchronising
+across calls* — each plan documents its reuse argument (consume-ack
+handshakes for the broadcast fan-out, the ready/ack handshake of the BST
+reduce, the ring's transitive step dependency, SSP's logical clocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..gaspi.errors import GaspiError
+from ..utils.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
+    from ..gaspi.runtime import GaspiRuntime
+    from .policy import CollectiveRequest, CollectiveResult, ConsistencyPolicy
+    from .registry import AlgorithmInfo
+    from .schedule import CommunicationSchedule
+
+
+# --------------------------------------------------------------------------- #
+# plan identity
+# --------------------------------------------------------------------------- #
+PolicyFingerprint = Tuple[float, str, int, str]
+
+
+def policy_fingerprint(policy: "ConsistencyPolicy") -> PolicyFingerprint:
+    """Hashable fingerprint of the consistency dial a plan is frozen for."""
+    return (policy.threshold, policy.mode.value, policy.slack, policy.on_failure)
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Everything that determines a compiled plan, and nothing else.
+
+    Two requests with equal keys are served by the same plan: identical
+    topology, offsets, notification layout, workspace and schedule.  The
+    payload *values* are deliberately absent — they are the only thing a
+    planned call still moves.
+    """
+
+    collective: str
+    algorithm: str
+    size: int
+    root: int
+    nbytes: int
+    dtype: str
+    op: str
+    policy: PolicyFingerprint
+
+    @classmethod
+    def from_request(
+        cls, info: "AlgorithmInfo", runtime: "GaspiRuntime", request: "CollectiveRequest"
+    ) -> Optional["PlanKey"]:
+        """Key of the plan serving ``request``, or ``None`` if unplannable.
+
+        Data-free requests (barriers) and non-array payloads cannot be
+        keyed and fall back to the cold path.
+        """
+        if request.sendbuf is None:
+            return None
+        sendbuf = np.asarray(request.sendbuf)
+        if sendbuf.size == 0:
+            return None
+        from .reduction_ops import get_op
+
+        try:
+            op_name = get_op(request.op).name
+        except ValueError:
+            return None
+        return cls(
+            collective=info.collective,
+            algorithm=info.name,
+            size=runtime.size,
+            root=int(request.root),
+            nbytes=int(sendbuf.nbytes),
+            dtype=sendbuf.dtype.str,
+            op=op_name,
+            policy=policy_fingerprint(request.policy),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# plan base class
+# --------------------------------------------------------------------------- #
+class CollectivePlan:
+    """Base class of compiled collectives: pooled workspace + frozen layout.
+
+    Subclasses precompute their topology and offsets in ``__init__`` and
+    implement :meth:`execute`; the base class owns the workspace segment
+    life-cycle (registered once, freed exactly once) and the cached
+    simulator schedule.
+
+    Construction is collective: every rank builds the plan for the same
+    key at the same dispatch, so the workspace creation can synchronise
+    with a single barrier — the last barrier this plan will ever take.
+    """
+
+    def __init__(self, runtime: "GaspiRuntime", key: PlanKey, segment_id: int) -> None:
+        self.runtime = runtime
+        self.key = key
+        self.segment_id = int(segment_id)
+        self.calls = 0
+        #: Pin reference count: one per open persistent handle.  A plan is
+        #: exempt from LRU eviction while any handle still references it —
+        #: a plain boolean would let closing one of two same-shape handles
+        #: unpin the plan out from under the other.
+        self.pins = 0
+        self._schedule: Optional["CommunicationSchedule"] = None
+        self._workspace_created = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def _create_workspace(self, nbytes: int, num_notifications: Optional[int] = None) -> None:
+        """Register the pooled segment on every rank and synchronise once."""
+        kwargs = {}
+        if num_notifications is not None:
+            kwargs["num_notifications"] = num_notifications
+        self.runtime.segment_create(self.segment_id, max(int(nbytes), 8), **kwargs)
+        self._workspace_created = True
+        self.runtime.barrier()
+
+    def execute(self, request: "CollectiveRequest") -> "CollectiveResult":
+        """Run one planned call (implemented by subclasses)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def schedule(self, info: "AlgorithmInfo") -> "CommunicationSchedule":
+        """The plan's communication schedule, built once and cached.
+
+        Matches what the cold path hands the simulator backend for the
+        same request, so plan-cached and cold simulations are identical.
+        """
+        if self._schedule is None:
+            from .policy import ConsistencyPolicy
+            from .reduce import ReduceMode
+
+            threshold, mode, slack, on_failure = self.key.policy
+            policy = ConsistencyPolicy(
+                threshold=threshold,
+                mode=ReduceMode(mode),
+                slack=slack,
+                on_failure=on_failure,
+            )
+            self._schedule = info.builder(
+                self.key.size, self.key.nbytes, **info.schedule_kwargs(policy)
+            )
+        return self._schedule
+
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """True once the pooled workspace has been released."""
+        return self._closed
+
+    def close(self) -> None:
+        """Free the pooled workspace segment (idempotent, never raises).
+
+        Tolerates a wrapped runtime that can no longer perform segment
+        operations (e.g. a :class:`~repro.faults.injection.FaultyRuntime`
+        whose rank crashed): the flag flips exactly once either way, so a
+        later :meth:`close` — from cache eviction, a persistent handle and
+        ``Communicator.close()`` alike — never double-frees.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._workspace_created:
+            return
+        try:
+            self.runtime.segment_delete(self.segment_id)
+        except GaspiError:  # pragma: no cover - crashed/vanished runtime
+            pass
+
+    def _check_payload(self, buffer: np.ndarray, name: str = "buffer") -> np.ndarray:
+        """Validate that a per-call payload matches the plan's frozen key."""
+        buffer = np.asarray(buffer)
+        require(
+            buffer.nbytes == self.key.nbytes and buffer.dtype.str == self.key.dtype,
+            f"{name} ({buffer.nbytes} bytes, dtype {buffer.dtype}) does not match "
+            f"the plan compiled for {self.key.nbytes} bytes of {self.key.dtype}",
+        )
+        return buffer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"calls={self.calls}"
+        return f"{type(self).__name__}({self.key.algorithm}, seg={self.segment_id}, {state})"
+
+
+# --------------------------------------------------------------------------- #
+# LRU cache
+# --------------------------------------------------------------------------- #
+@dataclass
+class PlanCacheStats:
+    """Counters of one communicator's plan cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    capacity: int = 0
+    pinned: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Bounded LRU mapping :class:`PlanKey` → :class:`CollectivePlan`.
+
+    Plans pinned by a persistent handle are exempt from eviction (the cap
+    becomes soft while pins exist).  Like the capped degraded-workspace
+    tracking on the communicator, the bound exists so a workload that
+    never repeats a shape cannot grow pooled segments without limit.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        require(capacity >= 0, f"plan cache capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._plans: Dict[PlanKey, CollectivePlan] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: PlanKey) -> Optional[CollectivePlan]:
+        """Look up a plan, counting the hit/miss and refreshing recency."""
+        plan = self._plans.pop(key, None)
+        if plan is None:
+            self._misses += 1
+            return None
+        self._plans[key] = plan  # re-insert: most recently used
+        self._hits += 1
+        return plan
+
+    def put(self, key: PlanKey, plan: CollectivePlan) -> List[CollectivePlan]:
+        """Insert a freshly built plan; returns the plans evicted by LRU.
+
+        The caller closes the evicted plans — eviction happens at a
+        dispatch every rank executes, so the closes stay in lock-step.
+        """
+        self._plans[key] = plan
+        evicted: List[CollectivePlan] = []
+        if self.capacity:
+            for old_key in list(self._plans):
+                if len(self._plans) <= self.capacity:
+                    break
+                if self._plans[old_key].pins > 0 or old_key == key:
+                    continue
+                evicted.append(self._plans.pop(old_key))
+                self._evictions += 1
+        return evicted
+
+    def pin(self, key: PlanKey) -> None:
+        """Add one eviction-protection reference (persistent handles)."""
+        self._plans[key].pins += 1
+
+    def unpin(self, key: PlanKey) -> None:
+        """Drop one pin reference; the plan stays cached until evicted.
+
+        Reference-counted: two persistent handles over the same shape each
+        hold their own pin, so closing one never exposes the other to
+        eviction.
+        """
+        plan = self._plans.get(key)
+        if plan is not None and plan.pins > 0:
+            plan.pins -= 1
+
+    def stats(self) -> PlanCacheStats:
+        return PlanCacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            entries=len(self._plans),
+            capacity=self.capacity,
+            pinned=sum(1 for p in self._plans.values() if p.pins > 0),
+        )
+
+    def close_all(self) -> None:
+        """Free every cached plan's workspace exactly once (idempotent)."""
+        while self._plans:
+            _, plan = self._plans.popitem()
+            plan.close()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._plans

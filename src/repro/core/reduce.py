@@ -28,7 +28,9 @@ import numpy as np
 from ..gaspi.constants import GASPI_BLOCK
 from ..gaspi.runtime import GaspiRuntime
 from ..utils.validation import check_fraction, require
+from . import kernels
 from .bcast import threshold_elements
+from .plan import CollectivePlan
 from .reduction_ops import ReductionOp, get_op
 from .schedule import CommunicationSchedule, Message, Protocol
 from .topology import BinomialTree
@@ -162,13 +164,17 @@ def bst_reduce(
                     )
                 value = runtime.notify_reset(segment_id, notif)
                 contributors += max(1, value) if value else 1
-                slot = runtime.segment_read(
+                # Zero-copy fold: the notification guarantees the child's
+                # write landed, and each child writes its slot exactly once
+                # per call, so reducing straight from the segment is safe.
+                kernels.reduce_from_segment(
+                    operator,
+                    accumulator,
+                    runtime,
                     segment_id,
-                    dtype=sendbuf.dtype,
                     offset=child_index * reduce_bytes,
                     count=reduce_elems,
                 )
-                operator.reduce_into(accumulator, slot)
                 # Acknowledge so the child can reuse its buffer (Figure 1).
                 runtime.notify(child, segment_id, _NOTIF_ACK, queue=queue)
             if children:
@@ -227,6 +233,155 @@ def bst_reduce(
         elements_reduced=reduce_elems if participating else 0,
         contributors=contributors if rank == root else 0,
     )
+
+
+# --------------------------------------------------------------------------- #
+# compiled plan (persistent workspace, zero per-call setup)
+# --------------------------------------------------------------------------- #
+class BstReducePlan(CollectivePlan):
+    """Compiled BST reduce: frozen tree/participants, pooled child slots.
+
+    The cold protocol's ready/data/ack handshake is already
+    self-synchronising across calls: a child pushes call ``k+1`` data only
+    after its parent's ``k+1`` READY, which the parent sends only after it
+    consumed *all* of its call-``k`` child slots; and a parent overwrites
+    nothing at the child (READY and ACK are pure notifications).  So the
+    planned executor runs the identical handshake — it merely skips the
+    per-call segment registration, the two barriers around it, and all
+    topology/threshold recomputation.
+    """
+
+    def __init__(self, runtime, key, segment_id: int, policy) -> None:
+        super().__init__(runtime, key, segment_id)
+        self.dtype = np.dtype(key.dtype)
+        self.elements = key.nbytes // self.dtype.itemsize
+        self.mode = ReduceMode(policy.mode)
+        self.tree = BinomialTree(runtime.size, key.root)
+        rank = runtime.rank
+        if self.mode is ReduceMode.DATA:
+            self.reduce_elems = threshold_elements(self.elements, policy.threshold)
+            participants = list(range(runtime.size))
+        else:
+            self.reduce_elems = self.elements
+            participants = self.tree.participating_ranks(policy.threshold)
+        self.reduce_bytes = self.reduce_elems * self.dtype.itemsize
+        self.participants = participants
+        self.participating = rank in participants
+        self.children_all = self.tree.children(rank)
+        self.children = [c for c in self.children_all if c in participants]
+        self.child_indices = [self.children_all.index(c) for c in self.children]
+        self.parent = self.tree.parent(rank)
+        self.my_index = (
+            None
+            if self.parent is None
+            else self.tree.children(self.parent).index(rank)
+        )
+        slot_count = max(1, len(self.children_all))
+        self._create_workspace(slot_count * key.nbytes)
+        # Frozen zero-copy views: one staging slot for the push-up, one
+        # receive slot per child for the folds.
+        self._staging = runtime.segment_view(
+            segment_id, dtype=self.dtype, count=self.reduce_elems
+        )
+        self._child_slots = [
+            runtime.segment_view(
+                segment_id,
+                dtype=self.dtype,
+                offset=index * self.reduce_bytes,
+                count=self.reduce_elems,
+            )
+            for index in self.child_indices
+        ]
+
+    def execute(self, request) -> "CollectiveResult":
+        from .policy import CollectiveResult
+
+        sendbuf = self._check_payload(np.asarray(request.sendbuf), "reduce sendbuf")
+        require(
+            sendbuf.ndim == 1 and sendbuf.flags["C_CONTIGUOUS"],
+            "reduce sendbuf must be a contiguous vector",
+        )
+        operator = get_op(request.op)
+        rt = self.runtime
+        rank = rt.rank
+        root = self.key.root
+        sid = self.segment_id
+        queue = request.queue
+        timeout = request.timeout
+        reduce_elems = self.reduce_elems
+        recvbuf = request.recvbuf
+
+        contributors = 1 if self.participating else 0
+        if self.participating:
+            accumulator = sendbuf[:reduce_elems].astype(self.dtype, copy=True)
+
+            for child in self.children:
+                rt.notify(child, sid, _NOTIF_READY_BASE, queue=queue)
+            if self.children:
+                rt.wait(queue)
+
+            for child, child_index, slot in zip(
+                self.children, self.child_indices, self._child_slots
+            ):
+                notif = _NOTIF_DATA_BASE + child_index
+                got = rt.notify_waitsome(sid, notif, 1, timeout=timeout)
+                if got is None:
+                    raise TimeoutError(
+                        f"rank {rank}: contribution of child {child} never arrived"
+                    )
+                value = rt.notify_reset(sid, notif)
+                contributors += max(1, value) if value else 1
+                kernels.reduce_into(operator, accumulator, slot)
+                rt.notify(child, sid, _NOTIF_ACK, queue=queue)
+            if self.children:
+                rt.wait(queue)
+
+            if rank == root:
+                if recvbuf is not None:
+                    recvbuf = np.asarray(recvbuf)
+                    require(
+                        recvbuf.size >= reduce_elems,
+                        "recvbuf too small for the reduced prefix",
+                    )
+                    recvbuf[:reduce_elems] = accumulator
+            else:
+                got = rt.notify_waitsome(sid, _NOTIF_READY_BASE, 1, timeout=timeout)
+                if got is None:
+                    raise TimeoutError(
+                        f"rank {rank}: parent {self.parent} never got ready"
+                    )
+                rt.notify_reset(sid, _NOTIF_READY_BASE)
+                self._staging[:] = accumulator
+                rt.write_notify(
+                    segment_id_local=sid,
+                    offset_local=0,
+                    target_rank=self.parent,
+                    segment_id_remote=sid,
+                    offset_remote=self.my_index * self.reduce_bytes,
+                    size=self.reduce_bytes,
+                    notification_id=_NOTIF_DATA_BASE + self.my_index,
+                    notification_value=max(1, contributors),
+                    queue=queue,
+                )
+                rt.wait(queue)
+                got = rt.notify_waitsome(sid, _NOTIF_ACK, 1, timeout=timeout)
+                if got is None:
+                    raise TimeoutError(
+                        f"rank {rank}: parent {self.parent} never acknowledged"
+                    )
+                rt.notify_reset(sid, _NOTIF_ACK)
+
+        self.calls += 1
+        detail = ReduceResult(
+            rank=rank,
+            root=root,
+            mode=self.mode,
+            threshold=self.key.policy[0],
+            participated=self.participating,
+            elements_reduced=reduce_elems if self.participating else 0,
+            contributors=contributors if rank == root else 0,
+        )
+        return CollectiveResult(value=request.recvbuf, detail=detail)
 
 
 # --------------------------------------------------------------------------- #

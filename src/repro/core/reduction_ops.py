@@ -15,6 +15,8 @@ from typing import Callable, Dict, Union
 
 import numpy as np
 
+from . import kernels
+
 ArrayOp = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
@@ -51,10 +53,12 @@ class ReductionOp:
     def reduce_into(self, accumulator: np.ndarray, contribution: np.ndarray) -> None:
         """In-place ``accumulator = op(accumulator, contribution)``.
 
-        In-place accumulation avoids temporary allocations in the inner loop
-        of ring/tree reductions (see the HPC guide on in-place operations).
+        Delegates to the vectorized kernels in :mod:`repro.core.kernels`:
+        built-in ufunc operators fold in a single fused ``out=`` pass with
+        no temporary allocation; generic operators fall back to
+        evaluate-and-copy.
         """
-        np.copyto(accumulator, self.func(accumulator, contribution))
+        kernels.reduce_into(self, accumulator, contribution)
 
     def identity_like(self, array: np.ndarray) -> np.ndarray:
         """Array of the identity element with the same shape/dtype as ``array``."""

@@ -25,17 +25,19 @@ same names, so the two paths cannot diverge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..utils.validation import is_power_of_two
+from .plan import CollectivePlan, PlanKey
 from .policy import CollectiveRequest, CollectiveResult, ConsistencyPolicy
 from .schedule import CommunicationSchedule
 
 ScheduleBuilder = Callable[..., CommunicationSchedule]
 Runner = Callable[..., CollectiveResult]  # runner(runtime, request)
+Planner = Callable[..., CollectivePlan]  # planner(runtime, key, segment_id, policy)
 
 
 @dataclass(frozen=True)
@@ -67,6 +69,13 @@ class AlgorithmCapabilities:
         ``Communicator(..., faults=plan)`` prefers these entries for
         ``algorithm="auto"``, as does any policy with
         ``on_failure="complete"``.
+    plannable:
+        The algorithm has a plan-compilation entry point
+        (:meth:`AlgorithmInfo.plan`): repeated calls with the same shape
+        can run through a compiled :class:`~repro.core.plan.CollectivePlan`
+        with a pooled workspace and zero per-call setup.  The Communicator
+        caches such plans transparently (see
+        :meth:`~repro.core.api.Communicator.plan_cache_stats`).
     """
 
     supports_threshold: bool = False
@@ -78,6 +87,7 @@ class AlgorithmCapabilities:
     requires_power_of_two: bool = False
     dtype: Optional[str] = None
     fault_tolerant: bool = False
+    plannable: bool = False
 
     def unsupported_reason(
         self,
@@ -120,11 +130,17 @@ class AlgorithmInfo:
     description: str = ""
     runner: Optional[Runner] = None
     capabilities: AlgorithmCapabilities = field(default_factory=AlgorithmCapabilities)
+    planner: Optional[Planner] = None
 
     @property
     def executable(self) -> bool:
         """True when the algorithm has a real ``run`` entry point."""
         return self.runner is not None
+
+    @property
+    def plannable(self) -> bool:
+        """True when repeated calls can be served by a compiled plan."""
+        return self.planner is not None and self.capabilities.plannable
 
     # ------------------------------------------------------------------ #
     # capability checking
@@ -162,24 +178,55 @@ class AlgorithmInfo:
         return kwargs
 
     # ------------------------------------------------------------------ #
-    def run(self, runtime, request: CollectiveRequest) -> CollectiveResult:
+    def run(
+        self,
+        runtime,
+        request: CollectiveRequest,
+        plan: Optional[CollectivePlan] = None,
+    ) -> CollectiveResult:
         """Execute the collective for real on ``runtime``.
 
         Validates capabilities against the world size, policy and payload
         dtype first so misuse fails fast with a clear message instead of a
-        deadlocked collective.
+        deadlocked collective.  When a compiled ``plan`` is supplied (the
+        plan-aware entry point) the call runs through
+        :meth:`CollectivePlan.execute` — pooled workspace, frozen topology
+        and notification layout — instead of the cold runner.
         """
-        if self.runner is None:
+        if plan is None and self.runner is None:
             raise ValueError(
                 f"algorithm {self.name!r} is schedule-only (no executable "
                 f"runner); simulate it through the benchmark harness instead"
             )
         dtype = None if request.sendbuf is None else np.asarray(request.sendbuf).dtype
         self.check_request(runtime.size, request.policy, dtype)
-        result = self.runner(runtime, request)
+        if plan is not None:
+            result = plan.execute(request)
+        else:
+            result = self.runner(runtime, request)
         result.algorithm = self.name
         result.policy = request.policy
         return result
+
+    def plan(
+        self,
+        runtime,
+        key: PlanKey,
+        segment_id: int,
+        policy: ConsistencyPolicy,
+    ) -> CollectivePlan:
+        """Compile a :class:`CollectivePlan` for ``key`` on this rank.
+
+        Collective: every rank must compile the plan for the same key at
+        the same point of its call sequence (plan construction registers
+        the pooled workspace and synchronises once).
+        """
+        if not self.plannable:
+            raise ValueError(
+                f"algorithm {self.name!r} does not support compiled plans"
+            )
+        self.check_request(runtime.size, policy, np.dtype(key.dtype))
+        return self.planner(runtime, key, segment_id, policy)
 
 
 class AlgorithmRegistry:
@@ -197,6 +244,7 @@ class AlgorithmRegistry:
         description: str = "",
         runner: Optional[Runner] = None,
         capabilities: Optional[AlgorithmCapabilities] = None,
+        planner: Optional[Planner] = None,
         overwrite: bool = False,
     ) -> None:
         """Register an algorithm under a unique name."""
@@ -210,6 +258,7 @@ class AlgorithmRegistry:
             description=description,
             runner=runner,
             capabilities=capabilities or AlgorithmCapabilities(),
+            planner=planner,
         )
 
     def attach_runner(
@@ -220,14 +269,20 @@ class AlgorithmRegistry:
     ) -> None:
         """Add (or replace) the executable path of an existing entry."""
         info = self.get(name)
-        self._algorithms[name] = AlgorithmInfo(
-            name=info.name,
-            collective=info.collective,
-            family=info.family,
-            builder=info.builder,
-            description=info.description,
-            runner=runner,
-            capabilities=capabilities or info.capabilities,
+        self._algorithms[name] = replace(
+            info, runner=runner, capabilities=capabilities or info.capabilities
+        )
+
+    def attach_planner(
+        self,
+        name: str,
+        planner: Planner,
+        capabilities: Optional[AlgorithmCapabilities] = None,
+    ) -> None:
+        """Add (or replace) the plan-compilation path of an existing entry."""
+        info = self.get(name)
+        self._algorithms[name] = replace(
+            info, planner=planner, capabilities=capabilities or info.capabilities
         )
 
     def get(self, name: str) -> AlgorithmInfo:
@@ -409,6 +464,39 @@ def _run_barrier(runtime, request: CollectiveRequest) -> CollectiveResult:
     return CollectiveResult(value=None)
 
 
+# --------------------------------------------------------------------------- #
+# planners for the GASPI collectives (compiled-plan entry points)
+# --------------------------------------------------------------------------- #
+def _plan_bcast_bst(runtime, key, segment_id, policy) -> CollectivePlan:
+    from .bcast import BstBcastPlan
+
+    return BstBcastPlan(runtime, key, segment_id, policy)
+
+
+def _plan_bcast_flat(runtime, key, segment_id, policy) -> CollectivePlan:
+    from .bcast import FlatBcastPlan
+
+    return FlatBcastPlan(runtime, key, segment_id, policy)
+
+
+def _plan_reduce_bst(runtime, key, segment_id, policy) -> CollectivePlan:
+    from .reduce import BstReducePlan
+
+    return BstReducePlan(runtime, key, segment_id, policy)
+
+
+def _plan_allreduce_ring(runtime, key, segment_id, policy) -> CollectivePlan:
+    from .allreduce_ring import RingAllreducePlan
+
+    return RingAllreducePlan(runtime, key, segment_id, policy)
+
+
+def _plan_allreduce_hypercube(runtime, key, segment_id, policy) -> CollectivePlan:
+    from .allreduce_ssp import HypercubeAllreducePlan
+
+    return HypercubeAllreducePlan(runtime, key, segment_id, policy)
+
+
 def _register_core_algorithms() -> None:
     """Register the GASPI collectives described in the paper."""
     # Import the builder functions explicitly: several submodules (e.g.
@@ -429,7 +517,10 @@ def _register_core_algorithms() -> None:
         family="gaspi",
         builder=bst_bcast_schedule,
         runner=_run_bcast_bst,
-        capabilities=AlgorithmCapabilities(supports_threshold=True, modes=("data",)),
+        planner=_plan_bcast_bst,
+        capabilities=AlgorithmCapabilities(
+            supports_threshold=True, modes=("data",), plannable=True
+        ),
         description="Binomial spanning tree broadcast with data threshold (paper III-B)",
     )
     REGISTRY.register(
@@ -438,7 +529,10 @@ def _register_core_algorithms() -> None:
         family="gaspi",
         builder=flat_bcast_schedule,
         runner=_run_bcast_flat,
-        capabilities=AlgorithmCapabilities(supports_threshold=True, modes=("data",)),
+        planner=_plan_bcast_flat,
+        capabilities=AlgorithmCapabilities(
+            supports_threshold=True, modes=("data",), plannable=True
+        ),
         description="Flat broadcast: P-1 write_notify calls from the root",
     )
     REGISTRY.register(
@@ -447,8 +541,12 @@ def _register_core_algorithms() -> None:
         family="gaspi",
         builder=bst_reduce_schedule,
         runner=_run_reduce_bst,
+        planner=_plan_reduce_bst,
         capabilities=AlgorithmCapabilities(
-            supports_threshold=True, modes=("data", "processes"), supports_op=True
+            supports_threshold=True,
+            modes=("data", "processes"),
+            supports_op=True,
+            plannable=True,
         ),
         description="Binomial spanning tree reduce with data/process threshold (paper III-B)",
     )
@@ -458,7 +556,8 @@ def _register_core_algorithms() -> None:
         family="gaspi",
         builder=ring_allreduce_schedule,
         runner=_run_allreduce_ring,
-        capabilities=AlgorithmCapabilities(supports_op=True),
+        planner=_plan_allreduce_ring,
+        capabilities=AlgorithmCapabilities(supports_op=True, plannable=True),
         description="Segmented pipelined ring allreduce with notifications (paper IV-A)",
     )
     REGISTRY.register(
@@ -467,8 +566,12 @@ def _register_core_algorithms() -> None:
         family="gaspi",
         builder=hypercube_allreduce_schedule,
         runner=_run_allreduce_hypercube,
+        planner=_plan_allreduce_hypercube,
         capabilities=AlgorithmCapabilities(
-            supports_op=True, supports_slack=True, requires_power_of_two=True
+            supports_op=True,
+            supports_slack=True,
+            requires_power_of_two=True,
+            plannable=True,
         ),
         description="Hypercube allreduce underlying allreduce_SSP (paper III-A)",
     )

@@ -35,6 +35,7 @@ from typing import Iterable, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..core import kernels
 from ..core.bcast import threshold_elements
 from ..core.policy import CollectiveRequest, CollectiveResult
 from ..core.reduce import ReduceMode
@@ -310,13 +311,17 @@ def _gather_contributions(
 
     def fold(nid: int) -> None:
         if operator is not None:
+            # The slot must be copied out (unlike the fault-free folds): a
+            # recovered rank may re-send its late contribution into the same
+            # slot while we reduce, and a torn read here would corrupt the
+            # accumulator.  The fold itself still runs the vectorized kernel.
             slot = runtime.segment_read(
                 segment_id,
                 dtype=accumulator.dtype,
                 offset=nid * slot_bytes,
                 count=elements,
             )
-            operator.reduce_into(accumulator, slot)
+            kernels.reduce_into(operator, accumulator, slot)
         received.add(nid)
 
     deadline = time.monotonic() + float(detect_timeout)

@@ -19,6 +19,8 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, Optional
 
+import numpy as np
+
 from .constants import DEFAULT_NOTIFICATION_COUNT, GASPI_BLOCK
 from .errors import GaspiInvalidArgumentError, GaspiTimeoutError
 
@@ -40,6 +42,16 @@ class NotificationBoard:
     * :meth:`reset` atomically swaps a slot back to ``0`` and returns the
       previous value, so a waiter can consume a notification exactly once
       even when several threads race on the same slot.
+
+    The slot store is a preallocated flat ``int64`` array indexed by
+    notification id — the board is touched on every message, and hashing
+    ids into a dict while holding the condition lock was pure overhead.
+    (An array also makes the allocation free: ``np.zeros`` is
+    calloc-backed, so creating a segment does not pay for 64k slots up
+    front the way a Python list would.)  Validation and coercion happen
+    *outside* the lock; the critical sections in :meth:`post` and
+    :meth:`reset` are a single slot assignment (plus the waiter wake-up),
+    and range scans (:meth:`drain`, :meth:`pending_ids`) are vectorized.
     """
 
     def __init__(self, num_slots: int = DEFAULT_NOTIFICATION_COUNT) -> None:
@@ -48,7 +60,7 @@ class NotificationBoard:
                 f"notification board needs at least one slot, got {num_slots}"
             )
         self._num_slots = int(num_slots)
-        self._values: Dict[int, int] = {}
+        self._values = np.zeros(self._num_slots, dtype=np.int64)
         self._cond = threading.Condition()
         #: Monotonic counter of post() calls, useful for tests and tracing.
         self.posted_count = 0
@@ -62,15 +74,18 @@ class NotificationBoard:
         return self._num_slots
 
     def peek(self, notification_id: int) -> int:
-        """Return the current value of a slot without consuming it."""
+        """Return the current value of a slot without consuming it.
+
+        Lock-free: reading one array element is atomic under the GIL, and
+        a peek is by nature a racy snapshot anyway.
+        """
         self._check_id(notification_id)
-        with self._cond:
-            return self._values.get(notification_id, 0)
+        return int(self._values[notification_id])
 
     def pending_ids(self) -> list[int]:
         """Return the sorted list of slots that currently hold a value > 0."""
         with self._cond:
-            return sorted(nid for nid, val in self._values.items() if val > 0)
+            return [int(nid) for nid in np.flatnonzero(self._values > 0)]
 
     # ------------------------------------------------------------------ #
     # GASPI operations
@@ -79,15 +94,18 @@ class NotificationBoard:
         """Set a notification slot (remote side of ``gaspi_notify``).
 
         GASPI requires notification values to be strictly positive; a zero
-        value would be indistinguishable from "not notified".
+        value would be indistinguishable from "not notified".  Validation
+        and coercion run outside the lock; the lock-held region is the
+        slot assignment and the waiter wake-up only.
         """
         self._check_id(notification_id)
+        value = int(value)
         if value <= 0:
             raise GaspiInvalidArgumentError(
                 f"notification values must be > 0, got {value}"
             )
         with self._cond:
-            self._values[notification_id] = int(value)
+            self._values[notification_id] = value
             self.posted_count += 1
             self._cond.notify_all()
 
@@ -95,10 +113,14 @@ class NotificationBoard:
         """Atomically reset a slot to zero and return its previous value.
 
         Mirrors ``gaspi_notify_reset``.  Returns 0 when the slot was empty.
+        The critical section is the read-and-clear swap only.
         """
         self._check_id(notification_id)
+        values = self._values
         with self._cond:
-            return self._values.pop(notification_id, 0)
+            old = int(values[notification_id])
+            values[notification_id] = 0
+        return old
 
     def drain(self, begin: int = 0, count: Optional[int] = None) -> Dict[int, int]:
         """Atomically consume every pending slot in ``[begin, begin + count)``.
@@ -116,14 +138,12 @@ class NotificationBoard:
         self._check_id(begin)
         self._check_id(begin + count - 1)
         end = begin + count
+        values = self._values
         with self._cond:
-            hits = {
-                nid: val
-                for nid, val in self._values.items()
-                if begin <= nid < end and val > 0
-            }
-            for nid in hits:
-                del self._values[nid]
+            window = values[begin:end]
+            pending = np.flatnonzero(window > 0)
+            hits = {int(begin + i): int(window[i]) for i in pending}
+            window[pending] = 0
             return hits
 
     def wait_some(
@@ -192,27 +212,28 @@ class NotificationBoard:
         with self._cond:
             start = _monotonic()
             while True:
-                if all(self._values.get(nid, 0) > 0 for nid in wanted):
+                if all(self._values[nid] > 0 for nid in wanted):
                     return
                 if deadline is not None:
                     remaining = deadline - (_monotonic() - start)
                     if remaining <= 0:
-                        missing = [n for n in wanted if self._values.get(n, 0) == 0]
+                        missing = [n for n in wanted if self._values[n] == 0]
                         raise GaspiTimeoutError(
                             f"timed out waiting for notifications {missing}"
                         )
                     self._cond.wait(remaining)
                 else:
-                    self._cond.wait()
+                    self._cond.wait()  # pragma: no cover - blocking path
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
     def _first_pending(self, begin: int, count: int) -> Optional[int]:
-        for nid in range(begin, begin + count):
-            if self._values.get(nid, 0) > 0:
-                return nid
-        return None
+        values = self._values
+        if count == 1:  # the common "wait for this one id" fast path
+            return begin if values[begin] > 0 else None
+        hits = np.flatnonzero(values[begin : begin + count] > 0)
+        return int(begin + hits[0]) if hits.size else None
 
     def _check_id(self, notification_id: int) -> None:
         if not (0 <= notification_id < self._num_slots):

@@ -96,6 +96,19 @@ class Segment:
     # ------------------------------------------------------------------ #
     # raw byte access used by the runtime
     # ------------------------------------------------------------------ #
+    def view_bytes(self, offset: int, size: int) -> np.ndarray:
+        """Zero-copy ``uint8`` view of a byte range of the segment.
+
+        This is the posting side of the zero-copy data path: the runtime
+        hands this view to the delivery layer instead of materialising an
+        intermediate ``bytes`` copy.  GASPI semantics make that safe — the
+        source region must stay unmodified until ``gaspi_wait`` returns,
+        and every collective in this repository flushes its queue before
+        reusing a staging area.
+        """
+        self._check_range(offset, size)
+        return self.buffer[offset : offset + size]
+
     def read_bytes(self, offset: int, size: int) -> np.ndarray:
         """Copy ``size`` bytes starting at ``offset`` out of the segment.
 

@@ -488,8 +488,12 @@ class ThreadedRuntime(GaspiRuntime):
     def _read_local(
         self, segment_id: int, offset: int, size: int
     ) -> np.ndarray:
+        # Zero-copy: hand the delivery layer a view of the source segment
+        # instead of an intermediate bytes copy.  GASPI requires the source
+        # region to stay stable until wait() flushes the queue, so the view
+        # is still valid (and unmodified) when an async worker applies it.
         seg = self._world.get_segment(self._rank, segment_id)
-        return seg.read_bytes(offset, size)
+        return seg.view_bytes(offset, size)
 
     def _check_target(self, target_rank: int) -> None:
         if not (0 <= target_rank < self._world.size):

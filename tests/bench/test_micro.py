@@ -1,0 +1,68 @@
+"""Micro-benchmark sweep: record shape, schema round-trip, CLI smoke."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.harness import BENCH_SCHEMA, load_json_report
+from repro.bench.micro import main, run_micro_sweep, time_threaded_collective
+
+
+def test_time_threaded_collective_reports_cached_hits():
+    cached = time_threaded_collective(
+        "allreduce", "ring", 1024, ranks=2, iterations=3, warmup=2
+    )
+    cold = time_threaded_collective(
+        "allreduce", "ring", 1024, ranks=2, iterations=3, warmup=2, plan_cache=0
+    )
+    assert cached["latency_seconds"] > 0
+    assert cold["latency_seconds"] > 0
+    assert cached["algorithm"] == "gaspi_allreduce_ring"
+    assert cached["plan_hits"] >= 3  # every measured iteration hit the plan
+    assert cold["plan_hits"] == 0
+
+
+def test_run_micro_sweep_covers_modes_and_sizes():
+    cases = [("bcast", "bst"), ("allreduce", "ring")]
+    sizes = [256, 1024]
+    records, summary = run_micro_sweep(
+        cases, sizes, ranks=2, iterations=2, warmup=1
+    )
+    assert len(records) == len(cases) * len(sizes) * 2  # cold + cached
+    assert {r.mode for r in records} == {"cold", "cached"}
+    assert {r.payload_bytes for r in records} == set(sizes)
+    assert all(r.metric == "latency_seconds" and r.value > 0 for r in records)
+    assert all(r.extra["throughput_bytes_per_second"] > 0 for r in records)
+    assert len(summary) == len(cases) * len(sizes)
+    assert all(row["speedup"] > 0 for row in summary)
+
+
+def test_main_writes_schema_stable_report(tmp_path):
+    out = tmp_path / "bench.json"
+    assert (
+        main(
+            [
+                "--ranks",
+                "2",
+                "--sizes",
+                "256",
+                "--iterations",
+                "2",
+                "--warmup",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    document = load_json_report(str(out))
+    assert document["schema"] == BENCH_SCHEMA
+    assert document["benchmark"] == "micro"
+    assert document["meta"]["sizes"] == [256]
+    assert document["meta"]["min_speedup"] > 0
+    modes = {(r["collective"], r["mode"]) for r in document["records"]}
+    assert ("bcast", "cold") in modes and ("bcast", "cached") in modes
+    assert ("reduce", "cached") in modes and ("allreduce", "cached") in modes
+    # The file is plain JSON, loadable without any repro import.
+    assert json.loads(out.read_text())["schema"] == BENCH_SCHEMA
