@@ -54,6 +54,8 @@ from .core import (
     REGISTRY,
     AlgorithmCapabilities,
     AlgorithmInfo,
+    ChunkLayout,
+    CollectiveHandle,
     CollectiveRequest,
     CollectiveResult,
     Communicator,

@@ -1,0 +1,149 @@
+"""Diff two ``repro-bench/v1`` JSON reports (the perf trajectory tool).
+
+The repository tracks its performance as a sequence of schema-stable JSON
+reports (``BENCH_pr3.json``, ``BENCH_pr4.json``, the CI perf-smoke
+artifacts).  This module compares two of them record by record::
+
+    PYTHONPATH=src python -m repro.bench.compare BENCH_pr3.json BENCH_pr4.json
+
+Records are matched on their identity tuple ``(benchmark, metric,
+collective, algorithm, payload_bytes, mode)``; for every match the ratio
+``old / new`` is reported (> 1 means the new report is faster for
+latency-like metrics).  Records present in only one report are listed as
+added/removed rather than failing — a new PR legitimately adds
+benchmarks.  The tool is **report-only**: it always exits 0 on valid
+inputs, because CI timing environments are too noisy to gate on (the
+perf-smoke job uploads the comparison for humans instead).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .harness import load_json_report
+from .report import format_kv_table
+
+#: Fields identifying "the same measurement" across two reports.
+KEY_FIELDS = ("benchmark", "metric", "collective", "algorithm", "payload_bytes", "mode")
+
+RecordKey = Tuple[Any, ...]
+
+
+def record_key(record: Dict[str, Any]) -> RecordKey:
+    """Identity tuple of one benchmark record."""
+    return tuple(record.get(field, "") for field in KEY_FIELDS)
+
+
+def index_records(document: Dict[str, Any]) -> Dict[RecordKey, Dict[str, Any]]:
+    """Map record identity -> record for one loaded report.
+
+    Duplicate identities (repeated measurements) keep the last occurrence,
+    matching how the sweeps append records chronologically.
+    """
+    return {record_key(r): r for r in document.get("records", [])}
+
+
+def compare_documents(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Structured comparison of two loaded reports.
+
+    Returns ``{"matched": [...], "added": [...], "removed": [...],
+    "summary": {...}}`` where every matched row carries ``old_value``,
+    ``new_value`` and ``ratio`` (old/new; ``None`` when the new value is
+    zero).
+    """
+    old_index = index_records(old)
+    new_index = index_records(new)
+    matched: List[Dict[str, Any]] = []
+    for key, new_record in new_index.items():
+        old_record = old_index.get(key)
+        if old_record is None:
+            continue
+        old_value = float(old_record["value"])
+        new_value = float(new_record["value"])
+        matched.append(
+            {
+                **dict(zip(KEY_FIELDS, key)),
+                "old_value": old_value,
+                "new_value": new_value,
+                "ratio": (old_value / new_value) if new_value else None,
+            }
+        )
+    added = [dict(zip(KEY_FIELDS, k)) for k in new_index if k not in old_index]
+    removed = [dict(zip(KEY_FIELDS, k)) for k in old_index if k not in new_index]
+    ratios = [row["ratio"] for row in matched if row["ratio"] is not None]
+    summary = {
+        "matched": len(matched),
+        "added": len(added),
+        "removed": len(removed),
+        "min_ratio": min(ratios) if ratios else None,
+        "max_ratio": max(ratios) if ratios else None,
+        "geomean_ratio": _geomean(ratios),
+    }
+    return {"matched": matched, "added": added, "removed": removed, "summary": summary}
+
+
+def _geomean(values: Sequence[float]) -> Optional[float]:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return None
+    product = 1.0
+    for value in positive:
+        product *= value ** (1.0 / len(positive))
+    return product
+
+
+def compare_reports(old_path: str, new_path: str) -> Dict[str, Any]:
+    """Load and compare two report files (schema-validated)."""
+    return compare_documents(load_json_report(old_path), load_json_report(new_path))
+
+
+def format_comparison(result: Dict[str, Any], old_path: str, new_path: str) -> str:
+    """Human-readable rendering of a comparison."""
+    lines: List[str] = [f"benchmark comparison: {old_path} -> {new_path}", ""]
+    if result["matched"]:
+        rows = [
+            {
+                "collective": row["collective"],
+                "algorithm": row["algorithm"],
+                "payload_bytes": row["payload_bytes"],
+                "mode": row["mode"],
+                "old_us": row["old_value"] * 1e6,
+                "new_us": row["new_value"] * 1e6,
+                "speedup": row["ratio"] if row["ratio"] is not None else float("nan"),
+            }
+            for row in sorted(
+                result["matched"],
+                key=lambda r: (r["collective"], r["payload_bytes"], r["mode"]),
+            )
+        ]
+        lines.append(format_kv_table(rows, title="matched records (old/new)"))
+    summary = result["summary"]
+    lines.append("")
+    lines.append(
+        f"matched {summary['matched']}, added {summary['added']}, "
+        f"removed {summary['removed']}"
+    )
+    if summary["geomean_ratio"] is not None:
+        lines.append(
+            f"speedup old/new: geomean {summary['geomean_ratio']:.3f}x, "
+            f"min {summary['min_ratio']:.3f}x, max {summary['max_ratio']:.3f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline repro-bench/v1 report")
+    parser.add_argument("new", help="new repro-bench/v1 report")
+    args = parser.parse_args(argv)
+    result = compare_reports(args.old, args.new)
+    print(format_comparison(result, args.old, args.new))
+    # Report-only by design: timings never fail the build.
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    raise SystemExit(main())

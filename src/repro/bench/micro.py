@@ -47,10 +47,22 @@ DEFAULT_CASES: Tuple[Tuple[str, str], ...] = (
     ("allreduce", "hypercube"),
 )
 
-#: Default payload sizes (bytes): small / medium / large.
-DEFAULT_SIZES: Tuple[int, ...] = (1_024, 16_384, 262_144)
+#: Default payload sizes (bytes): small through the large-message regime
+#: where the pipelined chunked data path takes over (>= 256 KiB).
+DEFAULT_SIZES: Tuple[int, ...] = (1_024, 16_384, 262_144, 1_048_576, 4_194_304)
 
-DEFAULT_OUT = "BENCH_pr3.json"
+#: (collective, monolithic alias, pipelined alias) pairs of the
+#: pipelined-vs-monolithic comparison mode.
+PIPELINE_PAIRS: Tuple[Tuple[str, str, str], ...] = (
+    ("bcast", "bst", "bst_pipelined"),
+    ("reduce", "bst", "bst_pipelined"),
+    ("allreduce", "ring", "ring_pipelined"),
+)
+
+#: Payload sizes of the pipelined comparison (the large-message regime).
+PIPELINE_SIZES: Tuple[int, ...] = (262_144, 1_048_576, 4_194_304)
+
+DEFAULT_OUT = "BENCH_pr4.json"
 
 
 def _collective_caller(comm: Communicator, collective: str, algorithm: str,
@@ -174,6 +186,104 @@ def run_micro_sweep(
     return records, summary
 
 
+def run_pipelined_comparison(
+    sizes: Sequence[int] = PIPELINE_SIZES,
+    pairs: Sequence[Tuple[str, str, str]] = PIPELINE_PAIRS,
+    *,
+    ranks: int = 4,
+    iterations: int = 20,
+    warmup: int = 3,
+) -> Tuple[List[BenchRecord], List[Dict[str, object]]]:
+    """Cached-path pipelined vs monolithic comparison (both plan-cached).
+
+    This is the acceptance measurement of the chunked data path: at every
+    large payload, the same collective runs through the monolithic plan
+    (the PR 3 baseline implementation) and through the pipelined plan,
+    back to back on the same machine, and the speedup is recorded.
+    """
+    records: List[BenchRecord] = []
+    rows: List[Dict[str, object]] = []
+    for collective, mono, pipe in pairs:
+        for nbytes in sizes:
+            measured: Dict[str, Dict[str, float]] = {}
+            for mode, algorithm in (("monolithic", mono), ("pipelined", pipe)):
+                result = time_threaded_collective(
+                    collective,
+                    algorithm,
+                    nbytes,
+                    ranks=ranks,
+                    iterations=iterations,
+                    warmup=warmup,
+                )
+                measured[mode] = result
+                latency = result["latency_seconds"]
+                records.append(
+                    BenchRecord(
+                        benchmark="micro-pipelined",
+                        metric="latency_seconds",
+                        value=latency,
+                        collective=collective,
+                        algorithm=str(result["algorithm"]),
+                        payload_bytes=int(nbytes),
+                        mode=mode,
+                        extra={
+                            "ranks": ranks,
+                            "iterations": iterations,
+                            "throughput_bytes_per_second": (
+                                nbytes / latency if latency > 0 else 0.0
+                            ),
+                        },
+                    )
+                )
+            mono_s = measured["monolithic"]["latency_seconds"]
+            pipe_s = measured["pipelined"]["latency_seconds"]
+            rows.append(
+                {
+                    "collective": collective,
+                    "payload_bytes": int(nbytes),
+                    "monolithic_us": mono_s * 1e6,
+                    "pipelined_us": pipe_s * 1e6,
+                    "speedup": mono_s / pipe_s if pipe_s > 0 else float("inf"),
+                }
+            )
+    return records, rows
+
+
+def run_overlap_measurement(
+    *, quick: bool = False
+) -> Tuple[List[BenchRecord], Dict[str, object]]:
+    """The ML overlap demonstration: iallreduce + compute vs blocking.
+
+    Wraps :func:`repro.ml.sgd.run_overlap_demo` (bucketed gradient
+    exchange with rotating stragglers) into benchmark records.
+    """
+    from ..ml.sgd import run_overlap_demo
+
+    demo = run_overlap_demo(iterations=4 if quick else 10)
+    rows = {
+        "blocking_seconds": demo.blocking_seconds,
+        "overlapped_seconds": demo.overlapped_seconds,
+        "speedup": demo.speedup,
+        "results_match": demo.results_match,
+    }
+    records = [
+        BenchRecord(
+            benchmark="micro-overlap",
+            metric="wall_seconds",
+            value=value,
+            collective="allreduce",
+            algorithm="gaspi_allreduce_ring_pipelined",
+            mode=mode,
+            extra={"results_match": demo.results_match},
+        )
+        for mode, value in (
+            ("blocking", demo.blocking_seconds),
+            ("overlapped", demo.overlapped_seconds),
+        )
+    ]
+    return records, rows
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--ranks", type=int, default=4,
@@ -186,6 +296,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="unmeasured calls before timing (compiles the plan)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sweep for CI smoke runs")
+    parser.add_argument("--skip-overlap", action="store_true",
+                        help="skip the ML overlap measurement")
     parser.add_argument("--out", type=str, default=DEFAULT_OUT,
                         help=f"JSON report path (default: {DEFAULT_OUT})")
     args = parser.parse_args(argv)
@@ -194,16 +306,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.sizes:
         sizes = tuple(int(s) for s in args.sizes.split(","))
     elif args.quick:
-        sizes = (1_024, 16_384, 65_536)
+        sizes = (1_024, 16_384, 262_144)
     else:
         sizes = DEFAULT_SIZES
     iterations = 5 if args.quick and args.iterations == 20 else args.iterations
+    pipeline_sizes: Sequence[int] = (
+        (262_144,) if args.quick else PIPELINE_SIZES
+    )
 
     records, summary = run_micro_sweep(
         sizes=sizes, ranks=args.ranks, iterations=iterations, warmup=args.warmup
     )
+    pipe_records, pipe_rows = run_pipelined_comparison(
+        sizes=pipeline_sizes, ranks=args.ranks, iterations=iterations,
+        warmup=args.warmup,
+    )
+    records.extend(pipe_records)
+    overlap_rows: Dict[str, object] = {}
+    if not args.skip_overlap:
+        overlap_records, overlap_rows = run_overlap_measurement(quick=args.quick)
+        records.extend(overlap_records)
     min_speedup = min(row["speedup"] for row in summary)
     small = [r["speedup"] for r in summary if r["payload_bytes"] == min(sizes)]
+    large_rows = [r for r in pipe_rows if int(r["payload_bytes"]) >= 262_144]
     write_json_report(
         args.out,
         records,
@@ -217,9 +342,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "speedup_summary": summary,
             "min_speedup": min_speedup,
             "small_payload_speedups": small,
+            "pipelined_summary": pipe_rows,
+            "pipelined_speedups_large": [r["speedup"] for r in large_rows],
+            "overlap_demo": overlap_rows,
+            "baseline_report": "BENCH_pr3.json",
         },
     )
     print(format_kv_table(summary, title="plan-cache speedup (cold / cached)"))
+    print(format_kv_table(pipe_rows,
+                          title="pipelined vs monolithic (both cached)"))
+    if overlap_rows:
+        print(f"\noverlap demo: blocking {overlap_rows['blocking_seconds']*1e3:.2f} ms"
+              f" vs overlapped {overlap_rows['overlapped_seconds']*1e3:.2f} ms"
+              f" ({overlap_rows['speedup']:.2f}x, bit-identical="
+              f"{overlap_rows['results_match']})")
     print(f"\nreport written to {args.out}")
     return 0
 

@@ -18,6 +18,15 @@ Public surface:
 """
 
 from .api import Communicator, PersistentCollective
+from .notifmap import NotificationLayout, NotifRange
+from .pipeline import (
+    ChunkLayout,
+    CollectiveHandle,
+    ProgressEngine,
+    pipelined_bst_bcast_schedule,
+    pipelined_bst_reduce_schedule,
+    pipelined_ring_allreduce_schedule,
+)
 from .plan import CollectivePlan, PlanCache, PlanCacheStats, PlanKey
 from .policy import (
     CollectiveRequest,
@@ -25,7 +34,7 @@ from .policy import (
     ConsistencyPolicy,
     coerce_policy,
 )
-from .tuning import TuningRule, TuningTable, select_algorithm
+from .tuning import TuningRule, TuningTable, select_algorithm, select_chunk_bytes
 from .allgather import ring_allgather, ring_allgather_schedule
 from .allreduce_ring import RingAllreduceStats, ring_allreduce, ring_allreduce_schedule
 from .allreduce_ssp import (

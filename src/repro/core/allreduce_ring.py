@@ -28,6 +28,7 @@ from ..gaspi.constants import GASPI_BLOCK
 from ..gaspi.runtime import GaspiRuntime
 from ..utils.validation import require
 from . import kernels
+from .notifmap import NotificationLayout, NotifRange
 from .plan import CollectivePlan
 from .reduction_ops import ReductionOp, get_op
 from .schedule import CommunicationSchedule, Message, Protocol
@@ -35,6 +36,18 @@ from .topology import Ring, chunk_bounds
 
 #: Default segment id used by the ring allreduce.
 RING_SEGMENT_ID = 120
+
+
+def ring_notification_layout(total_steps: int) -> NotifRange:
+    """Step-notification range of a ring exchange (one id per ring step).
+
+    The ring's notification id *is* the step index; routing the range
+    through :class:`~repro.core.notifmap.NotificationLayout` keeps the
+    budget check (and any future extra ranges) in one place shared with
+    the other collectives.
+    """
+    layout = NotificationLayout()
+    return layout.add("steps", max(1, int(total_steps)))
 
 
 @dataclass
@@ -109,6 +122,9 @@ def ring_allreduce(
     max_chunk = -(-work.size // size)  # ceil
     slot_bytes = max(max_chunk * itemsize, itemsize)
     total_steps = 2 * (size - 1)
+    # Budget-checked id map: the step index is the notification id.
+    step_ids = ring_notification_layout(total_steps)
+    assert step_ids.base == 0
 
     # Segment layout: the lower half holds one *receive* slot per step (the
     # predecessor writes into slot ``step``; notification id == step), the
@@ -283,6 +299,8 @@ class RingAllreducePlan(CollectivePlan):
         max_chunk = -(-self.elements // size) if size else 0
         self.slot_bytes = max(max_chunk * itemsize, itemsize)
         self.total_steps = 2 * (size - 1)
+        # Budget-checked id map: the step index is the notification id.
+        self.step_ids = ring_notification_layout(self.total_steps)
         self.send_region = self.slot_bytes * self.total_steps
         # Frozen step table: (step, send bounds, recv bounds, reduce?).
         self.steps = []

@@ -58,6 +58,7 @@ from ..gaspi.subruntime import GroupRuntime
 from ..utils.validation import require
 from .allgather import ring_allgather
 from .allreduce_ssp import SSPAllreduce, SSPAllreduceResult
+from .pipeline import CollectiveHandle, ProgressEngine
 from .plan import CollectivePlan, PlanCache, PlanCacheStats, PlanKey
 from .policy import (
     STRICT,
@@ -225,6 +226,8 @@ class Communicator:
         self._last_result: Optional[CollectiveResult] = None
         self._last_segment_id: Optional[int] = None
         self._plans = PlanCache(plan_cache)
+        self._progress = ProgressEngine(self.runtime)
+        self._resolve_cache: Dict[tuple, AlgorithmInfo] = {}
 
     # ------------------------------------------------------------------ #
     # identity
@@ -330,8 +333,38 @@ class Communicator:
         communicator's size; explicit names accept full registry names
         ("gaspi_allreduce_ring") or the short v1 aliases ("ring").
         Raises :class:`ValueError` for unknown or mismatched names.
+
+        Resolution is memoized per (collective, algorithm, size, policy,
+        fault state): selection re-runs the tuning-table scan with its
+        capability checks on every dispatch otherwise, which is pure
+        overhead at plan-cached call rates.  The fault-state component
+        keeps the cache exact — suspicion or injected faults reroute to
+        tolerant algorithms, so those states key separately.
         """
         policy = policy or self._policy
+        memo_key = (
+            collective,
+            algorithm,
+            int(nbytes),
+            policy,
+            bool(self._suspected),
+            self.runtime.fault_injected,
+            self._faults is not None and self._faults.can_lose_contributions,
+        )
+        cached = self._resolve_cache.get(memo_key)
+        if cached is not None:
+            return cached
+        info = self._resolve_uncached(collective, nbytes, algorithm, policy)
+        self._resolve_cache[memo_key] = info
+        return info
+
+    def _resolve_uncached(
+        self,
+        collective: str,
+        nbytes: int,
+        algorithm: str,
+        policy: ConsistencyPolicy,
+    ) -> AlgorithmInfo:
         if algorithm in (None, "auto"):
             if (
                 (self._faults is not None and self._faults.can_lose_contributions)
@@ -495,6 +528,12 @@ class Communicator:
         info = self.resolve(collective, nbytes, algorithm, request.policy)
         plan = self._plan_for(info, request)
         if plan is not None:
+            if self._progress.active:
+                # A nonblocking handle may still be driving this plan; a
+                # blocking call must not race it on the plan's workspace
+                # and notification ids (both would consume the other's
+                # arrivals and deadlock).
+                self._progress.wait_plan(plan, request.timeout)
             request.segment_id = plan.segment_id
         else:
             request.segment_id = self._allocate_segment_id()
@@ -637,6 +676,200 @@ class Communicator:
             policy=policy or self._policy,
         )
         return self._dispatch("allreduce", algorithm, request).value
+
+    # ------------------------------------------------------------------ #
+    # nonblocking collectives (pipelined progress engine)
+    # ------------------------------------------------------------------ #
+    def ibcast(
+        self,
+        buffer: np.ndarray,
+        root: int = 0,
+        policy: Optional[ConsistencyPolicy] = None,
+        algorithm: str = "auto",
+        tag: int = 0,
+    ) -> CollectiveHandle:
+        """Nonblocking broadcast; returns a :class:`CollectiveHandle`.
+
+        The transfer advances chunk by chunk whenever the handle (or
+        :meth:`progress`) is pumped, and completes in :meth:`CollectiveHandle.wait`
+        — so the caller can overlap compute with the payload movement::
+
+            h = comm.ibcast(weights, root=0)
+            loss = expensive_forward_pass(batch)   # overlaps the bcast
+            h.wait()
+        """
+        request = CollectiveRequest(
+            collective="bcast",
+            sendbuf=buffer,
+            root=root,
+            policy=policy or self._policy,
+            tag=tag,
+        )
+        return self._dispatch_nonblocking("bcast", algorithm, request)
+
+    def ireduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray] = None,
+        root: int = 0,
+        op: str | ReductionOp = "sum",
+        policy: Optional[ConsistencyPolicy] = None,
+        algorithm: str = "auto",
+        tag: int = 0,
+    ) -> CollectiveHandle:
+        """Nonblocking reduce onto ``root``; returns a handle.
+
+        ``tag`` keys the compiled plan instance: concurrent same-shape
+        requests with distinct tags advance independently.
+        """
+        request = CollectiveRequest(
+            collective="reduce",
+            sendbuf=sendbuf,
+            recvbuf=recvbuf,
+            root=root,
+            op=op,
+            policy=policy or self._policy,
+            tag=tag,
+        )
+        return self._dispatch_nonblocking("reduce", algorithm, request)
+
+    def iallreduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray] = None,
+        op: str | ReductionOp = "sum",
+        policy: Optional[ConsistencyPolicy] = None,
+        algorithm: str = "auto",
+        tag: int = 0,
+    ) -> CollectiveHandle:
+        """Nonblocking allreduce; returns a handle (``MPI_Iallreduce``).
+
+        The gradient-overlap idiom of the ML layer: issue one handle per
+        bucket as its gradient becomes ready (a distinct ``tag`` per
+        bucket gives each its own concurrent pipeline), keep computing,
+        then drain::
+
+            handles = [comm.iallreduce(g, recvbuf=o, tag=i)
+                       for i, (g, o) in enumerate(buckets)]
+            more_compute()
+            comm.wait_all()
+        """
+        request = CollectiveRequest(
+            collective="allreduce",
+            sendbuf=sendbuf,
+            recvbuf=recvbuf,
+            op=op,
+            policy=policy or self._policy,
+            tag=tag,
+        )
+        return self._dispatch_nonblocking("allreduce", algorithm, request)
+
+    def progress(self) -> int:
+        """Advance every in-flight nonblocking collective without blocking.
+
+        Returns the number of handles still in flight.  Call this between
+        compute steps to keep pipelines moving (core-direct GASPI style) —
+        or enable :meth:`start_progress_thread` for asynchronous progress.
+        """
+        return self._progress.progress()
+
+    def wait_all(self, timeout: float = GASPI_BLOCK) -> None:
+        """Complete every in-flight nonblocking collective (``MPI_Waitall``)."""
+        self._progress.wait_all(timeout)
+
+    def start_progress_thread(self, interval: float = 2e-4) -> None:
+        """Enable asynchronous progress (GPI-2 progress-thread analogue).
+
+        A daemon thread pumps in-flight nonblocking pipelines whenever the
+        application thread is busy or idle — required for real overlap
+        when compute does not call :meth:`progress` (e.g. accelerator
+        offload).  Idempotent; stopped by :meth:`stop_progress_thread` or
+        :meth:`close`.
+        """
+        self._progress.start_thread(interval)
+
+    def stop_progress_thread(self) -> None:
+        """Stop the asynchronous progress thread (idempotent)."""
+        self._progress.stop_thread()
+
+    def _resolve_nonblocking(
+        self, collective: str, nbytes: int, algorithm: str, policy: ConsistencyPolicy
+    ) -> AlgorithmInfo:
+        """Resolution for the nonblocking path: prefer pipelined entries.
+
+        ``algorithm="auto"`` picks a pipelined implementation for *any*
+        payload size (not just beyond the large-message threshold): only
+        pipelined plans expose the incremental executor that makes a
+        handle actually nonblocking, and overlap is usually worth more
+        than the last microsecond of blocking latency.  Explicit algorithm
+        names are honoured verbatim; non-pipelined ones complete
+        synchronously (the handle is born done).
+        """
+        if algorithm in (None, "auto") and not (
+            (self._faults is not None and self._faults.can_lose_contributions)
+            or self.runtime.fault_injected
+            or policy.on_failure != "abort"
+        ):
+            for name in self._registry.names(collective=collective, executable=True):
+                info = self._registry.get(name)
+                if not (info.capabilities.pipelined and info.plannable):
+                    continue
+                supported, _ = info.supports(self.size, policy)
+                if supported:
+                    return info
+        return self.resolve(collective, nbytes, algorithm, policy)
+
+    def _dispatch_nonblocking(
+        self, collective: str, algorithm: str, request: CollectiveRequest
+    ) -> CollectiveHandle:
+        """Start one collective; return a handle advancing it incrementally.
+
+        Falls back to synchronous execution (returning an already-complete
+        handle) whenever no pipelined plan can serve the request — fault
+        plans, suspected ranks, slack policies, planning disabled, or a
+        non-pipelined algorithm choice — so ``i*`` calls are always safe,
+        merely not overlapped, in those regimes.
+        """
+        check_policy(request.policy)
+        nbytes = self._schedule_nbytes(collective, request)
+        info = self._resolve_nonblocking(collective, nbytes, algorithm, request.policy)
+        plan = None
+        if info.capabilities.pipelined:
+            plan = self._plan_for(info, request)
+        if plan is None or not hasattr(plan, "begin"):
+            result = self._dispatch(collective, info.name, request)
+            return CollectiveHandle(
+                self._progress, self.runtime, None, None, result=result
+            )
+        # Mirror the blocking dispatch bookkeeping (sequence number,
+        # arrival skew does not apply: loss-capable fault plans never get
+        # here and pure-delay plans perturb the data plane directly).
+        self._collective_seq += 1
+        dtype = None if request.sendbuf is None else np.asarray(request.sendbuf).dtype
+        info.check_request(self.size, request.policy, dtype)
+        request.segment_id = plan.segment_id
+        self._last_segment_id = plan.segment_id
+
+        def on_complete(result: CollectiveResult) -> None:
+            result.algorithm = info.name
+            result.policy = request.policy
+            if self._machine is not None:
+                from ..simulate.executor import simulate_schedule
+
+                result.simulated = simulate_schedule(
+                    plan.schedule(info), self._machine.with_ranks(self.size)
+                )
+            self._last_result = result
+
+        handle = CollectiveHandle(
+            self._progress,
+            self.runtime,
+            plan,
+            plan.begin(request),
+            on_complete=on_complete,
+        )
+        self._progress.register(handle)
+        return handle
 
     def allreduce_ssp(
         self,
@@ -897,6 +1130,14 @@ class Communicator:
         perform segment operations — e.g. a fault plan wrapped the runtime
         and this rank crashed — so teardown never raises after a failure.
         """
+        if self._progress.active:
+            # Drain in-flight nonblocking collectives before any pooled
+            # segment can be freed under an active pipeline.
+            try:
+                self._progress.wait_all()
+            except (GaspiError, TimeoutError):  # pragma: no cover - dead peer
+                pass
+        self._progress.stop_thread()
         for key in list(self._ssp_instances):
             self.close_ssp(key)
         for detail in self._open_degraded:

@@ -24,6 +24,7 @@ import numpy as np
 from ..gaspi.constants import GASPI_BLOCK
 from ..gaspi.runtime import GaspiRuntime
 from ..utils.validation import check_fraction, require
+from .notifmap import NotificationLayout
 from .plan import CollectivePlan
 from .schedule import CommunicationSchedule, Message, Protocol
 from .topology import BinomialTree
@@ -31,9 +32,14 @@ from .topology import BinomialTree
 #: Default segment id used by the broadcast collectives.
 BCAST_SEGMENT_ID = 100
 
-#: Notification ids inside the broadcast segment.
-_NOTIF_DATA = 0
-_NOTIF_ACK_BASE = 1
+#: Notification-id map of the broadcast segment: one data arrival slot,
+#: then one ack slot per peer (indexed by child position in the BST, by
+#: rank in the flat fan-out — which therefore bounds the flat plan's world
+#: size to the ack range).
+BCAST_LAYOUT = NotificationLayout()
+_NOTIF_DATA = BCAST_LAYOUT.add("data", 1).id()
+_ACK_RANGE = BCAST_LAYOUT.add("ack", 4096)
+_NOTIF_ACK_BASE = _ACK_RANGE.base
 
 
 @dataclass
@@ -334,9 +340,11 @@ def flat_bcast_schedule(
 
 def _require_vector(buffer: np.ndarray) -> np.ndarray:
     buffer = np.asarray(buffer)
-    require(buffer.ndim == 1, f"broadcast buffer must be 1-D, got shape {buffer.shape}")
-    require(buffer.flags["C_CONTIGUOUS"], "broadcast buffer must be C-contiguous")
-    require(buffer.size > 0, "broadcast buffer must not be empty")
+    # Hot path: one combined check; messages are built only on failure.
+    if buffer.ndim != 1 or buffer.size == 0 or not buffer.flags["C_CONTIGUOUS"]:
+        require(buffer.ndim == 1, f"broadcast buffer must be 1-D, got shape {buffer.shape}")
+        require(buffer.flags["C_CONTIGUOUS"], "broadcast buffer must be C-contiguous")
+        require(buffer.size > 0, "broadcast buffer must not be empty")
     return buffer
 
 

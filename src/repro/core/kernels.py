@@ -62,6 +62,28 @@ def reduce_into(
     return accumulator
 
 
+def fold(
+    op: "ReductionOp",
+    a: np.ndarray,
+    b: np.ndarray,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Fused ``out = op(a, b)`` — one ufunc pass, no temporary.
+
+    Unlike :func:`reduce_into` this writes to a *third* destination, which
+    lets the pipelined reduce fuse copies away entirely: the first fold of
+    a chunk reads straight from the caller's ``sendbuf`` (instead of
+    pre-copying it into the accumulator), and the last fold at the root
+    lands straight in ``recvbuf``.  ``out`` may alias ``a``.
+    """
+    func = op.func
+    if is_vectorizable(func):
+        func(a, b, out=out)
+    else:
+        np.copyto(out, func(a, b))
+    return out
+
+
 def reduce_from_segment(
     op: "ReductionOp",
     accumulator: np.ndarray,

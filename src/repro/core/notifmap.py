@@ -1,0 +1,105 @@
+"""Centralised notification-id budgeting for the collective protocols.
+
+Every GASPI collective multiplexes several logical channels over one
+segment's notification-id space: data arrivals, readiness handshakes,
+consume acknowledgements — and, since the pipelined data path, one id per
+*chunk* of a segmented payload.  The seed code carved these ranges out
+with per-module magic constants (``_NOTIF_DATA = 0``, ``_NOTIF_ACK_BASE =
+1``, ``_NOTIF_DATA_BASE = 64`` …), which silently assumed the ranges never
+collide and never exceed the segment's slot budget.  Chunked pipelines
+make both assumptions load-bearing: a 64-chunk broadcast over 8 children
+needs hundreds of ids, laid out identically on every rank.
+
+:class:`NotificationLayout` is the one allocator all of
+:mod:`repro.core.bcast`, :mod:`repro.core.reduce`,
+:mod:`repro.core.allreduce_ring` and :mod:`repro.core.pipeline` build
+their id maps through: named, non-overlapping ranges handed out in
+declaration order, validated against the segment's slot budget.  Because
+allocation is deterministic, two ranks that declare the same ranges in
+the same order agree on every id — the SPMD contract the protocols rely
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..gaspi.constants import DEFAULT_NOTIFICATION_COUNT
+from ..utils.validation import require
+
+
+@dataclass(frozen=True)
+class NotifRange:
+    """A named, contiguous range of notification ids.
+
+    ``range.id(i)`` is the id of the ``i``-th slot; ``range.base`` /
+    ``range.count`` feed directly into ``notify_waitsome(segment, base,
+    count)`` range waits and ``notify_drain`` sweeps.
+    """
+
+    name: str
+    base: int
+    count: int
+
+    def id(self, index: int = 0) -> int:
+        """Absolute notification id of slot ``index`` of this range."""
+        require(
+            0 <= index < self.count,
+            f"notification index {index} outside range {self.name!r} "
+            f"of {self.count} slots",
+        )
+        return self.base + index
+
+    @property
+    def end(self) -> int:
+        """One past the last id of the range."""
+        return self.base + self.count
+
+
+class NotificationLayout:
+    """Sequential allocator of named notification-id ranges.
+
+    Parameters
+    ----------
+    budget:
+        Total notification slots available on the segment this layout is
+        used with (the GPI-2 default per segment otherwise).  Exceeding it
+        raises immediately at layout construction — on every rank alike —
+        instead of surfacing as a deadlocked wait on an out-of-range id.
+    """
+
+    def __init__(self, budget: int = DEFAULT_NOTIFICATION_COUNT) -> None:
+        require(budget > 0, f"notification budget must be positive, got {budget}")
+        self.budget = int(budget)
+        self._next = 0
+        self._ranges: Dict[str, NotifRange] = {}
+
+    def add(self, name: str, count: int) -> NotifRange:
+        """Allocate the next ``count`` ids under ``name``."""
+        require(count >= 1, f"range {name!r} needs at least one id, got {count}")
+        require(name not in self._ranges, f"notification range {name!r} already allocated")
+        require(
+            self._next + count <= self.budget,
+            f"notification budget exhausted: range {name!r} needs ids "
+            f"[{self._next}, {self._next + count}) but the segment provides "
+            f"only {self.budget} slots",
+        )
+        rng = NotifRange(name=name, base=self._next, count=int(count))
+        self._next += int(count)
+        self._ranges[name] = rng
+        return rng
+
+    def __getitem__(self, name: str) -> NotifRange:
+        return self._ranges[name]
+
+    @property
+    def used(self) -> int:
+        """Total ids allocated so far."""
+        return self._next
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ranges = ", ".join(
+            f"{r.name}=[{r.base},{r.end})" for r in self._ranges.values()
+        )
+        return f"NotificationLayout({ranges}; used={self._next}/{self.budget})"

@@ -1,0 +1,1373 @@
+"""Pipelined chunked data path and the nonblocking collective engine.
+
+The paper's collectives win by letting ranks proceed on partial data, yet
+the compiled plans of PR 3 still move every tree/ring edge as a single
+monolithic ``write_notify``: each BST level (or ring step) waits for the
+*entire* payload of the previous one.  This module segments large payloads
+into chunks and pipelines them — the classic large-message optimisation of
+Open MPI / Intel MPI tuning tables (segmented binomial broadcast, bucket
+ring allreduce) — and builds a nonblocking request API on top.
+
+Three pipelined planned executors (registered in
+:mod:`repro.core.registry`, selected by the tuning tables for large
+payloads):
+
+* :class:`PipelinedBstBcastPlan` — a parent forwards chunk ``k`` while
+  chunk ``k+1`` is still in flight.  On runtimes with
+  :meth:`~repro.gaspi.runtime.GaspiRuntime.segment_bind` support the
+  user's buffer *is* the segment (the ``gaspi_segment_bind`` zero-copy
+  path): chunks land directly in the destination buffer, per-chunk
+  notification ids mark arrivals, and a per-call readiness handshake is
+  the consume-ack that makes cross-call reuse safe.  Without bind support
+  the same protocol runs over per-chunk staging slots.
+* :class:`PipelinedBstReducePlan` — per-chunk folds
+  (:mod:`repro.core.kernels`) with each completed chunk pushed up the tree
+  while later chunks are still arriving; the accumulator lives in the
+  pooled segment so the push-up needs no staging copy.
+* :class:`PipelinedRingAllreducePlan` — the ring with multiple in-flight
+  sub-chunk slots per step, sends posted straight from the pooled work
+  region and allgather chunks written *directly* into the successor's work
+  region (no copy-out), guarded by a per-call entry notification.
+
+The same chunk machinery drives the **nonblocking API**:
+:meth:`~repro.core.api.Communicator.ibcast` / ``ireduce`` /
+``iallreduce`` return a :class:`CollectiveHandle` whose
+``test()/wait()/progress()`` advance the pipeline incrementally through a
+per-communicator :class:`ProgressEngine`, so callers overlap compute with
+communication (the ML/SGD layer uses this for overlapping gradient
+allreduce).
+
+Every pipelined executor is written as a *generator* that yields
+:class:`WaitSpec` objects whenever it cannot progress without a
+notification.  The blocking path (:func:`drive_pipeline`) resumes it with
+blocking waits; the nonblocking path polls with ``timeout=0`` from
+``progress()``.  One implementation, two completion disciplines.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..gaspi.constants import GASPI_BLOCK
+from ..gaspi.errors import GaspiError
+from ..utils.validation import require
+from . import kernels
+from .bcast import BroadcastResult, _require_vector, threshold_elements
+from .notifmap import NotificationLayout
+from .plan import CollectivePlan, PlanKey, policy_fingerprint
+from .reduce import ReduceMode, ReduceResult
+from .reduction_ops import get_op
+from .schedule import CommunicationSchedule, Message, Protocol
+from .topology import BinomialTree, Ring, chunk_bounds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .policy import CollectiveRequest, CollectiveResult
+
+
+# --------------------------------------------------------------------------- #
+# chunk layout
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ChunkLayout:
+    """Frozen segmentation of a payload into pipeline chunks.
+
+    Bounds are in *elements*; :meth:`byte_bounds` converts to the byte
+    offsets the one-sided operations use.  Chunk sizes come from the
+    tuning tables (:func:`repro.core.tuning.select_chunk_bytes`) unless
+    the policy pins them (``ConsistencyPolicy.chunk_bytes``).
+    """
+
+    total_elements: int
+    itemsize: int
+    chunk_elements: int
+    bounds: Tuple[Tuple[int, int], ...]
+
+    @classmethod
+    def for_elements(
+        cls, elements: int, itemsize: int, chunk_bytes: Optional[int]
+    ) -> "ChunkLayout":
+        """Layout over ``elements`` items with ``chunk_bytes``-sized chunks.
+
+        ``chunk_bytes`` of ``None`` (or >= the payload) yields a single
+        chunk — the degenerate pipeline, which is exactly the zero-copy
+        monolithic transfer.
+        """
+        require(elements >= 0, "elements must be non-negative")
+        require(itemsize >= 1, "itemsize must be >= 1")
+        nbytes = elements * itemsize
+        if chunk_bytes is None or chunk_bytes >= nbytes or elements <= 1:
+            chunk_elements = max(elements, 1)
+        else:
+            chunk_elements = max(1, int(chunk_bytes) // itemsize)
+        num_chunks = max(1, -(-elements // chunk_elements))
+        bounds = tuple(
+            (k * chunk_elements, min((k + 1) * chunk_elements, elements))
+            for k in range(num_chunks)
+        )
+        return cls(
+            total_elements=int(elements),
+            itemsize=int(itemsize),
+            chunk_elements=int(chunk_elements),
+            bounds=bounds,
+        )
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def chunk_bytes(self) -> int:
+        return self.chunk_elements * self.itemsize
+
+    def byte_bounds(self, index: int) -> Tuple[int, int]:
+        begin, end = self.bounds[index]
+        return begin * self.itemsize, end * self.itemsize
+
+
+def resolve_chunk_bytes(nbytes: int, policy) -> Optional[int]:
+    """Chunk size for a payload: the policy override, else the tuning table."""
+    if policy is not None and policy.chunk_bytes is not None:
+        return policy.chunk_bytes
+    from .tuning import select_chunk_bytes
+
+    return select_chunk_bytes(nbytes)
+
+
+# --------------------------------------------------------------------------- #
+# generator protocol
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WaitSpec:
+    """Resume condition of a suspended pipeline: a notification range.
+
+    A pipeline generator yields one of these whenever it cannot progress;
+    the driver resumes the generator once *any* notification in
+    ``[first, first + count)`` of ``segment_id`` is pending (the generator
+    re-checks and consumes what it needs itself, so a spurious resume is
+    harmless).
+    """
+
+    segment_id: int
+    first: int
+    count: int = 1
+
+
+PipelineGen = Generator[WaitSpec, None, "CollectiveResult"]
+
+
+def drive_pipeline(runtime, gen: PipelineGen, timeout: float = GASPI_BLOCK):
+    """Run a pipeline generator to completion with blocking waits."""
+    try:
+        spec = next(gen)
+        while True:
+            got = runtime.notify_waitsome(
+                spec.segment_id, spec.first, spec.count, timeout=timeout
+            )
+            if got is None:
+                gen.close()
+                raise TimeoutError(
+                    f"rank {runtime.rank}: pipelined collective timed out waiting "
+                    f"for notifications [{spec.first}, {spec.first + spec.count}) "
+                    f"on segment {spec.segment_id}"
+                )
+            spec = next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+# --------------------------------------------------------------------------- #
+# nonblocking handles and the progress engine
+# --------------------------------------------------------------------------- #
+class CollectiveHandle:
+    """Nonblocking collective request (the ``MPI_Request`` analogue).
+
+    Returned by :meth:`~repro.core.api.Communicator.ibcast` /
+    ``ireduce`` / ``iallreduce``.  The pipeline advances when the caller
+    pumps it — :meth:`progress` and :meth:`test` poll without blocking,
+    :meth:`wait` drives it (and every handle issued before it, in order)
+    to completion.  Handles sharing one compiled plan are serialised in
+    issue order by the :class:`ProgressEngine`, so several in-flight
+    requests of the same shape are safe.
+    """
+
+    def __init__(
+        self,
+        engine: Optional["ProgressEngine"],
+        runtime,
+        plan: Optional[CollectivePlan],
+        gen: Optional[PipelineGen],
+        result=None,
+        on_complete=None,
+    ) -> None:
+        self._engine = engine
+        self._runtime = runtime
+        self._plan = plan
+        self._gen = gen
+        self._spec: Optional[WaitSpec] = None
+        self._started = False
+        self._result = result
+        self._done = gen is None
+        self._on_complete = on_complete
+        if self._done and on_complete is not None:
+            on_complete(self._result)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        """True once the collective completed on this rank."""
+        return self._done
+
+    @property
+    def result(self):
+        """The :class:`CollectiveResult`, or ``None`` while in flight."""
+        return self._result
+
+    # ------------------------------------------------------------------ #
+    def _finish(self, stop: StopIteration) -> None:
+        self._result = stop.value
+        self._done = True
+        self._gen = None
+        self._spec = None
+        if self._on_complete is not None:
+            self._on_complete(self._result)
+
+    def _step(self, timeout: float) -> bool:
+        """Advance until blocked (``timeout=0``) or done; returns done.
+
+        The ``timeout=0`` pump path uses the runtime's lock-free
+        :meth:`~repro.gaspi.runtime.GaspiRuntime.notify_probe` — a pump
+        over many idle pipelines must cost nanoseconds per handle, not a
+        condition-lock round trip each.
+        """
+        if self._done:
+            return True
+        rt = self._runtime
+        try:
+            if not self._started:
+                self._started = True
+                self._spec = next(self._gen)
+            while True:
+                spec = self._spec
+                if timeout == 0.0:
+                    if not rt.notify_probe(spec.segment_id, spec.first, spec.count):
+                        return False
+                elif (
+                    rt.notify_waitsome(
+                        spec.segment_id, spec.first, spec.count, timeout=timeout
+                    )
+                    is None
+                ):
+                    return False
+                self._spec = next(self._gen)
+        except StopIteration as stop:
+            self._finish(stop)
+            return True
+
+    # ------------------------------------------------------------------ #
+    def progress(self) -> bool:
+        """Advance every in-flight handle without blocking; returns done.
+
+        Pumps the whole engine (in issue order, the SPMD order every rank
+        shares) rather than just this handle — progress of an earlier
+        handle is often what unblocks this one on a peer.
+        """
+        if self._engine is not None:
+            self._engine.progress()
+        return self._done
+
+    def test(self) -> bool:
+        """Nonblocking completion probe (``MPI_Test``)."""
+        return self.progress()
+
+    def wait(self, timeout: float = GASPI_BLOCK):
+        """Block until complete; returns the :class:`CollectiveResult`."""
+        if not self._done:
+            self._engine.wait_until(self, timeout)
+        return self._result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else ("active" if self._started else "pending")
+        name = type(self._plan).__name__ if self._plan is not None else "completed"
+        return f"CollectiveHandle({name}, {state})"
+
+
+class ProgressEngine:
+    """Per-communicator scheduler of in-flight nonblocking collectives.
+
+    Keeps the live handles in issue order (the SPMD program order, which
+    every rank shares) and enforces one rule: two handles over the *same*
+    compiled plan never interleave — the later one does not start until
+    the earlier one finished, because they would otherwise race on the
+    plan's notification ids and workspace.  Distinct plans (e.g. tagged
+    per-bucket gradient exchanges) advance independently, which is what
+    makes the ML gradient-bucket overlap pattern work.
+
+    Progress is caller-driven by default (pump via
+    :meth:`Communicator.progress` between compute steps, like
+    core-direct GASPI).  :meth:`start_thread` adds *asynchronous*
+    progress — a daemon thread that pumps whenever handles are in flight,
+    the analogue of GPI-2's progress threads / MPI asynchronous progress:
+    pipelines then advance even while the application thread is busy (or,
+    on this one-core-per-rank substrate, idle in accelerator-style
+    offloaded compute).  All engine state is guarded by one lock, so the
+    thread and the caller never race on a generator.
+    """
+
+    def __init__(self, runtime) -> None:
+        self._runtime = runtime
+        self._handles: List[CollectiveHandle] = []
+        self._lock = threading.RLock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._work = threading.Event()
+
+    @property
+    def active(self) -> int:
+        """Number of handles still in flight."""
+        return len(self._handles)
+
+    @property
+    def threaded(self) -> bool:
+        """True while a background progress thread is running."""
+        return self._thread is not None
+
+    def register(self, handle: CollectiveHandle) -> None:
+        if handle.done:
+            return
+        with self._lock:
+            self._handles.append(handle)
+            # Start eagerly: post the entry handshake and the first sends
+            # now, so peer writes can land while the caller computes.
+            self._pump()
+        self._work.set()
+
+    def _runnable(self) -> List[CollectiveHandle]:
+        """Live handles whose plan is not busy with an earlier handle."""
+        busy = set()
+        out = []
+        for handle in self._handles:
+            plan_id = id(handle._plan)
+            if plan_id not in busy:
+                out.append(handle)
+                busy.add(plan_id)
+        return out
+
+    def _pump(self) -> int:
+        """One nonblocking pass over all runnable handles (lock held)."""
+        advanced = True
+        while advanced:
+            advanced = False
+            for handle in self._runnable():
+                if handle._step(timeout=0.0):
+                    self._handles.remove(handle)
+                    advanced = True  # a successor on the same plan may start
+        return len(self._handles)
+
+    def progress(self) -> int:
+        """One nonblocking pump over all runnable handles; returns #live."""
+        with self._lock:
+            return self._pump()
+
+    # ------------------------------------------------------------------ #
+    # asynchronous progress
+    # ------------------------------------------------------------------ #
+    def start_thread(self, interval: float = 2e-4) -> None:
+        """Start the background progress thread (idempotent).
+
+        ``interval`` is the pause between pump rounds while handles are in
+        flight — small enough that a pipeline advances at data speed,
+        large enough that the thread does not monopolise the GIL.  The
+        thread parks on an event while nothing is in flight.
+        """
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._thread_loop,
+            args=(float(interval),),
+            name=f"gaspi-progress-{self._runtime.rank}",
+            daemon=True,
+        )
+        self._thread.start()
+        if self._handles:
+            self._work.set()
+
+    def stop_thread(self) -> None:
+        """Stop the background progress thread (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        self._work.set()
+        thread.join()
+        self._thread = None
+
+    def _thread_loop(self, interval: float) -> None:
+        while not self._stop.is_set():
+            self._work.wait(timeout=0.05)
+            if self._stop.is_set():
+                return
+            with self._lock:
+                live = self._pump()
+                spec = None
+                if live:
+                    head = self._runnable()[0]
+                    spec = head._spec
+            if not live:
+                self._work.clear()
+            elif spec is not None:
+                # Event-driven: park on the head pipeline's pending
+                # notification (bounded by ``interval``) so the critical
+                # chain advances at data speed, not at a polling cadence.
+                # The spec may be stale by the time we wait — a spurious
+                # or missed wake just means one ``interval`` of delay.
+                self._runtime.notify_waitsome(
+                    spec.segment_id, spec.first, spec.count, timeout=interval
+                )
+            else:
+                time.sleep(interval)
+
+    # ------------------------------------------------------------------ #
+    # completion
+    # ------------------------------------------------------------------ #
+    def wait_until(self, target: CollectiveHandle, timeout: float = GASPI_BLOCK) -> None:
+        """Drive handles in issue order until ``target`` completed.
+
+        Earlier handles are completed first (they may be what the target —
+        or a peer's copy of the target — transitively depends on); because
+        every rank issues the same sequence, the blocking order is
+        identical everywhere and cannot deadlock.  The caller drives with
+        *blocking* notification waits while holding the engine lock — a
+        running progress thread simply pauses for the duration (waits at
+        condition-variable speed beat any polling cadence); peers' writes
+        are delivered by their own threads regardless.
+        """
+        with self._lock:
+            while target in self._handles:
+                head = self._runnable()[0]
+                if not head._step(timeout=timeout):
+                    raise TimeoutError(
+                        f"rank {self._runtime.rank}: nonblocking collective did "
+                        f"not complete within {timeout} s"
+                    )
+                if head.done:
+                    self._handles.remove(head)
+
+    def wait_all(self, timeout: float = GASPI_BLOCK) -> None:
+        """Complete every in-flight handle (``MPI_Waitall``)."""
+        while self._handles:
+            self.wait_until(self._handles[-1], timeout)
+
+    def wait_plan(self, plan, timeout: float = GASPI_BLOCK) -> None:
+        """Complete every in-flight handle that uses ``plan``.
+
+        The blocking dispatch path calls this before executing through a
+        cached plan: a blocking call racing an in-flight handle on the
+        same plan would consume each other's notifications and deadlock.
+        Driving the FIFO (earlier handles first) keeps the blocking order
+        identical on every rank, exactly as :meth:`wait_until`.
+        """
+        with self._lock:
+            while any(handle._plan is plan for handle in self._handles):
+                head = self._runnable()[0]
+                if not head._step(timeout=timeout):
+                    raise TimeoutError(
+                        f"rank {self._runtime.rank}: nonblocking collective did "
+                        f"not complete within {timeout} s"
+                    )
+                if head.done:
+                    self._handles.remove(head)
+
+
+# --------------------------------------------------------------------------- #
+# pipelined BST broadcast
+# --------------------------------------------------------------------------- #
+class PipelinedBstBcastPlan(CollectivePlan):
+    """Chunked, pipelined BST broadcast over a (bindable) workspace.
+
+    A parent forwards chunk ``k`` to its children the moment chunk ``k``'s
+    notification arrives, while chunk ``k+1`` is still travelling from its
+    own parent — tree levels overlap instead of serialising on the full
+    payload.  Per-chunk notification ids (allocated through
+    :class:`~repro.core.notifmap.NotificationLayout`) mark arrivals; a
+    per-call readiness notification from every child is the consume-ack
+    that allows the parent to overwrite the child's chunk slots for the
+    next call.
+
+    On runtimes with ``segment_bind`` the segment *is* the user's buffer
+    (``gaspi_segment_bind``): no staging copy at the root, no copy-out at
+    the receivers, and forwards post straight from the destination buffer.
+    The readiness notification doubles as the rebind fence — a child
+    announces only after (re)binding, so a parent can never write into a
+    stale binding.  Without bind support the identical protocol runs over
+    per-chunk staging slots in the pooled segment.
+    """
+
+    def __init__(self, runtime, key: PlanKey, segment_id: int, policy) -> None:
+        super().__init__(runtime, key, segment_id)
+        self.dtype = np.dtype(key.dtype)
+        self.elements = key.nbytes // self.dtype.itemsize
+        self.send_elems = threshold_elements(self.elements, policy.threshold)
+        self.chunks = ChunkLayout.for_elements(
+            self.send_elems,
+            self.dtype.itemsize,
+            resolve_chunk_bytes(self.send_elems * self.dtype.itemsize, policy),
+        )
+        self.tree = BinomialTree(runtime.size, key.root)
+        rank = runtime.rank
+        self.children = self.tree.children(rank)
+        self.parent = self.tree.parent(rank)
+        self.stage = self.tree.stage_of(rank)
+        self.my_child_index = (
+            None
+            if self.parent is None
+            else self.tree.children(self.parent).index(rank)
+        )
+        layout = NotificationLayout()
+        self.notif_ready = layout.add("ready", 64)
+        self.notif_data = layout.add("data", self.chunks.num_chunks)
+        # Per-call constants, precomputed: notification ids and byte
+        # bounds per chunk (method calls and f-strings are measurable at
+        # plan-cached call rates, GIL-serialised across every rank).
+        self._child_ready_ids = [
+            self.notif_ready.id(ci) for ci in range(len(self.children))
+        ]
+        self._parent_ready_id = (
+            None
+            if self.my_child_index is None
+            else self.notif_ready.id(self.my_child_index)
+        )
+        self._byte_bounds = [
+            self.chunks.byte_bounds(k) for k in range(self.chunks.num_chunks)
+        ]
+        self.zero_copy = runtime.supports_bind
+        self._bound: Optional[np.ndarray] = None
+        self._create_workspace(key.nbytes)
+        self._staging = (
+            None
+            if self.zero_copy
+            else runtime.segment_view(segment_id, dtype=self.dtype, count=self.elements)
+        )
+
+    # ------------------------------------------------------------------ #
+    def begin(self, request: "CollectiveRequest") -> PipelineGen:
+        """The incremental executor (generator) for one call.
+
+        Waits poll with ``timeout=0`` and yield a :class:`WaitSpec` when
+        blocked, so a :class:`ProgressEngine` can advance the pipeline
+        incrementally.
+        """
+        return self._run(request, poll_timeout=0.0)
+
+    def execute(self, request: "CollectiveRequest") -> "CollectiveResult":
+        # Blocking mode: the generator waits inline with the request's
+        # timeout and (in the common infinite-timeout case) never yields,
+        # so the blocking path pays exactly one wait per notification —
+        # no poll-then-park double round-trip.
+        return drive_pipeline(
+            self.runtime, self._run(request, poll_timeout=request.timeout), request.timeout
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run(self, request: "CollectiveRequest", poll_timeout: float) -> PipelineGen:
+        from .policy import CollectiveResult
+
+        buffer = self._check_payload(_require_vector(request.sendbuf), "bcast buffer")
+        rt = self.runtime
+        rank = rt.rank
+        root = self.key.root
+        sid = self.segment_id
+        queue = request.queue
+        data = self.notif_data
+        chunks = self.chunks
+
+        if self.zero_copy and self._bound is not buffer:
+            # Swap the registered window to this call's buffer.  Safe: no
+            # write can be in flight — the parent only writes after
+            # consuming the readiness notification posted *below*.
+            rt.segment_bind(sid, buffer)
+            self._bound = buffer
+
+        # Entry handshake: announce that this call's chunk slots (and, in
+        # zero-copy mode, this call's binding) are writable.  This is the
+        # cross-call consume-ack: it is posted only once the previous
+        # call's chunks were fully consumed on this rank.
+        if self._parent_ready_id is not None:
+            rt.notify(self.parent, sid, self._parent_ready_id, queue=queue)
+            rt.wait(queue)
+        for nid in self._child_ready_ids:
+            while rt.notify_waitsome(sid, nid, 1, timeout=poll_timeout) is None:
+                yield WaitSpec(sid, nid, 1)
+            rt.notify_reset(sid, nid)
+
+        bounds = self._byte_bounds
+        children = self.children
+        if rank == root:
+            for k, (bb, be) in enumerate(bounds):
+                if self._staging is not None:
+                    eb, ee = chunks.bounds[k]
+                    self._staging[eb:ee] = buffer[eb:ee]
+                for child in children:
+                    rt.write_notify(sid, bb, child, sid, bb, be - bb, data.base + k, queue=queue)
+            if children:
+                rt.wait(queue)
+        else:
+            pending = chunks.num_chunks
+            while pending:
+                got = rt.notify_drain(sid, data.base, data.count)
+                if not got:
+                    if (
+                        rt.notify_waitsome(sid, data.base, data.count, timeout=poll_timeout)
+                        is None
+                    ):
+                        yield WaitSpec(sid, data.base, data.count)
+                    continue
+                for nid in sorted(got):
+                    bb, be = bounds[nid - data.base]
+                    for child in children:
+                        rt.write_notify(sid, bb, child, sid, bb, be - bb, nid, queue=queue)
+                    if self._staging is not None:
+                        eb, ee = chunks.bounds[nid - data.base]
+                        buffer[eb:ee] = self._staging[eb:ee]
+                if children:
+                    rt.wait(queue)
+                pending -= len(got)
+
+        self.calls += 1
+        detail = BroadcastResult(
+            rank=rank,
+            root=root,
+            elements_total=buffer.size,
+            elements_received=buffer.size if rank == root else self.send_elems,
+            bytes_received=(
+                0 if rank == root else self.send_elems * self.dtype.itemsize
+            ),
+            threshold=self.key.policy[0],
+            stage=self.stage,
+        )
+        return CollectiveResult(value=request.sendbuf, detail=detail)
+
+
+# --------------------------------------------------------------------------- #
+# pipelined BST reduce
+# --------------------------------------------------------------------------- #
+class PipelinedBstReducePlan(CollectivePlan):
+    """Chunked, pipelined BST reduce with per-chunk folds and push-ups.
+
+    A parent folds chunk ``k`` of each child (vectorised
+    :func:`~repro.core.kernels.reduce_into` straight from the child's
+    segment slot) while chunk ``k+1`` is still arriving, and pushes every
+    completed chunk to its own parent without waiting for the rest of the
+    vector.  The accumulator lives *inside* the pooled segment, so the
+    push-up posts directly from it — the staging copy of the monolithic
+    plan is gone.
+
+    Reuse safety: a parent notifies each child ``ready`` at call entry,
+    which certifies that all of the previous call's child slots were
+    folded; a child pushes only after consuming it.  The child's
+    accumulator needs no acknowledgement — its pushes are flushed
+    (``wait(queue)``) before the call returns, so the data has left the
+    accumulator before the next call can overwrite it.
+    """
+
+    def __init__(self, runtime, key: PlanKey, segment_id: int, policy) -> None:
+        super().__init__(runtime, key, segment_id)
+        self.dtype = np.dtype(key.dtype)
+        self.elements = key.nbytes // self.dtype.itemsize
+        self.mode = ReduceMode(policy.mode)
+        self.tree = BinomialTree(runtime.size, key.root)
+        rank = runtime.rank
+        if self.mode is ReduceMode.DATA:
+            self.reduce_elems = threshold_elements(self.elements, policy.threshold)
+            participants = list(range(runtime.size))
+        else:
+            self.reduce_elems = self.elements
+            participants = self.tree.participating_ranks(policy.threshold)
+        self.reduce_bytes = self.reduce_elems * self.dtype.itemsize
+        self.participants = participants
+        self.participating = rank in participants
+        self.children_all = self.tree.children(rank)
+        self.children = [c for c in self.children_all if c in participants]
+        self.child_indices = [self.children_all.index(c) for c in self.children]
+        self.parent = self.tree.parent(rank)
+        self.my_index = (
+            None
+            if self.parent is None
+            else self.tree.children(self.parent).index(rank)
+        )
+        #: Contributors below (and including) this rank — static for the
+        #: fault-free plans; carried as the push-up notification value.
+        self.subtree_contributors = 1 + sum(
+            1 for r in self.tree.descendants(rank) if r in participants
+        )
+        self.chunks = ChunkLayout.for_elements(
+            self.reduce_elems,
+            self.dtype.itemsize,
+            resolve_chunk_bytes(self.reduce_bytes, policy),
+        )
+        layout = NotificationLayout()
+        self.notif_ready = layout.add("ready", 1)
+        # Slot (i, k): chunk k of the i-th child.  Sized by the global
+        # 64-child fan-out bound (not this rank's own child count): a rank
+        # computes ids for its *parent's* slot table, so the map must be
+        # identical on every rank.
+        self.notif_data = layout.add("data", 64 * self.chunks.num_chunks)
+        self._ready_id = self.notif_ready.id(0)
+        C = self.chunks.num_chunks
+        self._byte_bounds = [self.chunks.byte_bounds(k) for k in range(C)]
+        # Per-call constants for the push-up to the parent.
+        if self.my_index is not None:
+            self._push_ids = [self._data_id(self.my_index, k) for k in range(C)]
+            self._push_offsets = [
+                (1 + self.my_index) * self.reduce_bytes + bb
+                for bb, _ in self._byte_bounds
+            ]
+        # Segment layout: the accumulator in [0, reduce_bytes), then one
+        # full-width slot per child.
+        slot_count = max(1, len(self.children_all))
+        self._create_workspace((1 + slot_count) * max(key.nbytes, 8))
+        self._acc = runtime.segment_view(
+            segment_id, dtype=self.dtype, count=self.reduce_elems
+        )
+        self._child_slots = {
+            index: runtime.segment_view(
+                segment_id,
+                dtype=self.dtype,
+                offset=(1 + index) * self.reduce_bytes,
+                count=self.reduce_elems,
+            )
+            for index in self.child_indices
+        }
+
+    def _data_id(self, child_index: int, chunk: int) -> int:
+        return self.notif_data.id(child_index * self.chunks.num_chunks + chunk)
+
+    # ------------------------------------------------------------------ #
+    def begin(self, request: "CollectiveRequest") -> PipelineGen:
+        return self._run(request, poll_timeout=0.0)
+
+    def execute(self, request: "CollectiveRequest") -> "CollectiveResult":
+        return drive_pipeline(
+            self.runtime, self._run(request, poll_timeout=request.timeout), request.timeout
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run(self, request: "CollectiveRequest", poll_timeout: float) -> PipelineGen:
+        from .policy import CollectiveResult
+
+        sendbuf = self._check_payload(np.asarray(request.sendbuf), "reduce sendbuf")
+        require(
+            sendbuf.ndim == 1 and sendbuf.flags["C_CONTIGUOUS"],
+            "reduce sendbuf must be a contiguous vector",
+        )
+        operator = get_op(request.op)
+        rt = self.runtime
+        rank = rt.rank
+        root = self.key.root
+        sid = self.segment_id
+        queue = request.queue
+        chunks = self.chunks
+        C = chunks.num_chunks
+        recvbuf = request.recvbuf
+
+        if self.participating:
+            acc = self._acc
+            own = sendbuf[: self.reduce_elems]
+            # Fused-fold fast path: with a ufunc operator the first fold
+            # of each chunk reads straight from the caller's sendbuf (no
+            # upfront accumulator copy) and the root's last fold lands
+            # straight in recvbuf — two full passes over the vector gone.
+            fused = bool(self.children) and kernels.is_vectorizable(operator.func)
+            root_out = None
+            if self.parent is None and recvbuf is not None:
+                recvbuf = np.asarray(recvbuf)
+                require(
+                    recvbuf.size >= self.reduce_elems,
+                    "recvbuf too small for the reduced prefix",
+                )
+                if (
+                    fused
+                    and recvbuf.dtype == self.dtype
+                    and recvbuf.flags["C_CONTIGUOUS"]
+                ):
+                    root_out = recvbuf
+            if not fused:
+                acc[:] = own
+
+            # Entry handshake: the previous call's child slots are folded,
+            # so the children may overwrite them for this call.
+            for child in self.children:
+                rt.notify(child, sid, self._ready_id, queue=queue)
+            if self.children:
+                rt.wait(queue)
+
+            parent_ready = self.parent is None
+            completed: List[int] = []
+            # Deterministic fold order: drained notifications arrive in
+            # whatever order the children raced in, but floating-point
+            # reduction is not associative — so arrivals are *recorded*
+            # out of order and *folded* strictly in child order per
+            # chunk, keeping the result bit-identical to the monolithic
+            # (and the cold) path.
+            arrived = [set() for _ in range(C)]
+            next_fold = [0] * C
+            remaining = C if self.children else 0
+            if not self.children:
+                completed = list(range(C))
+            data_base = self.notif_data.base
+            data_count = self.notif_data.count
+            bounds = chunks.bounds
+            fold_order = self.child_indices
+            n_children = len(fold_order)
+
+            def try_push() -> None:
+                # Push every completed chunk up, once the parent declared
+                # this call's slots writable.
+                for k in completed:
+                    bb, be = self._byte_bounds[k]
+                    rt.write_notify(
+                        sid,
+                        bb,
+                        self.parent,
+                        sid,
+                        self._push_offsets[k],
+                        be - bb,
+                        self._push_ids[k],
+                        self.subtree_contributors,
+                        queue=queue,
+                    )
+                completed.clear()
+
+            while remaining:
+                got = rt.notify_drain(sid, data_base, data_count)
+                if not got:
+                    if completed and not parent_ready:
+                        # Nothing to fold; see whether the parent freed our
+                        # slots so the completed chunks can move now.
+                        if (
+                            rt.notify_waitsome(sid, self._ready_id, 1, timeout=0.0)
+                            is not None
+                        ):
+                            rt.notify_reset(sid, self._ready_id)
+                            parent_ready = True
+                            try_push()
+                            continue
+                    if (
+                        rt.notify_waitsome(sid, data_base, data_count, timeout=poll_timeout)
+                        is None
+                    ):
+                        yield WaitSpec(sid, data_base, data_count)
+                    continue
+                for nid in got:
+                    child_index, k = divmod(nid - data_base, C)
+                    arrived[k].add(child_index)
+                for k in range(C):
+                    position = next_fold[k]
+                    if position >= n_children:
+                        continue
+                    eb, ee = bounds[k]
+                    while position < n_children and fold_order[position] in arrived[k]:
+                        slot = self._child_slots[fold_order[position]][eb:ee]
+                        if fused:
+                            first = position == 0
+                            last = position == n_children - 1
+                            fold_src = own[eb:ee] if first else acc[eb:ee]
+                            fold_out = (
+                                root_out[eb:ee]
+                                if (last and root_out is not None)
+                                else acc[eb:ee]
+                            )
+                            kernels.fold(operator, fold_src, slot, fold_out)
+                        else:
+                            kernels.reduce_into(operator, acc[eb:ee], slot)
+                        position += 1
+                    next_fold[k] = position
+                    if position == n_children:
+                        next_fold[k] = n_children + 1  # fold done, marker
+                        remaining -= 1
+                        completed.append(k)
+                if self.parent is not None and completed:
+                    if not parent_ready:
+                        if (
+                            rt.notify_waitsome(sid, self._ready_id, 1, timeout=0.0)
+                            is not None
+                        ):
+                            rt.notify_reset(sid, self._ready_id)
+                            parent_ready = True
+                    if parent_ready:
+                        try_push()
+
+            if self.parent is not None:
+                if not parent_ready:
+                    nid = self._ready_id
+                    while rt.notify_waitsome(sid, nid, 1, timeout=poll_timeout) is None:
+                        yield WaitSpec(sid, nid, 1)
+                    rt.notify_reset(sid, nid)
+                    parent_ready = True
+                try_push()
+                rt.wait(queue)
+            elif recvbuf is not None and root_out is None:
+                # Non-fused root: the result is in the accumulator.
+                recvbuf[: self.reduce_elems] = acc
+
+        self.calls += 1
+        contributors = len(self.participants) if rank == root else 0
+        detail = ReduceResult(
+            rank=rank,
+            root=root,
+            mode=self.mode,
+            threshold=self.key.policy[0],
+            participated=self.participating,
+            elements_reduced=self.reduce_elems if self.participating else 0,
+            contributors=contributors if self.participating else 0,
+        )
+        return CollectiveResult(value=request.recvbuf, detail=detail)
+
+
+# --------------------------------------------------------------------------- #
+# pipelined (chunked) ring allreduce
+# --------------------------------------------------------------------------- #
+class PipelinedRingAllreducePlan(CollectivePlan):
+    """Ring allreduce with in-flight sub-chunk slots and a zero-copy path.
+
+    Differences from the monolithic :class:`~repro.core.allreduce_ring.RingAllreducePlan`:
+
+    * the working vector lives *inside* the pooled segment, so every send
+      posts directly from it — the per-step staging copy is gone;
+    * each ring step's 1/P chunk is split into up to ``M`` sub-chunks
+      (``policy.chunk_bytes`` / the tuning table), all in flight at once
+      with per-sub-chunk notification ids;
+    * allgather-phase sub-chunks are written straight into the
+      *successor's work region* (their final destination — same global
+      offsets on every rank), eliminating the receive-slot copy of that
+      phase.  A per-call entry notification from the successor fences
+      those direct writes against the successor's next-call entry
+      overwrite (``work[:] = sendbuf``); the scatter-phase slots need no
+      fence — the ring's transitive step dependency already serialises
+      them across calls, exactly as for the monolithic plan.
+    """
+
+    def __init__(self, runtime, key: PlanKey, segment_id: int, policy) -> None:
+        super().__init__(runtime, key, segment_id)
+        self.dtype = np.dtype(key.dtype)
+        self.elements = key.nbytes // self.dtype.itemsize
+        size = runtime.size
+        rank = runtime.rank
+        self.ring = Ring(size)
+        self.next_rank = self.ring.next_rank(rank)
+        self.prev_rank = self.ring.prev_rank(rank)
+        itemsize = self.dtype.itemsize
+        max_chunk = -(-self.elements // size) if size else 0
+        max_chunk_bytes = max(max_chunk * itemsize, itemsize)
+        chunk_bytes = resolve_chunk_bytes(max_chunk_bytes, policy)
+        if chunk_bytes is None:
+            self.subs = 1
+        else:
+            self.subs = max(1, min(64, -(-max_chunk_bytes // max(chunk_bytes, 1))))
+        self.scatter_steps = size - 1
+        self.total_steps = 2 * (size - 1)
+        self.sub_slot_bytes = max(-(-max_chunk_bytes // self.subs), itemsize)
+        layout = NotificationLayout()
+        self.notif_entry = layout.add("entry", 1)
+        self.notif_steps = layout.add(
+            "steps", max(1, self.total_steps * self.subs)
+        )
+        # Step table: per global step, the fully precomputed send and
+        # receive actions.  Sends: (notif id, local byte offset, remote
+        # byte offset, size).  Receives: (notif id, element bounds, slot
+        # byte offset or None for in-place allgather arrivals).
+        # Sub-bounds slice the *global* vector; sender and receiver cut
+        # the same global chunk, so they always agree.
+        itemsize = self.dtype.itemsize
+        self.steps: List[Tuple[List[tuple], List[tuple], bool]] = []
+        for gstep in range(self.total_steps):
+            fold = gstep < self.scatter_steps
+            step = gstep if fold else gstep - self.scatter_steps
+            if fold:
+                send_chunk = self.ring.scatter_reduce_send_chunk(rank, step)
+                recv_chunk = self.ring.scatter_reduce_recv_chunk(rank, step)
+            else:
+                send_chunk = self.ring.allgather_send_chunk(rank, step)
+                recv_chunk = self.ring.allgather_recv_chunk(rank, step)
+            sends = []
+            for m, (sb, se) in enumerate(self._sub_bounds(send_chunk)):
+                nid = self._step_id(gstep, m)
+                remote = self._slot_offset(gstep, m) if fold else sb * itemsize
+                sends.append((nid, sb * itemsize, remote, (se - sb) * itemsize))
+            recvs = []
+            for m, (rb, re) in enumerate(self._sub_bounds(recv_chunk)):
+                nid = self._step_id(gstep, m)
+                slot = self._slot_offset(gstep, m) if fold else None
+                recvs.append((nid, rb, re, slot))
+            self.steps.append((sends, recvs, fold))
+        if size > 1:
+            slot_region = self.scatter_steps * self.subs * self.sub_slot_bytes
+            self._create_workspace(max(key.nbytes, 8) + slot_region)
+            self._work = runtime.segment_view(
+                segment_id, dtype=self.dtype, count=self.elements
+            )
+            # Frozen receive-slot views per scatter sub-chunk (keyed by
+            # notification id) — no per-call segment lookups.
+            self._slot_views = {
+                nid: runtime.segment_view(
+                    segment_id, dtype=self.dtype, offset=slot, count=re - rb
+                )
+                for sends, recvs, fold in self.steps
+                if fold
+                for nid, rb, re, slot in recvs
+                if re > rb
+            }
+
+    def _sub_bounds(self, chunk_index: int) -> List[Tuple[int, int]]:
+        """Element bounds of every sub-chunk of one rank-chunk."""
+        begin, end = chunk_bounds(self.elements, self.runtime.size, chunk_index)
+        out = []
+        for m in range(self.subs):
+            sb, se = chunk_bounds(end - begin, self.subs, m)
+            out.append((begin + sb, begin + se))
+        return out
+
+    def _slot_offset(self, step: int, sub: int) -> int:
+        return self.key.nbytes + (step * self.subs + sub) * self.sub_slot_bytes
+
+    def _step_id(self, step: int, sub: int) -> int:
+        return self.notif_steps.id(step * self.subs + sub)
+
+    # ------------------------------------------------------------------ #
+    def begin(self, request: "CollectiveRequest") -> PipelineGen:
+        return self._run(request, poll_timeout=0.0)
+
+    def execute(self, request: "CollectiveRequest") -> "CollectiveResult":
+        return drive_pipeline(
+            self.runtime, self._run(request, poll_timeout=request.timeout), request.timeout
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run(self, request: "CollectiveRequest", poll_timeout: float) -> PipelineGen:
+        from .allreduce_ring import RingAllreduceStats
+        from .policy import CollectiveResult
+
+        sendbuf = self._check_payload(np.asarray(request.sendbuf), "allreduce sendbuf")
+        require(
+            sendbuf.ndim == 1 and sendbuf.flags["C_CONTIGUOUS"],
+            "allreduce sendbuf must be a contiguous vector",
+        )
+        operator = get_op(request.op)
+        rt = self.runtime
+        rank = rt.rank
+        size = rt.size
+        recvbuf = request.recvbuf
+        if recvbuf is None:
+            recvbuf = np.array(sendbuf, copy=True)
+        else:
+            recvbuf = np.asarray(recvbuf)
+            require(
+                recvbuf.shape == sendbuf.shape and recvbuf.dtype == sendbuf.dtype,
+                "recvbuf must match sendbuf in shape and dtype",
+            )
+        if size == 1:
+            recvbuf[:] = sendbuf
+            self.calls += 1
+            return CollectiveResult(
+                value=recvbuf, detail=RingAllreduceStats(rank, 1, 0, 0, 0)
+            )
+
+        sid = self.segment_id
+        queue = request.queue
+        work = self._work
+        nxt = self.next_rank
+        work[:] = sendbuf
+        # Entry fence: tell the predecessor our work region holds this
+        # call's data, so its allgather-phase direct writes cannot land
+        # before (and be clobbered by) the copy above.
+        entry_id = self.notif_entry.id(0)
+        rt.notify(self.prev_rank, sid, entry_id, queue=queue)
+        rt.wait(queue)
+        entry_seen = False
+
+        bytes_sent = 0
+        bytes_received = 0
+        itemsize = self.dtype.itemsize
+        for sends, recvs, fold in self.steps:
+            if not fold and not entry_seen:
+                # First allgather send: wait for the successor's entry
+                # notification before writing into its work region.
+                while rt.notify_waitsome(sid, entry_id, 1, timeout=poll_timeout) is None:
+                    yield WaitSpec(sid, entry_id, 1)
+                rt.notify_reset(sid, entry_id)
+                entry_seen = True
+            for nid, local, remote, sub_bytes in sends:
+                if sub_bytes:
+                    rt.write_notify(
+                        sid, local, nxt, sid, remote, sub_bytes, nid, queue=queue
+                    )
+                else:
+                    rt.notify(nxt, sid, nid, queue=queue)
+                bytes_sent += sub_bytes
+            rt.wait(queue)
+            for nid, rb, re, _slot in recvs:
+                while rt.notify_waitsome(sid, nid, 1, timeout=poll_timeout) is None:
+                    yield WaitSpec(sid, nid, 1)
+                rt.notify_reset(sid, nid)
+                bytes_received += (re - rb) * itemsize
+                if fold and re > rb:
+                    kernels.reduce_into(operator, work[rb:re], self._slot_views[nid])
+                # Allgather sub-chunks were written straight into work.
+
+        recvbuf[:] = work
+        self.calls += 1
+        detail = RingAllreduceStats(
+            rank=rank,
+            num_chunks=size,
+            steps=self.total_steps,
+            bytes_sent=bytes_sent,
+            bytes_received=bytes_received,
+        )
+        return CollectiveResult(value=recvbuf, detail=detail)
+
+
+# --------------------------------------------------------------------------- #
+# cold-path runners (registry entry points without a cached plan)
+# --------------------------------------------------------------------------- #
+def _request_key(
+    collective: str, algorithm: str, runtime, request: "CollectiveRequest"
+) -> PlanKey:
+    """Plan key of a one-shot (cold) pipelined execution."""
+    sendbuf = np.asarray(request.sendbuf)
+    op_name = get_op(request.op).name
+    return PlanKey(
+        collective=collective,
+        algorithm=algorithm,
+        size=runtime.size,
+        root=int(request.root),
+        nbytes=int(sendbuf.nbytes),
+        dtype=sendbuf.dtype.str,
+        op=op_name,
+        policy=policy_fingerprint(request.policy),
+        tag=int(request.tag),
+    )
+
+
+def _run_cold(plan_cls, collective: str, name: str, runtime, request):
+    """Build a throwaway plan, run one call, tear it down (cold path).
+
+    Mirrors the other cold runners' costs: one segment registration with
+    its barrier on construction, one barrier before the segment delete
+    (draining the entry-handshake notifications still in flight from the
+    call).
+    """
+    key = _request_key(collective, name, runtime, request)
+    plan = plan_cls(runtime, key, request.segment_id, request.policy)
+    try:
+        result = plan.execute(request)
+    finally:
+        try:
+            runtime.barrier()
+        except GaspiError:  # pragma: no cover - crashed/vanished runtime
+            pass
+        plan.close()
+    return result
+
+
+def run_pipelined_bcast(runtime, request):
+    return _run_cold(
+        PipelinedBstBcastPlan, "bcast", "gaspi_bcast_bst_pipelined", runtime, request
+    )
+
+
+def run_pipelined_reduce(runtime, request):
+    return _run_cold(
+        PipelinedBstReducePlan, "reduce", "gaspi_reduce_bst_pipelined", runtime, request
+    )
+
+
+def run_pipelined_allreduce(runtime, request):
+    result = _run_cold(
+        PipelinedRingAllreducePlan,
+        "allreduce",
+        "gaspi_allreduce_ring_pipelined",
+        runtime,
+        request,
+    )
+    if request.recvbuf is not None:
+        result.value = request.recvbuf
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# schedule builders (simulator models of the per-chunk pipelines)
+# --------------------------------------------------------------------------- #
+def _chunk_count(nbytes: int, chunk_bytes: Optional[int]) -> int:
+    """Number of pipeline chunks the schedule models for a payload."""
+    if chunk_bytes is None:
+        from .tuning import select_chunk_bytes
+
+        chunk_bytes = select_chunk_bytes(nbytes)
+    if not nbytes or chunk_bytes is None or chunk_bytes >= nbytes:
+        return 1
+    return max(1, -(-nbytes // int(chunk_bytes)))
+
+
+def pipelined_bst_bcast_schedule(
+    num_ranks: int,
+    nbytes: int,
+    threshold: float = 1.0,
+    chunk_bytes: Optional[int] = None,
+    root: int = 0,
+    protocol: Protocol = Protocol.ONESIDED,
+    name: str | None = None,
+) -> CommunicationSchedule:
+    """Per-chunk schedule of the pipelined BST broadcast.
+
+    Round ``r`` carries chunk ``k`` across tree stage ``s`` wherever
+    ``(s - 1) + k == r`` — the wavefront of the pipeline.  Because the
+    simulator orders each rank's rounds, this models exactly the overlap
+    the pipelining buys: with ``C`` chunks and ``S`` stages the depth is
+    ``S + C - 1`` chunk times instead of ``S`` full-payload times.
+    """
+    from ..utils.validation import check_fraction
+
+    check_fraction(threshold, "threshold")
+    require(nbytes >= 0, "nbytes must be non-negative")
+    send_bytes = max(1, int(nbytes * threshold)) if nbytes else 0
+    chunks = _chunk_count(send_bytes, chunk_bytes)
+    tree = BinomialTree(num_ranks, root)
+    sched = CommunicationSchedule(
+        name=name or f"gaspi_bcast_bst_pipelined[{chunks}ch]",
+        num_ranks=num_ranks,
+        metadata={
+            "threshold": threshold,
+            "payload_bytes": nbytes,
+            "shipped_bytes": send_bytes,
+            "chunks": chunks,
+            "algorithm": "pipelined_binomial_spanning_tree",
+        },
+    )
+    stages = tree.ranks_by_stage()
+    max_stage = max(stages) if num_ranks > 1 else 0
+    per_chunk = [
+        chunk_bounds(send_bytes, chunks, k)[1] - chunk_bounds(send_bytes, chunks, k)[0]
+        for k in range(chunks)
+    ]
+    for wave in range(max_stage + chunks - 1):
+        messages = []
+        for stage in sorted(s for s in stages if s > 0):
+            k = wave - (stage - 1)
+            if not (0 <= k < chunks):
+                continue
+            messages.extend(
+                Message(
+                    src=tree.parent(child),
+                    dst=child,
+                    nbytes=per_chunk[k],
+                    protocol=protocol,
+                    tag=f"bcast-stage-{stage}-chunk-{k}",
+                )
+                for child in stages[stage]
+            )
+        if messages:
+            sched.add_round(messages, label=f"wave-{wave}")
+    sched.validate()
+    return sched
+
+
+def pipelined_bst_reduce_schedule(
+    num_ranks: int,
+    nbytes: int,
+    threshold: float = 1.0,
+    mode: ReduceMode | str = ReduceMode.DATA,
+    chunk_bytes: Optional[int] = None,
+    root: int = 0,
+    protocol: Protocol = Protocol.ONESIDED,
+    name: str | None = None,
+) -> CommunicationSchedule:
+    """Per-chunk schedule of the pipelined BST reduce (inverse wavefront).
+
+    The deepest stage pushes chunk ``k`` at round ``(S_max - s) + k``;
+    every hop pays the per-chunk reduction, modelled through the messages'
+    ``reduce_bytes``.
+    """
+    from ..utils.validation import check_fraction
+
+    mode = ReduceMode(mode)
+    check_fraction(threshold, "threshold")
+    require(nbytes >= 0, "nbytes must be non-negative")
+    tree = BinomialTree(num_ranks, root)
+    if mode is ReduceMode.DATA:
+        send_bytes = max(1, int(nbytes * threshold)) if nbytes else 0
+        participants = set(range(num_ranks))
+    else:
+        send_bytes = nbytes
+        participants = set(tree.participating_ranks(threshold))
+    chunks = _chunk_count(send_bytes, chunk_bytes)
+    sched = CommunicationSchedule(
+        name=name or f"gaspi_reduce_bst_pipelined[{chunks}ch]",
+        num_ranks=num_ranks,
+        metadata={
+            "threshold": threshold,
+            "mode": mode.value,
+            "payload_bytes": nbytes,
+            "shipped_bytes": send_bytes,
+            "chunks": chunks,
+            "participants": len(participants),
+            "algorithm": "pipelined_binomial_spanning_tree",
+        },
+    )
+    stages = tree.ranks_by_stage()
+    max_stage = max(stages) if num_ranks > 1 else 0
+    per_chunk = [
+        chunk_bounds(send_bytes, chunks, k)[1] - chunk_bounds(send_bytes, chunks, k)[0]
+        for k in range(chunks)
+    ]
+    for wave in range(max_stage + chunks - 1):
+        messages = []
+        for stage in sorted((s for s in stages if s > 0), reverse=True):
+            k = wave - (max_stage - stage)
+            if not (0 <= k < chunks):
+                continue
+            for child in stages[stage]:
+                parent = tree.parent(child)
+                if child in participants and parent in participants:
+                    messages.append(
+                        Message(
+                            src=child,
+                            dst=parent,
+                            nbytes=per_chunk[k],
+                            protocol=protocol,
+                            reduce_bytes=per_chunk[k],
+                            tag=f"reduce-stage-{stage}-chunk-{k}",
+                        )
+                    )
+        if messages:
+            sched.add_round(messages, label=f"wave-{wave}")
+    sched.validate()
+    return sched
+
+
+def pipelined_ring_allreduce_schedule(
+    num_ranks: int,
+    nbytes: int,
+    chunk_bytes: Optional[int] = None,
+    protocol: Protocol = Protocol.ONESIDED,
+    name: str | None = None,
+) -> CommunicationSchedule:
+    """Schedule of the chunked ring: the ring builder with sub-splitting."""
+    from .allreduce_ring import ring_allreduce_schedule
+
+    per_rank_chunk = -(-nbytes // num_ranks) if num_ranks else nbytes
+    subs = _chunk_count(per_rank_chunk, chunk_bytes)
+    sched = ring_allreduce_schedule(
+        num_ranks,
+        nbytes,
+        protocol=protocol,
+        segment_messages=subs,
+        name=name or f"gaspi_allreduce_ring_pipelined[{subs}sub]",
+    )
+    sched.metadata["chunks"] = subs
+    sched.metadata["algorithm"] = "pipelined_segmented_ring"
+    return sched

@@ -58,12 +58,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
 # --------------------------------------------------------------------------- #
 # plan identity
 # --------------------------------------------------------------------------- #
-PolicyFingerprint = Tuple[float, str, int, str]
+PolicyFingerprint = Tuple[float, str, int, str, Optional[int]]
 
 
 def policy_fingerprint(policy: "ConsistencyPolicy") -> PolicyFingerprint:
-    """Hashable fingerprint of the consistency dial a plan is frozen for."""
-    return (policy.threshold, policy.mode.value, policy.slack, policy.on_failure)
+    """Hashable fingerprint of the consistency dial a plan is frozen for.
+
+    Includes the pipeline chunk size: two calls that differ only in
+    ``chunk_bytes`` freeze different chunk layouts and notification maps,
+    so they must not share a compiled plan.
+    """
+    return (
+        policy.threshold,
+        policy.mode.value,
+        policy.slack,
+        policy.on_failure,
+        policy.chunk_bytes,
+    )
+
+
+def policy_from_fingerprint(fingerprint: PolicyFingerprint) -> "ConsistencyPolicy":
+    """Rebuild the :class:`ConsistencyPolicy` a fingerprint was taken from."""
+    from .policy import ConsistencyPolicy
+    from .reduce import ReduceMode
+
+    threshold, mode, slack, on_failure, chunk_bytes = fingerprint
+    return ConsistencyPolicy(
+        threshold=threshold,
+        mode=ReduceMode(mode),
+        slack=slack,
+        on_failure=on_failure,
+        chunk_bytes=chunk_bytes,
+    )
 
 
 @dataclass(frozen=True)
@@ -84,6 +110,10 @@ class PlanKey:
     dtype: str
     op: str
     policy: PolicyFingerprint
+    #: Plan-instance tag (:attr:`CollectiveRequest.tag`): distinct tags
+    #: compile distinct plans, giving concurrent nonblocking requests of
+    #: the same shape disjoint workspaces.
+    tag: int = 0
 
     @classmethod
     def from_request(
@@ -114,6 +144,7 @@ class PlanKey:
             dtype=sendbuf.dtype.str,
             op=op_name,
             policy=policy_fingerprint(request.policy),
+            tag=int(request.tag),
         )
 
 
@@ -136,6 +167,7 @@ class CollectivePlan:
     def __init__(self, runtime: "GaspiRuntime", key: PlanKey, segment_id: int) -> None:
         self.runtime = runtime
         self.key = key
+        self.key_dtype = np.dtype(key.dtype)
         self.segment_id = int(segment_id)
         self.calls = 0
         #: Pin reference count: one per open persistent handle.  A plan is
@@ -169,16 +201,7 @@ class CollectivePlan:
         same request, so plan-cached and cold simulations are identical.
         """
         if self._schedule is None:
-            from .policy import ConsistencyPolicy
-            from .reduce import ReduceMode
-
-            threshold, mode, slack, on_failure = self.key.policy
-            policy = ConsistencyPolicy(
-                threshold=threshold,
-                mode=ReduceMode(mode),
-                slack=slack,
-                on_failure=on_failure,
-            )
+            policy = policy_from_fingerprint(self.key.policy)
             self._schedule = info.builder(
                 self.key.size, self.key.nbytes, **info.schedule_kwargs(policy)
             )
@@ -210,13 +233,18 @@ class CollectivePlan:
             pass
 
     def _check_payload(self, buffer: np.ndarray, name: str = "buffer") -> np.ndarray:
-        """Validate that a per-call payload matches the plan's frozen key."""
+        """Validate that a per-call payload matches the plan's frozen key.
+
+        Hot path: the failure message is built only on mismatch — eager
+        f-strings here are measurable at plan-cached call rates.
+        """
         buffer = np.asarray(buffer)
-        require(
-            buffer.nbytes == self.key.nbytes and buffer.dtype.str == self.key.dtype,
-            f"{name} ({buffer.nbytes} bytes, dtype {buffer.dtype}) does not match "
-            f"the plan compiled for {self.key.nbytes} bytes of {self.key.dtype}",
-        )
+        if buffer.nbytes != self.key.nbytes or buffer.dtype != self.key_dtype:
+            raise ValueError(
+                f"{name} ({buffer.nbytes} bytes, dtype {buffer.dtype}) does not "
+                f"match the plan compiled for {self.key.nbytes} bytes of "
+                f"{self.key.dtype}"
+            )
         return buffer
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -239,9 +267,33 @@ class PlanCacheStats:
     pinned: int = 0
 
     @property
+    def dispatches(self) -> int:
+        """Plannable dispatches observed so far (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
     def hit_rate(self) -> float:
+        """Fraction of plannable dispatches served from the cache.
+
+        Defined as ``0.0`` before any plannable dispatch — callers and
+        reports can always divide/format it without guarding the
+        zero-dispatch case themselves.
+        """
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable summary, safe at zero dispatches."""
+        if not self.dispatches:
+            return (
+                f"plan cache: no plannable dispatches yet "
+                f"(capacity {self.capacity})"
+            )
+        return (
+            f"plan cache: {self.hits}/{self.dispatches} hits "
+            f"({self.hit_rate:.1%}), {self.entries}/{self.capacity} entries, "
+            f"{self.evictions} evictions, {self.pinned} pinned"
+        )
 
 
 class PlanCache:

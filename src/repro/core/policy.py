@@ -65,12 +65,20 @@ class ConsistencyPolicy:
         absent ranks recorded in
         :attr:`CollectiveResult.missing_ranks`.  Algorithms without the
         ``fault_tolerant`` capability ignore this field.
+    chunk_bytes:
+        Chunk size (bytes) of the pipelined chunked data path.  ``None``
+        (the default) lets the tuning tables pick a payload-dependent
+        size (:func:`~repro.core.tuning.select_chunk_bytes`); an explicit
+        value overrides them, e.g. to force fine-grained chunks for a
+        nonblocking overlap loop.  Algorithms without a pipelined
+        implementation ignore this field.
     """
 
     threshold: float = 1.0
     mode: ReduceMode = ReduceMode.DATA
     slack: int = 0
     on_failure: str = "abort"
+    chunk_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_fraction(self.threshold, "policy threshold")
@@ -85,6 +93,14 @@ class ConsistencyPolicy:
             f"policy on_failure must be 'abort' or 'complete', got "
             f"{self.on_failure!r}",
         )
+        if self.chunk_bytes is not None:
+            require(
+                isinstance(self.chunk_bytes, (int, np.integer))
+                and self.chunk_bytes > 0,
+                f"policy chunk_bytes must be a positive integer or None, "
+                f"got {self.chunk_bytes!r}",
+            )
+            object.__setattr__(self, "chunk_bytes", int(self.chunk_bytes))
 
     # ------------------------------------------------------------------ #
     # constructors for the three dial positions
@@ -115,6 +131,16 @@ class ConsistencyPolicy:
         """Stale-synchronous: accept contributions up to ``slack`` old."""
         return cls(slack=slack)
 
+    def with_chunk_bytes(self, chunk_bytes: Optional[int]) -> "ConsistencyPolicy":
+        """Copy of this policy with an explicit pipeline chunk size."""
+        return ConsistencyPolicy(
+            threshold=self.threshold,
+            mode=self.mode,
+            slack=self.slack,
+            on_failure=self.on_failure,
+            chunk_bytes=chunk_bytes,
+        )
+
     # ------------------------------------------------------------------ #
     @property
     def is_strict(self) -> bool:
@@ -123,9 +149,9 @@ class ConsistencyPolicy:
 
     def describe(self) -> str:
         """Short human-readable form used in error messages and reports."""
-        if self.is_strict and self.on_failure == "abort":
+        if self.is_strict and self.on_failure == "abort" and self.chunk_bytes is None:
             return "strict"
-        if self.is_strict:
+        if self.is_strict and self.chunk_bytes is None:
             return f"strict, on_failure={self.on_failure}"
         parts = []
         if self.threshold < 1.0:
@@ -134,7 +160,9 @@ class ConsistencyPolicy:
             parts.append(f"slack={self.slack}")
         if self.on_failure != "abort":
             parts.append(f"on_failure={self.on_failure}")
-        return ", ".join(parts)
+        if self.chunk_bytes is not None:
+            parts.append(f"chunk_bytes={self.chunk_bytes}")
+        return ", ".join(parts) or "strict"
 
 
 #: The default policy used when a collective is called without one.
@@ -210,6 +238,12 @@ class CollectiveRequest:
     segment_id: int = 0
     queue: int = 0
     timeout: float = GASPI_BLOCK
+    #: Plan-instance tag: requests with different tags never share a
+    #: compiled plan, so several same-shape nonblocking collectives (the
+    #: per-bucket gradient exchanges of the ML overlap path) can be in
+    #: flight concurrently, each on its own workspace and notification
+    #: space.
+    tag: int = 0
     metadata: Dict[str, Any] = field(default_factory=dict)
 
     @property

@@ -30,6 +30,7 @@ from ..gaspi.runtime import GaspiRuntime
 from ..utils.validation import check_fraction, require
 from . import kernels
 from .bcast import threshold_elements
+from .notifmap import NotificationLayout
 from .plan import CollectivePlan
 from .reduction_ops import ReductionOp, get_op
 from .schedule import CommunicationSchedule, Message, Protocol
@@ -39,12 +40,15 @@ from .topology import BinomialTree
 REDUCE_SEGMENT_ID = 110
 
 # Notification layout inside the reduce segment (per rank):
-#   READY + i   : parent -> i-th child           "your slot is writable"
-#   DATA  + i   : i-th child -> parent           "contribution written"
-#   ACK         : parent -> child                "write consumed"
-_NOTIF_READY_BASE = 0
-_NOTIF_DATA_BASE = 64
-_NOTIF_ACK = 128
+#   ready + i   : parent -> i-th child           "your slot is writable"
+#   data  + i   : i-th child -> parent           "contribution written"
+#   ack         : parent -> child                "write consumed"
+# The 64-slot ready/data ranges bound the per-node fan-out (a binomial
+# tree over 2**64 ranks — effectively unbounded).
+REDUCE_LAYOUT = NotificationLayout()
+_NOTIF_READY_BASE = REDUCE_LAYOUT.add("ready", 64).base
+_NOTIF_DATA_BASE = REDUCE_LAYOUT.add("data", 64).base
+_NOTIF_ACK = REDUCE_LAYOUT.add("ack", 1).id()
 
 
 class ReduceMode(enum.Enum):

@@ -76,6 +76,13 @@ class AlgorithmCapabilities:
         with a pooled workspace and zero per-call setup.  The Communicator
         caches such plans transparently (see
         :meth:`~repro.core.api.Communicator.plan_cache_stats`).
+    pipelined:
+        The compiled plan is a chunked pipeline
+        (:mod:`repro.core.pipeline`): it honours
+        ``ConsistencyPolicy.chunk_bytes``, its schedule builder takes a
+        ``chunk_bytes`` kwarg, and — because pipelines expose an
+        incremental ``begin()`` executor — it can back the nonblocking
+        ``ibcast``/``ireduce``/``iallreduce`` API.
     """
 
     supports_threshold: bool = False
@@ -88,6 +95,7 @@ class AlgorithmCapabilities:
     dtype: Optional[str] = None
     fault_tolerant: bool = False
     plannable: bool = False
+    pipelined: bool = False
 
     def unsupported_reason(
         self,
@@ -175,6 +183,8 @@ class AlgorithmInfo:
             kwargs["threshold"] = policy.threshold
             if len(self.capabilities.modes) > 1:
                 kwargs["mode"] = policy.mode
+        if self.capabilities.pipelined and policy.chunk_bytes is not None:
+            kwargs["chunk_bytes"] = policy.chunk_bytes
         return kwargs
 
     # ------------------------------------------------------------------ #
@@ -497,6 +507,45 @@ def _plan_allreduce_hypercube(runtime, key, segment_id, policy) -> CollectivePla
     return HypercubeAllreducePlan(runtime, key, segment_id, policy)
 
 
+# --------------------------------------------------------------------------- #
+# pipelined (chunked) variants — the large-message data path
+# --------------------------------------------------------------------------- #
+def _run_bcast_pipelined(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .pipeline import run_pipelined_bcast
+
+    return run_pipelined_bcast(runtime, request)
+
+
+def _run_reduce_pipelined(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .pipeline import run_pipelined_reduce
+
+    return run_pipelined_reduce(runtime, request)
+
+
+def _run_allreduce_pipelined(runtime, request: CollectiveRequest) -> CollectiveResult:
+    from .pipeline import run_pipelined_allreduce
+
+    return run_pipelined_allreduce(runtime, request)
+
+
+def _plan_bcast_pipelined(runtime, key, segment_id, policy) -> CollectivePlan:
+    from .pipeline import PipelinedBstBcastPlan
+
+    return PipelinedBstBcastPlan(runtime, key, segment_id, policy)
+
+
+def _plan_reduce_pipelined(runtime, key, segment_id, policy) -> CollectivePlan:
+    from .pipeline import PipelinedBstReducePlan
+
+    return PipelinedBstReducePlan(runtime, key, segment_id, policy)
+
+
+def _plan_allreduce_pipelined(runtime, key, segment_id, policy) -> CollectivePlan:
+    from .pipeline import PipelinedRingAllreducePlan
+
+    return PipelinedRingAllreducePlan(runtime, key, segment_id, policy)
+
+
 def _register_core_algorithms() -> None:
     """Register the GASPI collectives described in the paper."""
     # Import the builder functions explicitly: several submodules (e.g.
@@ -574,6 +623,61 @@ def _register_core_algorithms() -> None:
             plannable=True,
         ),
         description="Hypercube allreduce underlying allreduce_SSP (paper III-A)",
+    )
+    from .pipeline import (
+        pipelined_bst_bcast_schedule,
+        pipelined_bst_reduce_schedule,
+        pipelined_ring_allreduce_schedule,
+    )
+
+    REGISTRY.register(
+        "gaspi_bcast_bst_pipelined",
+        collective="bcast",
+        family="gaspi",
+        builder=pipelined_bst_bcast_schedule,
+        runner=_run_bcast_pipelined,
+        planner=_plan_bcast_pipelined,
+        capabilities=AlgorithmCapabilities(
+            supports_threshold=True, modes=("data",), plannable=True, pipelined=True
+        ),
+        description=(
+            "Chunked pipelined BST broadcast: per-chunk notifications, "
+            "zero-copy segment_bind data path, overlapped tree levels"
+        ),
+    )
+    REGISTRY.register(
+        "gaspi_reduce_bst_pipelined",
+        collective="reduce",
+        family="gaspi",
+        builder=pipelined_bst_reduce_schedule,
+        runner=_run_reduce_pipelined,
+        planner=_plan_reduce_pipelined,
+        capabilities=AlgorithmCapabilities(
+            supports_threshold=True,
+            modes=("data", "processes"),
+            supports_op=True,
+            plannable=True,
+            pipelined=True,
+        ),
+        description=(
+            "Chunked pipelined BST reduce: per-chunk folds pushed up the "
+            "tree while later chunks arrive"
+        ),
+    )
+    REGISTRY.register(
+        "gaspi_allreduce_ring_pipelined",
+        collective="allreduce",
+        family="gaspi",
+        builder=pipelined_ring_allreduce_schedule,
+        runner=_run_allreduce_pipelined,
+        planner=_plan_allreduce_pipelined,
+        capabilities=AlgorithmCapabilities(
+            supports_op=True, plannable=True, pipelined=True
+        ),
+        description=(
+            "Chunked ring allreduce: multiple in-flight sub-chunk slots, "
+            "sends posted straight from the pooled work region"
+        ),
     )
     REGISTRY.register(
         "gaspi_alltoall",

@@ -42,6 +42,61 @@ REDUCE_SMALL = 32 * 1024
 ALLTOALL_SMALL = 1024
 ALLTOALL_MEDIUM = 64 * 1024
 
+# --------------------------------------------------------------------------- #
+# Pipelined chunked data path (PR 4).  Payloads at or above
+# PIPELINE_MIN_BYTES route to the chunked pipelined variants; the chunk
+# size itself comes from PIPELINE_CHUNK_TABLE below.
+# --------------------------------------------------------------------------- #
+PIPELINE_MIN_BYTES = 128 * 1024
+
+#: The reduce crossover sits higher: the monolithic BST reduce's
+#: ready/data/ack handshake is already tight at a quarter megabyte, and
+#: the measured pipelined win only appears once per-chunk folds overlap
+#: multi-hundred-microsecond transfers (see BENCH_pr4.json).
+REDUCE_PIPELINE_MIN_BYTES = 512 * 1024
+
+
+@dataclass(frozen=True)
+class ChunkRule:
+    """One row of the chunk-size table: payloads up to ``max_nbytes``
+    (``None`` = unbounded) are cut into ``chunk_bytes``-sized pieces
+    (``None`` = a single chunk, the degenerate zero-copy pipeline)."""
+
+    max_nbytes: Optional[int]
+    chunk_bytes: Optional[int]
+
+
+#: Payload-size → chunk-size table of the pipelined data path.  The shape
+#: mirrors Open MPI's segmented-collective tuning: no segmentation below
+#: the pipelining threshold, then chunk sizes that grow with the payload
+#: so the chunk count stays small.  On this thread-per-rank substrate the
+#: per-chunk cost is a condition-variable wakeup (~50 us), not a NIC
+#: doorbell, so the crossover sits far higher than on real hardware —
+#: chunking pays off only once a chunk's memcpy time clears the wakeup
+#: latency.  ``ConsistencyPolicy.chunk_bytes`` overrides the table, which
+#: the nonblocking overlap path uses to force finer chunks.
+PIPELINE_CHUNK_TABLE: List[ChunkRule] = [
+    ChunkRule(max_nbytes=512 * 1024, chunk_bytes=None),  # single zero-copy chunk
+    ChunkRule(max_nbytes=2 * 1024 * 1024, chunk_bytes=512 * 1024),
+    ChunkRule(max_nbytes=8 * 1024 * 1024, chunk_bytes=1024 * 1024),
+    ChunkRule(max_nbytes=None, chunk_bytes=2 * 1024 * 1024),
+]
+
+
+def select_chunk_bytes(
+    nbytes: int, table: Optional[List[ChunkRule]] = None
+) -> Optional[int]:
+    """Chunk size (bytes) the pipelined data path uses for a payload.
+
+    ``None`` means "do not segment" — the pipeline degenerates to a single
+    zero-copy transfer per edge.
+    """
+    require(nbytes >= 0, f"nbytes must be non-negative, got {nbytes}")
+    for rule in table if table is not None else PIPELINE_CHUNK_TABLE:
+        if rule.max_nbytes is None or nbytes <= rule.max_nbytes:
+            return rule.chunk_bytes
+    return None
+
 
 @dataclass(frozen=True)
 class TuningRule:
@@ -158,11 +213,18 @@ def default_gaspi_table() -> TuningTable:
             ),
             TuningRule(
                 "allreduce",
+                "gaspi_allreduce_ring_pipelined",
+                min_nbytes=PIPELINE_MIN_BYTES,
+                reason="chunked zero-copy ring for large payloads",
+            ),
+            TuningRule(
+                "allreduce",
                 "gaspi_allreduce_ring",
                 reason="bandwidth-optimal segmented pipelined ring",
             ),
             # Bcast: the flat P-1 write_notify fan-out beats the BST only
-            # for very small worlds; the BST wins everywhere else.
+            # for very small worlds; the BST wins everywhere else; large
+            # payloads take the chunked zero-copy pipeline.
             TuningRule(
                 "bcast",
                 "gaspi_bcast_flat",
@@ -172,8 +234,20 @@ def default_gaspi_table() -> TuningTable:
             ),
             TuningRule(
                 "bcast",
+                "gaspi_bcast_bst_pipelined",
+                min_nbytes=PIPELINE_MIN_BYTES,
+                reason="chunked pipelined BST for large payloads",
+            ),
+            TuningRule(
+                "bcast",
                 "gaspi_bcast_bst",
                 reason="binomial spanning tree (paper III-B)",
+            ),
+            TuningRule(
+                "reduce",
+                "gaspi_reduce_bst_pipelined",
+                min_nbytes=REDUCE_PIPELINE_MIN_BYTES,
+                reason="chunked pipelined BST reduce for large payloads",
             ),
             TuningRule("reduce", "gaspi_reduce_bst", reason="BST reduce"),
             TuningRule(

@@ -357,6 +357,14 @@ class FaultyRuntime(GaspiRuntime):
     def segment_delete(self, segment_id: int) -> None:
         self._base.segment_delete(segment_id)
 
+    def segment_bind(self, segment_id: int, array: np.ndarray) -> None:
+        self._check_alive()
+        self._base.segment_bind(segment_id, array)
+
+    @property
+    def supports_bind(self) -> bool:
+        return self._base.supports_bind
+
     def segment_view(
         self, segment_id: int, dtype=np.float64, offset: int = 0, count=None
     ) -> np.ndarray:

@@ -82,6 +82,22 @@ class NotificationBoard:
         self._check_id(notification_id)
         return int(self._values[notification_id])
 
+    def probe(self, begin: int = 0, count: Optional[int] = None) -> bool:
+        """Lock-free probe: is any slot in ``[begin, begin + count)`` set?
+
+        The nonblocking progress engine polls with this between compute
+        steps; like :meth:`peek` it is a racy snapshot by nature, so it
+        takes no lock — a pump that misses a just-posted notification
+        simply catches it on the next pump.
+        """
+        if count is None:
+            count = self._num_slots - begin
+        self._check_id(begin)
+        values = self._values
+        if count == 1:
+            return values[begin] > 0
+        return bool(values[begin : begin + count].max(initial=0) > 0)
+
     def pending_ids(self) -> list[int]:
         """Return the sorted list of slots that currently hold a value > 0."""
         with self._cond:

@@ -118,6 +118,25 @@ class GaspiRuntime(abc.ABC):
         overwriting it.
         """
 
+    def segment_bind(self, segment_id: int, array: np.ndarray) -> None:
+        """Bind user memory as the registered window of an existing segment.
+
+        The analogue of ``gaspi_segment_bind``: the segment's notification
+        board is untouched, only the backing memory is replaced, so remote
+        ``write_notify`` calls land directly in (and local posts read
+        directly from) application buffers — the zero-copy data path of the
+        pipelined collectives.  The caller must guarantee no remote write
+        is in flight toward the segment when the memory is swapped.
+        Runtimes without bind support raise :class:`NotImplementedError`;
+        callers probe :attr:`supports_bind` first.
+        """
+        raise NotImplementedError
+
+    @property
+    def supports_bind(self) -> bool:
+        """True when :meth:`segment_bind` is available on this runtime."""
+        return type(self).segment_bind is not GaspiRuntime.segment_bind
+
     def segment_exists(self, segment_id: int) -> bool:
         """True if this rank has created ``segment_id``."""
         try:
@@ -195,6 +214,27 @@ class GaspiRuntime(abc.ABC):
     def notify_peek(self, segment_id_local: int, notification_id: int) -> int:
         """Read a notification value without resetting it (convenience)."""
         raise NotImplementedError
+
+    def notify_probe(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count: Optional[int] = None,
+    ) -> bool:
+        """Cheap non-consuming probe: any notification pending in a range?
+
+        The nonblocking progress engine calls this once per pump per
+        in-flight pipeline, so implementations should make it lock-free
+        where possible (a stale answer is fine — the next pump retries).
+        The default delegates to a zero-timeout :meth:`notify_waitsome`,
+        which wrappers forward transparently.
+        """
+        return (
+            self.notify_waitsome(
+                segment_id_local, notification_begin, notification_count, timeout=0.0
+            )
+            is not None
+        )
 
     def notify_drain(
         self,

@@ -60,6 +60,40 @@ class Segment:
         self._write_lock = threading.Lock()
         #: Total number of bytes remotely written into this segment.
         self.bytes_written = 0
+        #: The user array currently bound as the segment memory via
+        #: :meth:`rebind` (``None`` while the segment owns its buffer).
+        self.bound_array: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # user-memory binding (``gaspi_segment_bind``)
+    # ------------------------------------------------------------------ #
+    def rebind(self, array: np.ndarray) -> None:
+        """Bind user memory as this segment's registered window.
+
+        The GASPI analogue is ``gaspi_segment_bind``: instead of copying
+        payloads through a staging buffer, an application registers its own
+        memory so one-sided writes land directly in it (and reads post
+        directly from it).  The notification board and write lock survive a
+        rebind — only the backing memory changes — so cross-call handshakes
+        built on notifications keep working across rebinds.
+
+        The caller is responsible for quiescence: no remote write may be in
+        flight toward this segment when the memory is swapped (the pipelined
+        collectives guarantee this with an entry handshake).
+        """
+        array = np.asarray(array)
+        if not array.flags["C_CONTIGUOUS"]:
+            raise GaspiInvalidArgumentError(
+                "segment_bind requires C-contiguous memory"
+            )
+        if array.nbytes != self.size:
+            raise GaspiInvalidArgumentError(
+                f"bound array has {array.nbytes} bytes but segment "
+                f"{self.segment_id} is {self.size} bytes"
+            )
+        with self._write_lock:
+            self.buffer = array.view(np.uint8).reshape(-1)
+            self.bound_array = array
 
     # ------------------------------------------------------------------ #
     # typed access

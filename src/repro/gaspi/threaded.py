@@ -187,6 +187,16 @@ class ThreadedWorld:
             table[segment_id] = seg
             return seg
 
+    def rebind_segment(self, rank: int, segment_id: int, array: np.ndarray) -> None:
+        with self._segments_lock:
+            try:
+                seg = self._segments[rank][segment_id]
+            except KeyError as exc:
+                raise GaspiSegmentError(
+                    f"rank {rank}: cannot bind unknown segment {segment_id}"
+                ) from exc
+        seg.rebind(array)
+
     def delete_segment(self, rank: int, segment_id: int) -> None:
         with self._segments_lock:
             table = self._segments[rank]
@@ -312,6 +322,9 @@ class ThreadedRuntime(GaspiRuntime):
     def segment_delete(self, segment_id: int) -> None:
         self._world.delete_segment(self._rank, segment_id)
 
+    def segment_bind(self, segment_id: int, array: np.ndarray) -> None:
+        self._world.rebind_segment(self._rank, segment_id, array)
+
     def segment_view(
         self,
         segment_id: int,
@@ -435,6 +448,15 @@ class ThreadedRuntime(GaspiRuntime):
     def notify_peek(self, segment_id_local: int, notification_id: int) -> int:
         seg = self._world.get_segment(self._rank, segment_id_local)
         return seg.notifications.peek(notification_id)
+
+    def notify_probe(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count: Optional[int] = None,
+    ) -> bool:
+        seg = self._world.get_segment(self._rank, segment_id_local)
+        return seg.notifications.probe(notification_begin, notification_count)
 
     def notify_drain(
         self,

@@ -1,0 +1,99 @@
+"""Benchmark report diffing (:mod:`repro.bench.compare`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.compare import (
+    compare_documents,
+    compare_reports,
+    format_comparison,
+    main,
+    record_key,
+)
+from repro.bench.harness import BenchRecord, write_json_report
+
+
+def _report(path, rows):
+    records = [
+        BenchRecord(
+            benchmark="micro",
+            metric="latency_seconds",
+            value=value,
+            collective=collective,
+            algorithm=algorithm,
+            payload_bytes=nbytes,
+            mode=mode,
+        )
+        for collective, algorithm, nbytes, mode, value in rows
+    ]
+    return write_json_report(str(path), records, benchmark="micro")
+
+
+class TestCompare:
+    def test_matched_records_report_ratio(self, tmp_path):
+        old = _report(
+            tmp_path / "old.json",
+            [("bcast", "bst", 1024, "cached", 2e-4)],
+        )
+        new = _report(
+            tmp_path / "new.json",
+            [("bcast", "bst", 1024, "cached", 1e-4)],
+        )
+        result = compare_documents(old, new)
+        assert result["summary"]["matched"] == 1
+        assert result["summary"]["added"] == 0
+        assert result["matched"][0]["ratio"] == pytest.approx(2.0)
+        assert result["summary"]["geomean_ratio"] == pytest.approx(2.0)
+
+    def test_added_and_removed_records_listed_not_failed(self, tmp_path):
+        old = _report(
+            tmp_path / "old.json",
+            [
+                ("bcast", "bst", 1024, "cached", 2e-4),
+                ("reduce", "bst", 1024, "cached", 3e-4),
+            ],
+        )
+        new = _report(
+            tmp_path / "new.json",
+            [
+                ("bcast", "bst", 1024, "cached", 1e-4),
+                ("allreduce", "ring_pipelined", 262144, "pipelined", 5e-4),
+            ],
+        )
+        result = compare_documents(old, new)
+        assert result["summary"]["matched"] == 1
+        assert result["summary"]["added"] == 1
+        assert result["summary"]["removed"] == 1
+        assert result["added"][0]["algorithm"] == "ring_pipelined"
+
+    def test_record_key_uses_identity_fields_only(self):
+        a = {"benchmark": "micro", "metric": "latency_seconds", "collective": "bcast",
+             "algorithm": "bst", "payload_bytes": 1024, "mode": "cached",
+             "value": 1.0, "extra": {"x": 1}}
+        b = dict(a, value=2.0, extra={})
+        assert record_key(a) == record_key(b)
+
+    def test_compare_reports_round_trip_and_formatting(self, tmp_path):
+        _report(tmp_path / "old.json", [("bcast", "bst", 1024, "cold", 4e-4)])
+        _report(tmp_path / "new.json", [("bcast", "bst", 1024, "cold", 2e-4)])
+        result = compare_reports(
+            str(tmp_path / "old.json"), str(tmp_path / "new.json")
+        )
+        text = format_comparison(result, "old.json", "new.json")
+        assert "matched 1" in text
+        assert "geomean" in text
+
+    def test_cli_is_report_only(self, tmp_path, capsys):
+        _report(tmp_path / "old.json", [("bcast", "bst", 1024, "cold", 1e-4)])
+        _report(tmp_path / "new.json", [("bcast", "bst", 1024, "cold", 9e-4)])
+        # A 9x regression still exits 0: timings never fail the build.
+        assert main([str(tmp_path / "old.json"), str(tmp_path / "new.json")]) == 0
+        assert "speedup old/new" in capsys.readouterr().out
+
+    def test_schema_mismatch_is_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v0", "records": []}')
+        _report(tmp_path / "ok.json", [("bcast", "bst", 1024, "cold", 1e-4)])
+        with pytest.raises(ValueError):
+            compare_reports(str(bad), str(tmp_path / "ok.json"))

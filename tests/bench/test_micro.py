@@ -50,6 +50,8 @@ def test_main_writes_schema_stable_report(tmp_path):
                 "2",
                 "--warmup",
                 "1",
+                "--quick",
+                "--skip-overlap",
                 "--out",
                 str(out),
             ]

@@ -13,6 +13,40 @@ from tests.helpers import rank_vector, spmd
 
 
 class TestPlanCacheStats:
+    def test_zero_dispatch_stats_are_safe(self):
+        """Hit-rate reporting must not trip over the zero-dispatch case."""
+
+        def worker(rt):
+            comm = Communicator(rt)
+            stats = comm.plan_cache_stats()  # before any collective
+            snapshot = (
+                stats.hits,
+                stats.misses,
+                stats.dispatches,
+                stats.hit_rate,
+                stats.describe(),
+            )
+            comm.close()
+            return snapshot
+
+        for hits, misses, dispatches, hit_rate, described in spmd(2, worker):
+            assert (hits, misses, dispatches) == (0, 0, 0)
+            assert hit_rate == 0.0  # no ZeroDivisionError
+            assert "no plannable dispatches" in described
+
+    def test_describe_after_dispatches(self):
+        def worker(rt):
+            comm = Communicator(rt)
+            data = rank_vector(comm.rank, 256)
+            for _ in range(3):
+                comm.allreduce(data.copy())
+            described = comm.plan_cache_stats().describe()
+            comm.close()
+            return described
+
+        for described in spmd(2, worker):
+            assert "2/3 hits" in described and "66.7%" in described
+
     def test_repeated_allreduce_hits_the_cache(self):
         def worker(rt):
             comm = Communicator(rt)

@@ -117,7 +117,8 @@ class TestAutoSelection:
         small = select_algorithm("allreduce", 8, 1024)
         large = select_algorithm("allreduce", 8, 16 << 20)
         assert small.name == "gaspi_allreduce_ssp_hypercube"
-        assert large.name == "gaspi_allreduce_ring"
+        # PR 4: large payloads route to the chunked pipelined ring.
+        assert large.name == "gaspi_allreduce_ring_pipelined"
         assert small.name != large.name
 
     def test_threshold_is_the_documented_crossover(self):
@@ -161,7 +162,7 @@ class TestAutoSelection:
 
         for small, large in spmd(4, worker):
             assert small == "gaspi_allreduce_ssp_hypercube"
-            assert large == "gaspi_allreduce_ring"
+            assert large == "gaspi_allreduce_ring_pipelined"
 
     def test_live_auto_dispatch_records_selected_algorithm(self):
         n_small = 16  # 128 bytes -> hypercube on 4 ranks
