@@ -40,14 +40,20 @@ Quick start::
 __version__ = "1.0.0"
 
 from .gaspi import (
+    BACKENDS,
     GaspiError,
     GaspiRuntime,
     GaspiTimeoutError,
     Group,
     GroupRuntime,
+    ShmConfig,
+    ShmRuntime,
+    ShmWorld,
     ThreadedRuntime,
     ThreadedWorld,
     WorldConfig,
+    run_backend,
+    run_shm,
     run_spmd,
 )
 from .core import (
@@ -116,7 +122,13 @@ __all__ = [
     "ThreadedRuntime",
     "ThreadedWorld",
     "WorldConfig",
+    "ShmConfig",
+    "ShmRuntime",
+    "ShmWorld",
+    "BACKENDS",
     "run_spmd",
+    "run_shm",
+    "run_backend",
     # core
     "REGISTRY",
     "AlgorithmCapabilities",

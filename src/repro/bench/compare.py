@@ -120,6 +120,33 @@ def format_comparison(result: Dict[str, Any], old_path: str, new_path: str) -> s
             )
         ]
         lines.append(format_kv_table(rows, title="matched records (old/new)"))
+    for section, title in (
+        ("added", "new records (only in the new report)"),
+        ("removed", "removed records (only in the old report)"),
+    ):
+        if result[section]:
+            rows = [
+                {
+                    "benchmark": row["benchmark"],
+                    "collective": row["collective"],
+                    "algorithm": row["algorithm"],
+                    "payload_bytes": row["payload_bytes"],
+                    "mode": row["mode"],
+                }
+                for row in sorted(
+                    result[section],
+                    key=lambda r: (
+                        str(r["benchmark"]),
+                        str(r["collective"]),
+                        # Numeric payload order, like the matched table
+                        # (payload_bytes may be "" for data-free rows).
+                        r["payload_bytes"] or 0,
+                        str(r["mode"]),
+                    ),
+                )
+            ]
+            lines.append("")
+            lines.append(format_kv_table(rows, title=title))
     summary = result["summary"]
     lines.append("")
     lines.append(

@@ -1,10 +1,11 @@
-"""Microbenchmarks of the collective hot path: cold vs compiled-plan.
+"""Microbenchmarks of the collective hot path: cold vs compiled-plan,
+threaded vs shared-memory backend.
 
 This is the perf-regression baseline the repository tracks across PRs: a
 latency/throughput sweep over ``collective x algorithm x payload size x
-cached-vs-cold`` on the real threaded backend, written as a
-machine-readable :data:`~repro.bench.harness.BENCH_SCHEMA` report
-(``BENCH_pr3.json`` at the repo root by default).
+cached-vs-cold`` on a real rank world, written as a machine-readable
+:data:`~repro.bench.harness.BENCH_SCHEMA` report (``BENCH_pr5.json`` at
+the repo root by default).
 
 * **cold** runs on a communicator with ``plan_cache=0``: every call pays
   the full per-call setup — topology construction, workspace segment
@@ -13,11 +14,29 @@ machine-readable :data:`~repro.bench.harness.BENCH_SCHEMA` report
   first (warm-up) call compiles the :class:`~repro.core.plan.CollectivePlan`,
   every measured call is pure data movement over the pooled workspace.
 
+The ``--backend`` axis selects the rank-world substrate: ``threaded``
+(thread-per-rank, GIL-shared) or ``shm`` (process-per-rank over POSIX
+shared memory, :class:`~repro.gaspi.shm.ShmRuntime`) — or ``both``,
+which runs the sweep twice and records the threaded-vs-shm comparison in
+the report's meta.  Shm records carry an ``@shm`` mode suffix so the
+two backends never collide on a record identity, and old threaded-only
+baselines keep matching the threaded rows.
+
+Timing is taken *per rank*: every rank times its own tight loop between
+two world barriers and the reported latency is the slowest rank's mean —
+the completion time of the collective, not the fastest returner's.  The
+per-rank spread (min/mean across ranks) is recorded alongside, because
+the two backends schedule ranks very differently (GIL interleaving vs
+OS processes) and a single aggregate would hide that.  ``--warmup``
+controls the unmeasured calls that precede the timed loop (the first of
+them compiles the plan on the cached variant).
+
 Run it from the repository root::
 
-    PYTHONPATH=src python -m repro.bench.micro              # full sweep
-    PYTHONPATH=src python -m repro.bench.micro --quick      # CI smoke
-    PYTHONPATH=src python -m repro.bench.micro --out my.json
+    PYTHONPATH=src python -m repro.bench.micro                   # threaded
+    PYTHONPATH=src python -m repro.bench.micro --backend shm
+    PYTHONPATH=src python -m repro.bench.micro --backend both    # baseline
+    PYTHONPATH=src python -m repro.bench.micro --quick           # CI smoke
 
 The sweep *measures and records* the speedup; it never asserts on
 timings (CI runners are noisy), so the perf-smoke job fails only on
@@ -33,7 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.api import Communicator
-from ..gaspi.spmd import run_spmd
+from ..gaspi.launch import BACKENDS, run_backend
 from .harness import BenchRecord, write_json_report
 from .report import format_kv_table
 
@@ -62,7 +81,14 @@ PIPELINE_PAIRS: Tuple[Tuple[str, str, str], ...] = (
 #: Payload sizes of the pipelined comparison (the large-message regime).
 PIPELINE_SIZES: Tuple[int, ...] = (262_144, 1_048_576, 4_194_304)
 
-DEFAULT_OUT = "BENCH_pr4.json"
+DEFAULT_OUT = "BENCH_pr5.json"
+
+
+def _record_mode(mode: str, backend: str) -> str:
+    """Record-identity mode: shm rows are suffixed so the two backends
+    never collide on ``(benchmark, metric, collective, algorithm,
+    payload_bytes, mode)`` and old threaded baselines keep matching."""
+    return mode if backend == "threaded" else f"{mode}@{backend}"
 
 
 def _collective_caller(comm: Communicator, collective: str, algorithm: str,
@@ -77,24 +103,25 @@ def _collective_caller(comm: Communicator, collective: str, algorithm: str,
     raise ValueError(f"unsupported micro collective {collective!r}")
 
 
-def time_threaded_collective(
+def time_collective(
     collective: str,
     algorithm: str,
     nbytes: int,
     *,
+    backend: str = "threaded",
     ranks: int = 4,
     iterations: int = 20,
     warmup: int = 2,
     plan_cache: Optional[int] = None,
     timeout: float = 120.0,
 ) -> Dict[str, float]:
-    """Per-call latency of one collective on the threaded backend.
+    """Per-call latency of one collective on one backend.
 
     Every rank runs ``warmup`` unmeasured calls (on the cached variant the
-    first of them compiles the plan), synchronises, then times a tight
-    loop of ``iterations`` calls.  The reported latency is the slowest
-    rank's mean — the completion time of the collective, not the fastest
-    returner's.  Returns latency plus the resolved registry name.
+    first of them compiles the plan), synchronises on a world barrier,
+    then times its own tight loop of ``iterations`` calls.  The reported
+    ``latency_seconds`` is the slowest rank's mean — the completion time
+    of the collective — with the cross-rank min and mean alongside.
     """
     kwargs = {} if plan_cache is None else {"plan_cache": plan_cache}
 
@@ -117,19 +144,65 @@ def time_threaded_collective(
         comm.close()
         return elapsed / iterations, resolved, stats.hits
 
-    results = run_spmd(ranks, worker, timeout=timeout)
-    latency = max(r[0] for r in results)
+    results = run_backend(ranks, worker, backend=backend, timeout=timeout)
+    per_rank = [r[0] for r in results]
     return {
-        "latency_seconds": latency,
+        "latency_seconds": max(per_rank),
+        "latency_rank_min_seconds": min(per_rank),
+        "latency_rank_mean_seconds": sum(per_rank) / len(per_rank),
         "algorithm": results[0][1],
         "plan_hits": results[0][2],
     }
+
+
+def time_threaded_collective(
+    collective: str,
+    algorithm: str,
+    nbytes: int,
+    **kwargs,
+) -> Dict[str, float]:
+    """Backward-compatible alias: :func:`time_collective` on threads."""
+    return time_collective(collective, algorithm, nbytes, backend="threaded", **kwargs)
+
+
+def _latency_record(
+    benchmark: str,
+    collective: str,
+    nbytes: int,
+    mode: str,
+    backend: str,
+    measured: Dict[str, float],
+    ranks: int,
+    iterations: int,
+) -> BenchRecord:
+    latency = measured["latency_seconds"]
+    return BenchRecord(
+        benchmark=benchmark,
+        metric="latency_seconds",
+        value=latency,
+        collective=collective,
+        algorithm=str(measured["algorithm"]),
+        payload_bytes=int(nbytes),
+        mode=_record_mode(mode, backend),
+        extra={
+            "backend": backend,
+            "ranks": ranks,
+            "iterations": iterations,
+            "throughput_bytes_per_second": (
+                nbytes / latency if latency > 0 else 0.0
+            ),
+            "latency_rank_min_seconds": measured["latency_rank_min_seconds"],
+            "latency_rank_mean_seconds": measured["latency_rank_mean_seconds"],
+            "plan_cache_hits": measured.get("plan_hits", 0),
+        },
+    )
 
 
 def run_micro_sweep(
     cases: Sequence[Tuple[str, str]] = DEFAULT_CASES,
     sizes: Sequence[int] = DEFAULT_SIZES,
     *,
+    backend: str = "threaded",
     ranks: int = 4,
     iterations: int = 20,
     warmup: int = 2,
@@ -141,40 +214,28 @@ def run_micro_sweep(
         for nbytes in sizes:
             timings: Dict[str, Dict[str, float]] = {}
             for mode, plan_cache in (("cold", 0), ("cached", None)):
-                measured = time_threaded_collective(
+                measured = time_collective(
                     collective,
                     algorithm,
                     nbytes,
+                    backend=backend,
                     ranks=ranks,
                     iterations=iterations,
                     warmup=warmup,
                     plan_cache=plan_cache,
                 )
                 timings[mode] = measured
-                latency = measured["latency_seconds"]
                 records.append(
-                    BenchRecord(
-                        benchmark="micro",
-                        metric="latency_seconds",
-                        value=latency,
-                        collective=collective,
-                        algorithm=str(measured["algorithm"]),
-                        payload_bytes=int(nbytes),
-                        mode=mode,
-                        extra={
-                            "ranks": ranks,
-                            "iterations": iterations,
-                            "throughput_bytes_per_second": (
-                                nbytes / latency if latency > 0 else 0.0
-                            ),
-                            "plan_cache_hits": measured["plan_hits"],
-                        },
+                    _latency_record(
+                        "micro", collective, nbytes, mode, backend,
+                        measured, ranks, iterations,
                     )
                 )
             cold = timings["cold"]["latency_seconds"]
             cached = timings["cached"]["latency_seconds"]
             summary.append(
                 {
+                    "backend": backend,
                     "collective": collective,
                     "algorithm": str(timings["cached"]["algorithm"]),
                     "payload_bytes": int(nbytes),
@@ -190,6 +251,7 @@ def run_pipelined_comparison(
     sizes: Sequence[int] = PIPELINE_SIZES,
     pairs: Sequence[Tuple[str, str, str]] = PIPELINE_PAIRS,
     *,
+    backend: str = "threaded",
     ranks: int = 4,
     iterations: int = 20,
     warmup: int = 3,
@@ -207,38 +269,27 @@ def run_pipelined_comparison(
         for nbytes in sizes:
             measured: Dict[str, Dict[str, float]] = {}
             for mode, algorithm in (("monolithic", mono), ("pipelined", pipe)):
-                result = time_threaded_collective(
+                result = time_collective(
                     collective,
                     algorithm,
                     nbytes,
+                    backend=backend,
                     ranks=ranks,
                     iterations=iterations,
                     warmup=warmup,
                 )
                 measured[mode] = result
-                latency = result["latency_seconds"]
                 records.append(
-                    BenchRecord(
-                        benchmark="micro-pipelined",
-                        metric="latency_seconds",
-                        value=latency,
-                        collective=collective,
-                        algorithm=str(result["algorithm"]),
-                        payload_bytes=int(nbytes),
-                        mode=mode,
-                        extra={
-                            "ranks": ranks,
-                            "iterations": iterations,
-                            "throughput_bytes_per_second": (
-                                nbytes / latency if latency > 0 else 0.0
-                            ),
-                        },
+                    _latency_record(
+                        "micro-pipelined", collective, nbytes, mode, backend,
+                        result, ranks, iterations,
                     )
                 )
             mono_s = measured["monolithic"]["latency_seconds"]
             pipe_s = measured["pipelined"]["latency_seconds"]
             rows.append(
                 {
+                    "backend": backend,
                     "collective": collective,
                     "payload_bytes": int(nbytes),
                     "monolithic_us": mono_s * 1e6,
@@ -247,6 +298,39 @@ def run_pipelined_comparison(
                 }
             )
     return records, rows
+
+
+def backend_comparison(
+    summaries: Dict[str, List[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Threaded-vs-shm rows from per-backend cached sweep summaries.
+
+    ``shm_speedup > 1`` means the process world completed the collective
+    faster than the GIL-shared thread world for that payload.
+    """
+    threaded = {
+        (row["collective"], row["algorithm"], row["payload_bytes"]): row
+        for row in summaries.get("threaded", [])
+    }
+    rows: List[Dict[str, object]] = []
+    for row in summaries.get("shm", []):
+        key = (row["collective"], row["algorithm"], row["payload_bytes"])
+        base = threaded.get(key)
+        if base is None:
+            continue
+        threaded_us = float(base["cached_us"])
+        shm_us = float(row["cached_us"])
+        rows.append(
+            {
+                "collective": row["collective"],
+                "algorithm": row["algorithm"],
+                "payload_bytes": row["payload_bytes"],
+                "threaded_us": threaded_us,
+                "shm_us": shm_us,
+                "shm_speedup": threaded_us / shm_us if shm_us > 0 else float("inf"),
+            }
+        )
+    return rows
 
 
 def run_overlap_measurement(
@@ -286,8 +370,11 @@ def run_overlap_measurement(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backend", choices=BACKENDS + ("both",),
+                        default="threaded",
+                        help="rank-world substrate to sweep (default: threaded)")
     parser.add_argument("--ranks", type=int, default=4,
-                        help="threaded world size (power of two for hypercube)")
+                        help="world size (power of two for hypercube)")
     parser.add_argument("--sizes", type=str, default=None,
                         help="comma-separated payload sizes in bytes")
     parser.add_argument("--iterations", type=int, default=20,
@@ -313,44 +400,70 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     pipeline_sizes: Sequence[int] = (
         (262_144,) if args.quick else PIPELINE_SIZES
     )
+    backends = ("threaded", "shm") if args.backend == "both" else (args.backend,)
 
-    records, summary = run_micro_sweep(
-        sizes=sizes, ranks=args.ranks, iterations=iterations, warmup=args.warmup
-    )
-    pipe_records, pipe_rows = run_pipelined_comparison(
-        sizes=pipeline_sizes, ranks=args.ranks, iterations=iterations,
-        warmup=args.warmup,
-    )
-    records.extend(pipe_records)
+    records: List[BenchRecord] = []
+    summaries: Dict[str, List[Dict[str, object]]] = {}
+    pipe_summaries: Dict[str, List[Dict[str, object]]] = {}
+    for backend in backends:
+        backend_records, summary = run_micro_sweep(
+            sizes=sizes, backend=backend, ranks=args.ranks,
+            iterations=iterations, warmup=args.warmup,
+        )
+        records.extend(backend_records)
+        summaries[backend] = summary
+        pipe_records, pipe_rows = run_pipelined_comparison(
+            sizes=pipeline_sizes, backend=backend, ranks=args.ranks,
+            iterations=iterations, warmup=args.warmup,
+        )
+        records.extend(pipe_records)
+        pipe_summaries[backend] = pipe_rows
+
     overlap_rows: Dict[str, object] = {}
-    if not args.skip_overlap:
+    if not args.skip_overlap and "threaded" in backends:
         overlap_records, overlap_rows = run_overlap_measurement(quick=args.quick)
         records.extend(overlap_records)
-    min_speedup = min(row["speedup"] for row in summary)
-    small = [r["speedup"] for r in summary if r["payload_bytes"] == min(sizes)]
-    large_rows = [r for r in pipe_rows if int(r["payload_bytes"]) >= 262_144]
+
+    primary = summaries[backends[0]]
+    min_speedup = min(row["speedup"] for row in primary)
+    small = [r["speedup"] for r in primary if r["payload_bytes"] == min(sizes)]
+    crossover = backend_comparison(summaries)
+    all_pipe_rows = [row for rows in pipe_summaries.values() for row in rows]
+    large_rows = [r for r in all_pipe_rows if int(r["payload_bytes"]) >= 262_144]
     write_json_report(
         args.out,
         records,
         benchmark="micro",
         meta={
+            "backends": list(backends),
             "ranks": args.ranks,
             "iterations": iterations,
             "warmup": args.warmup,
             "sizes": list(sizes),
             "quick": bool(args.quick),
-            "speedup_summary": summary,
+            "speedup_summary": [row for s in summaries.values() for row in s],
             "min_speedup": min_speedup,
             "small_payload_speedups": small,
-            "pipelined_summary": pipe_rows,
+            "pipelined_summary": all_pipe_rows,
             "pipelined_speedups_large": [r["speedup"] for r in large_rows],
+            "backend_comparison": crossover,
             "overlap_demo": overlap_rows,
-            "baseline_report": "BENCH_pr3.json",
+            "baseline_report": "BENCH_pr4.json",
         },
     )
-    print(format_kv_table(summary, title="plan-cache speedup (cold / cached)"))
-    print(format_kv_table(pipe_rows,
-                          title="pipelined vs monolithic (both cached)"))
+    for backend in backends:
+        print(format_kv_table(
+            summaries[backend],
+            title=f"plan-cache speedup (cold / cached) [{backend}]",
+        ))
+        print(format_kv_table(
+            pipe_summaries[backend],
+            title=f"pipelined vs monolithic (both cached) [{backend}]",
+        ))
+    if crossover:
+        print(format_kv_table(
+            crossover, title="threaded vs shm (cached path, max-over-ranks)"
+        ))
     if overlap_rows:
         print(f"\noverlap demo: blocking {overlap_rows['blocking_seconds']*1e3:.2f} ms"
               f" vs overlapped {overlap_rows['overlapped_seconds']*1e3:.2f} ms"

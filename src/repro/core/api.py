@@ -230,6 +230,42 @@ class Communicator:
         self._resolve_cache: Dict[tuple, AlgorithmInfo] = {}
 
     # ------------------------------------------------------------------ #
+    # backend-selected launching
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def run(
+        cls,
+        num_ranks: int,
+        worker,
+        *,
+        backend: str = "threaded",
+        timeout: Optional[float] = 120.0,
+        **comm_kwargs,
+    ) -> list:
+        """Launch a rank world on ``backend`` and run ``worker(comm)`` per rank.
+
+        The one-call form of backend selection: picks the substrate
+        (``"threaded"`` — thread-per-rank, or ``"shm"`` — process-per-rank
+        over POSIX shared memory, true parallelism), builds one
+        communicator per rank with ``comm_kwargs`` (``policy=``,
+        ``faults=``, ``plan_cache=``, ...), and closes it after the
+        worker returns.  Returns the per-rank results, indexed by rank::
+
+            totals = Communicator.run(8, lambda comm:
+                comm.allreduce(np.ones(1 << 20)), backend="shm")
+        """
+        from ..gaspi.launch import run_backend
+
+        def entry(runtime):
+            comm = cls(runtime, **comm_kwargs)
+            try:
+                return worker(comm)
+            finally:
+                comm.close()
+
+        return run_backend(num_ranks, entry, backend=backend, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
     # identity
     # ------------------------------------------------------------------ #
     @property

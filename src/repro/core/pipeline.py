@@ -212,6 +212,7 @@ class CollectiveHandle:
         self._started = False
         self._result = result
         self._done = gen is None
+        self._error: Optional[BaseException] = None
         self._on_complete = on_complete
         if self._done and on_complete is not None:
             on_complete(self._result)
@@ -227,6 +228,15 @@ class CollectiveHandle:
         """The :class:`CollectiveResult`, or ``None`` while in flight."""
         return self._result
 
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The exception that failed this handle mid-flight, if any.
+
+        A failed handle is *done* (it can never complete) but has no
+        result; :meth:`wait` re-raises the stored exception.
+        """
+        return self._error
+
     # ------------------------------------------------------------------ #
     def _finish(self, stop: StopIteration) -> None:
         self._result = stop.value
@@ -235,6 +245,25 @@ class CollectiveHandle:
         self._spec = None
         if self._on_complete is not None:
             self._on_complete(self._result)
+
+    def _fail(self, exc: BaseException) -> None:
+        """Mark the handle failed: done, no result, exception stored.
+
+        The generator is closed so the plan's per-call state is not left
+        suspended mid-protocol; peers of a failed collective see missing
+        notifications, which their own fault handling (timeouts, fault
+        plans) is responsible for.  :meth:`wait` re-raises ``exc``.
+        """
+        self._error = exc
+        self._done = True
+        gen = self._gen
+        self._gen = None
+        self._spec = None
+        if gen is not None:
+            try:
+                gen.close()
+            except Exception:  # pragma: no cover - generator cleanup races
+                pass
 
     def _step(self, timeout: float) -> bool:
         """Advance until blocked (``timeout=0``) or done; returns done.
@@ -267,6 +296,13 @@ class CollectiveHandle:
         except StopIteration as stop:
             self._finish(stop)
             return True
+        except Exception as exc:  # noqa: BLE001 - stored, re-raised by wait()
+            # A handle erroring mid-flight (crashed runtime, torn-down
+            # segment, a bug in a pipelined executor) must not leave the
+            # engine wedged: record the failure, retire the handle, and
+            # let wait() surface the exception to the issuing caller.
+            self._fail(exc)
+            return True
 
     # ------------------------------------------------------------------ #
     def progress(self) -> bool:
@@ -285,9 +321,15 @@ class CollectiveHandle:
         return self.progress()
 
     def wait(self, timeout: float = GASPI_BLOCK):
-        """Block until complete; returns the :class:`CollectiveResult`."""
+        """Block until complete; returns the :class:`CollectiveResult`.
+
+        Re-raises the stored exception when the collective failed
+        mid-flight (see :attr:`error`).
+        """
         if not self._done:
             self._engine.wait_until(self, timeout)
+        if self._error is not None:
+            raise self._error
         return self._result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -412,25 +454,33 @@ class ProgressEngine:
             self._work.wait(timeout=0.05)
             if self._stop.is_set():
                 return
-            with self._lock:
-                live = self._pump()
-                spec = None
-                if live:
-                    head = self._runnable()[0]
-                    spec = head._spec
-            if not live:
+            try:
+                with self._lock:
+                    live = self._pump()
+                    spec = None
+                    if live:
+                        head = self._runnable()[0]
+                        spec = head._spec
+                if not live:
+                    self._work.clear()
+                elif spec is not None:
+                    # Event-driven: park on the head pipeline's pending
+                    # notification (bounded by ``interval``) so the critical
+                    # chain advances at data speed, not at a polling cadence.
+                    # The spec may be stale by the time we wait — a spurious
+                    # or missed wake just means one ``interval`` of delay.
+                    self._runtime.notify_waitsome(
+                        spec.segment_id, spec.first, spec.count, timeout=interval
+                    )
+                else:
+                    time.sleep(interval)
+            except Exception:  # noqa: BLE001 - park instead of dying silently
+                # Handle errors are captured per handle in _step; what can
+                # still raise here is the runtime itself (crashed by a
+                # fault plan, segment torn down under the park).  Asynch
+                # progress must survive that: park until new work arrives
+                # or the engine stops, and keep the thread joinable.
                 self._work.clear()
-            elif spec is not None:
-                # Event-driven: park on the head pipeline's pending
-                # notification (bounded by ``interval``) so the critical
-                # chain advances at data speed, not at a polling cadence.
-                # The spec may be stale by the time we wait — a spurious
-                # or missed wake just means one ``interval`` of delay.
-                self._runtime.notify_waitsome(
-                    spec.segment_id, spec.first, spec.count, timeout=interval
-                )
-            else:
-                time.sleep(interval)
 
     # ------------------------------------------------------------------ #
     # completion

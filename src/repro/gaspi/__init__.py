@@ -19,8 +19,15 @@ describes them and executed for real inside a single process:
   visible in the target segment before the matching notification becomes
   visible, which is the core GASPI guarantee the paper's algorithms rely
   on (Table I / Figure 1 of the paper).
-* :func:`~repro.gaspi.spmd.run_spmd` — an ``mpiexec``-like launcher that
-  runs one Python callable per rank and returns the per-rank results.
+* :class:`~repro.gaspi.shm.ShmWorld` /
+  :class:`~repro.gaspi.shm.ShmRuntime` — a process-per-rank
+  implementation over POSIX shared memory (the closest analogue to real
+  GPI-2 segments): no shared GIL, so ranks run truly in parallel, with
+  the same write-before-notify visibility guarantee.
+* :func:`~repro.gaspi.spmd.run_spmd` / :func:`~repro.gaspi.shm.run_shm`
+  — ``mpiexec``-like launchers that run one Python callable per rank
+  (thread or process) and return the per-rank results;
+  :func:`~repro.gaspi.launch.run_backend` dispatches between them.
 """
 
 from .constants import (
@@ -46,6 +53,8 @@ from .runtime import GaspiRuntime
 from .subruntime import GroupRuntime
 from .threaded import ThreadedWorld, ThreadedRuntime, WorldConfig
 from .spmd import run_spmd, SpmdError
+from .shm import ShmConfig, ShmRuntime, ShmWorld, run_shm
+from .launch import BACKENDS, run_backend
 
 __all__ = [
     "GASPI_BLOCK",
@@ -69,6 +78,12 @@ __all__ = [
     "ThreadedWorld",
     "ThreadedRuntime",
     "WorldConfig",
+    "ShmConfig",
+    "ShmRuntime",
+    "ShmWorld",
+    "BACKENDS",
     "run_spmd",
+    "run_shm",
+    "run_backend",
     "SpmdError",
 ]

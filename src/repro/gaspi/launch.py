@@ -1,0 +1,65 @@
+"""Backend-agnostic SPMD launcher: one entry point, two substrates.
+
+Every layer above the runtime — :class:`~repro.core.api.Communicator`,
+the plan cache, the progress engine, the fault wrappers — is written
+against the abstract :class:`~repro.gaspi.runtime.GaspiRuntime`, so the
+*only* backend-specific choice an application makes is how the rank
+world is launched:
+
+* ``backend="threaded"`` — thread-per-rank inside one process
+  (:func:`~repro.gaspi.spmd.run_spmd`): fastest startup, deterministic,
+  but every rank shares the GIL.
+* ``backend="shm"`` — process-per-rank over POSIX shared memory
+  (:func:`~repro.gaspi.shm.run_shm`): true parallelism, the closest
+  analogue to GPI-2 segments.
+
+::
+
+    from repro import Communicator, run_backend
+
+    def worker(runtime):
+        comm = Communicator(runtime)
+        try:
+            return comm.allreduce(np.ones(1024))
+        finally:
+            comm.close()
+
+    results = run_backend(4, worker, backend="shm")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from .errors import GaspiInvalidArgumentError
+from .shm import run_shm
+from .spmd import run_spmd
+
+#: Launchable rank-world substrates (the simulator is not an SPMD world:
+#: it replays schedules through ``Communicator(machine=...)`` instead).
+BACKENDS = ("threaded", "shm")
+
+
+def run_backend(
+    num_ranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    backend: str = "threaded",
+    timeout: float | None = 120.0,
+    **kwargs: Any,
+) -> List[Any]:
+    """Run ``fn(runtime, *args, **kwargs)`` on ``num_ranks`` ranks.
+
+    Dispatches to :func:`~repro.gaspi.spmd.run_spmd` (threads) or
+    :func:`~repro.gaspi.shm.run_shm` (processes) and returns the per-rank
+    results, indexed by rank.  Backend-specific keyword arguments
+    (``world_config`` for threaded, ``config``/``warn_leaks`` for shm)
+    pass straight through.
+    """
+    if backend == "threaded":
+        return run_spmd(num_ranks, fn, *args, timeout=timeout, **kwargs)
+    if backend == "shm":
+        return run_shm(num_ranks, fn, *args, timeout=timeout, **kwargs)
+    raise GaspiInvalidArgumentError(
+        f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
+    )

@@ -67,6 +67,38 @@ class TestCompare:
         assert result["summary"]["removed"] == 1
         assert result["added"][0]["algorithm"] == "ring_pipelined"
 
+    def test_format_comparison_prints_new_and_removed_sections(self, tmp_path):
+        """Rows present in only one report (e.g. a fresh shm sweep against
+        an old threaded-only baseline) render as dedicated sections."""
+        old = _report(
+            tmp_path / "old.json",
+            [
+                ("bcast", "bst", 1024, "cached", 2e-4),
+                ("reduce", "bst", 1024, "cached", 3e-4),
+            ],
+        )
+        new = _report(
+            tmp_path / "new.json",
+            [
+                ("bcast", "bst", 1024, "cached", 1e-4),
+                ("bcast", "bst", 1024, "cached@shm", 9e-5),
+                ("allreduce", "ring", 262144, "cached@shm", 5e-4),
+            ],
+        )
+        result = compare_documents(old, new)
+        text = format_comparison(result, "old.json", "new.json")
+        assert "new records (only in the new report)" in text
+        assert "removed records (only in the old report)" in text
+        assert "cached@shm" in text
+        assert "matched 1, added 2, removed 1" in text
+
+    def test_format_comparison_omits_empty_sections(self, tmp_path):
+        old = _report(tmp_path / "old.json", [("bcast", "bst", 1024, "cold", 2e-4)])
+        new = _report(tmp_path / "new.json", [("bcast", "bst", 1024, "cold", 1e-4)])
+        text = format_comparison(compare_documents(old, new), "old.json", "new.json")
+        assert "new records" not in text
+        assert "removed records" not in text
+
     def test_record_key_uses_identity_fields_only(self):
         a = {"benchmark": "micro", "metric": "latency_seconds", "collective": "bcast",
              "algorithm": "bst", "payload_bytes": 1024, "mode": "cached",

@@ -5,7 +5,13 @@ from __future__ import annotations
 import json
 
 from repro.bench.harness import BENCH_SCHEMA, load_json_report
-from repro.bench.micro import main, run_micro_sweep, time_threaded_collective
+from repro.bench.micro import (
+    backend_comparison,
+    main,
+    run_micro_sweep,
+    time_collective,
+    time_threaded_collective,
+)
 
 
 def test_time_threaded_collective_reports_cached_hits():
@@ -35,6 +41,73 @@ def test_run_micro_sweep_covers_modes_and_sizes():
     assert all(r.extra["throughput_bytes_per_second"] > 0 for r in records)
     assert len(summary) == len(cases) * len(sizes)
     assert all(row["speedup"] > 0 for row in summary)
+
+
+def test_per_rank_timing_reports_max_over_ranks():
+    measured = time_collective("allreduce", "ring", 1024, ranks=2, iterations=2,
+                               warmup=1)
+    assert measured["latency_rank_min_seconds"] <= measured["latency_seconds"]
+    assert (
+        measured["latency_rank_min_seconds"]
+        <= measured["latency_rank_mean_seconds"]
+        <= measured["latency_seconds"]
+    )
+
+
+def test_shm_backend_sweep_records_are_tagged():
+    records, summary = run_micro_sweep(
+        [("allreduce", "ring")], [512], backend="shm", ranks=2,
+        iterations=2, warmup=1,
+    )
+    assert {r.mode for r in records} == {"cold@shm", "cached@shm"}
+    assert all(r.extra["backend"] == "shm" for r in records)
+    assert summary[0]["backend"] == "shm"
+
+
+def test_backend_comparison_pairs_cached_rows():
+    summaries = {
+        "threaded": [
+            {"collective": "bcast", "algorithm": "gaspi_bcast_bst",
+             "payload_bytes": 1024, "cached_us": 200.0, "cold_us": 400.0,
+             "speedup": 2.0, "backend": "threaded"},
+        ],
+        "shm": [
+            {"collective": "bcast", "algorithm": "gaspi_bcast_bst",
+             "payload_bytes": 1024, "cached_us": 100.0, "cold_us": 500.0,
+             "speedup": 5.0, "backend": "shm"},
+            {"collective": "reduce", "algorithm": "gaspi_reduce_bst",
+             "payload_bytes": 2048, "cached_us": 100.0, "cold_us": 500.0,
+             "speedup": 5.0, "backend": "shm"},  # unmatched: dropped
+        ],
+    }
+    rows = backend_comparison(summaries)
+    assert len(rows) == 1
+    assert rows[0]["shm_speedup"] == 2.0
+
+
+def test_main_both_backends_writes_comparison(tmp_path):
+    out = tmp_path / "bench-both.json"
+    assert (
+        main(
+            [
+                "--backend", "both",
+                "--ranks", "2",
+                "--sizes", "256",
+                "--iterations", "2",
+                "--warmup", "1",
+                "--quick",
+                "--skip-overlap",
+                "--out", str(out),
+            ]
+        )
+        == 0
+    )
+    document = load_json_report(str(out))
+    assert document["meta"]["backends"] == ["threaded", "shm"]
+    comparison = document["meta"]["backend_comparison"]
+    assert comparison and all(row["shm_speedup"] > 0 for row in comparison)
+    modes = {r["mode"] for r in document["records"]}
+    assert "cached" in modes and "cached@shm" in modes
 
 
 def test_main_writes_schema_stable_report(tmp_path):
