@@ -1,0 +1,118 @@
+"""Notification-id and segment-offset budget checks.
+
+Every notification id a trace uses must fall inside the destination
+segment's notification board, and every byte a transfer touches must fall
+inside the destination (and source) segment — the static counterpart of
+the :class:`~repro.core.notifmap.NotificationLayout` allocator and of the
+workspace pool sizing in :meth:`~repro.core.plan.CollectivePlan`.
+
+These are pure per-event range checks: no replay or ordering is needed,
+so the check also diagnoses traces that deadlock before completing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .events import (
+    BUDGET,
+    CONSUME,
+    LOCAL_WRITE,
+    POST,
+    Event,
+    Finding,
+    ProtocolTrace,
+    SegmentMeta,
+)
+
+
+def _meta(
+    trace: ProtocolTrace, rank: int, segment: int
+) -> Optional[SegmentMeta]:
+    return trace.segments.get((rank, segment))
+
+
+def check_budget(trace: ProtocolTrace) -> List[Finding]:
+    """Range-check every notification id and byte offset in the trace."""
+    findings: List[Finding] = []
+    seen: Dict[Tuple[str, int, int, int], bool] = {}
+
+    def report(
+        message: str, rank: int, segment: int, notif_id: int = -1
+    ) -> None:
+        key = (message, rank, segment, notif_id)
+        if key in seen:
+            return
+        seen[key] = True
+        findings.append(
+            Finding(
+                BUDGET, message, rank=rank, segment=segment, notif_id=notif_id
+            )
+        )
+
+    def check_range(event: Event, meta: SegmentMeta, rank: int, where: str) -> None:
+        offset = event.offset if where == "destination" else event.local_offset
+        if offset < 0 or offset + event.length > meta.size:
+            report(
+                f"write of {event.length} bytes at offset {offset} exceeds the "
+                f"{meta.size}-byte {where} segment",
+                rank,
+                event.segment,
+            )
+
+    for sequence in trace.events:
+        for event in sequence:
+            if event.kind == POST:
+                meta = _meta(trace, event.dst, event.segment)
+                if meta is None:
+                    report(
+                        f"post targets segment {event.segment} which rank "
+                        f"{event.dst} never created",
+                        event.dst,
+                        event.segment,
+                        event.notif_id,
+                    )
+                    continue
+                if event.notif_id >= meta.num_notifications:
+                    report(
+                        f"notification id {event.notif_id} is outside the "
+                        f"destination board of {meta.num_notifications} slots",
+                        event.dst,
+                        event.segment,
+                        event.notif_id,
+                    )
+                if event.length > 0:
+                    check_range(event, meta, event.dst, "destination")
+                    local = _meta(trace, event.rank, event.segment)
+                    if local is not None and event.local_offset >= 0:
+                        check_range(event, local, event.rank, "source")
+            elif event.kind == CONSUME:
+                meta = _meta(trace, event.rank, event.segment)
+                if meta is None:
+                    report(
+                        f"consume on segment {event.segment} which rank "
+                        f"{event.rank} never created",
+                        event.rank,
+                        event.segment,
+                        event.notif_id,
+                    )
+                elif event.notif_id >= meta.num_notifications:
+                    report(
+                        f"notification id {event.notif_id} is outside the "
+                        f"local board of {meta.num_notifications} slots",
+                        event.rank,
+                        event.segment,
+                        event.notif_id,
+                    )
+            elif event.kind == LOCAL_WRITE and event.length > 0:
+                meta = _meta(trace, event.rank, event.segment)
+                if meta is not None and (
+                    event.offset < 0 or event.offset + event.length > meta.size
+                ):
+                    report(
+                        f"local store of {event.length} bytes at offset "
+                        f"{event.offset} exceeds the {meta.size}-byte segment",
+                        event.rank,
+                        event.segment,
+                    )
+    return findings

@@ -1,0 +1,281 @@
+"""Replay-based matching, wait-for graph, and double-post audit.
+
+The replay recomputes the post/consume matching from the event sequences
+alone — it never trusts any pairing the trace producer may have known —
+so a mutated or hand-edited trace is diagnosed from first principles:
+
+* a rank whose next consume can never be satisfied (no pending post, no
+  unexecuted post anywhere targeting that slot) → ``unmatched-notification``;
+* ranks blocked on each other's *future* posts (a cycle in the wait-for
+  graph, or a barrier some rank can never reach) → ``deadlock``;
+* a slot posted again before its previous value was provably consumed
+  (the lost-notification race: notification boards *overwrite* on post)
+  → ``double-post``.
+
+The double-post criterion is interleaving-independent: for consecutive
+posts ``p`` then ``q`` to one slot, the trace is safe only if some
+consume of ``p`` happens-before ``q`` in the vector-clock order — not
+merely earlier in the replay's particular schedule.  Traces flagged
+``overwrite_tolerant`` (the SSP hypercube, whose slot values are logical
+clocks and whose state lives in the re-read mailbox) skip this audit
+only; all other checks still apply to them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import (
+    BARRIER,
+    CONSUME,
+    DEADLOCK,
+    DOUBLE_POST,
+    POST,
+    UNMATCHED,
+    Event,
+    Finding,
+    ProtocolTrace,
+)
+
+#: (rank, index-within-rank-sequence) — a trace location.
+Loc = Tuple[int, int]
+#: (dst rank, segment, notification id) — a notification slot.
+Slot = Tuple[int, int, int]
+VectorClock = Tuple[int, ...]
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a trace to a feasible execution order."""
+
+    findings: List[Finding]
+    completed: bool
+    #: Every executed event in one feasible global order.
+    order: List[Loc] = field(default_factory=list)
+    #: Consume location → the post locations whose values it observed
+    #: (every post pending on the slot when the reset happened).
+    matches: Dict[Loc, List[Loc]] = field(default_factory=dict)
+    #: Post location → the consume that first observed it (if any).
+    consumed_by: Dict[Loc, Loc] = field(default_factory=dict)
+    #: Slot → its posts in delivery order.
+    slot_posts: Dict[Slot, List[Loc]] = field(default_factory=dict)
+
+
+def replay_trace(trace: ProtocolTrace) -> ReplayResult:
+    """Execute the per-rank sequences against board semantics.
+
+    Each rank runs to its next blocking point (a consume with nothing
+    pending, or a barrier); posts deliver immediately.  A global barrier
+    releases only when every rank is at one.  If no rank can advance, the
+    stuck state is diagnosed into findings (see module docstring).
+    """
+    num_ranks = trace.num_ranks
+    sequences = trace.events
+    position = [0] * num_ranks
+    pending: Dict[Slot, List[Loc]] = defaultdict(list)
+    result = ReplayResult(findings=[], completed=False)
+
+    def blocked(rank: int) -> Optional[Event]:
+        if position[rank] >= len(sequences[rank]):
+            return None
+        return sequences[rank][position[rank]]
+
+    while True:
+        progressed = False
+        for rank in range(num_ranks):
+            while position[rank] < len(sequences[rank]):
+                event = sequences[rank][position[rank]]
+                location = (rank, position[rank])
+                if event.kind == BARRIER:
+                    break
+                if event.kind == CONSUME:
+                    slot = (rank, event.segment, event.notif_id)
+                    waiting = pending.get(slot)
+                    if not waiting:
+                        break
+                    result.matches[location] = list(waiting)
+                    for post_loc in waiting:
+                        result.consumed_by.setdefault(post_loc, location)
+                    waiting.clear()
+                elif event.kind == POST and event.notif_id >= 0:
+                    slot = (event.dst, event.segment, event.notif_id)
+                    pending[slot].append(location)
+                    result.slot_posts.setdefault(slot, []).append(location)
+                result.order.append(location)
+                position[rank] += 1
+                progressed = True
+
+        remaining = [r for r in range(num_ranks) if position[r] < len(sequences[r])]
+        if not remaining:
+            result.completed = True
+            break
+        at_barrier = [r for r in remaining if sequences[r][position[r]].kind == BARRIER]
+        if len(at_barrier) == num_ranks:
+            # Everyone is at a barrier: release the group atomically so the
+            # barrier events are consecutive in the replay order (the
+            # vector-clock pass relies on this).
+            for rank in at_barrier:
+                result.order.append((rank, position[rank]))
+                position[rank] += 1
+            progressed = True
+        if not progressed:
+            _diagnose_stuck(trace, position, pending, result)
+            break
+    return result
+
+
+def _diagnose_stuck(
+    trace: ProtocolTrace,
+    position: Sequence[int],
+    pending: Dict[Slot, List[Loc]],
+    result: ReplayResult,
+) -> None:
+    """Classify a no-progress state into unmatched/deadlock findings."""
+    num_ranks = trace.num_ranks
+    sequences = trace.events
+    remaining = [r for r in range(num_ranks) if position[r] < len(sequences[r])]
+    finished = [r for r in range(num_ranks) if position[r] >= len(sequences[r])]
+    edges: Dict[int, List[int]] = {}
+
+    for rank in remaining:
+        event = sequences[rank][position[rank]]
+        if event.kind == BARRIER:
+            if finished:
+                result.findings.append(
+                    Finding(
+                        DEADLOCK,
+                        f"rank {rank} waits at a barrier that rank(s) "
+                        f"{finished} never reach",
+                        rank=rank,
+                    )
+                )
+            edges[rank] = [
+                r
+                for r in remaining
+                if r != rank and sequences[r][position[r]].kind != BARRIER
+            ]
+            continue
+        # Blocked consume: is there any unexecuted post for this slot?
+        slot = (rank, event.segment, event.notif_id)
+        posters = []
+        for src in range(num_ranks):
+            for later in sequences[src][position[src] :]:
+                if (
+                    later.kind == POST
+                    and later.notif_id == event.notif_id
+                    and later.segment == event.segment
+                    and later.dst == rank
+                ):
+                    posters.append(src)
+                    break
+        if posters:
+            edges[rank] = posters
+        else:
+            result.findings.append(
+                Finding(
+                    UNMATCHED,
+                    f"rank {rank} waits for notification {event.notif_id} on "
+                    f"segment {event.segment} but no rank ever posts it",
+                    rank=rank,
+                    segment=event.segment,
+                    notif_id=event.notif_id,
+                )
+            )
+
+    for cycle in _find_cycles(edges):
+        chain = " -> ".join(str(r) for r in cycle + [cycle[0]])
+        result.findings.append(
+            Finding(
+                DEADLOCK,
+                f"circular wait among ranks: {chain} (each blocks on a "
+                "notification the next would only post later)",
+                rank=cycle[0],
+            )
+        )
+    if not result.findings:
+        result.findings.append(
+            Finding(
+                DEADLOCK,
+                f"ranks {remaining} made no progress and no single blocker "
+                "could be isolated",
+                rank=remaining[0] if remaining else -1,
+            )
+        )
+
+
+def _find_cycles(edges: Dict[int, List[int]]) -> List[List[int]]:
+    """Elementary cycles of the (tiny) wait-for graph, one per SCC entry."""
+    cycles: List[List[int]] = []
+    seen_cycle_keys = set()
+    for start in sorted(edges):
+        stack = [(start, [start])]
+        visited = set()
+        while stack:
+            node, path = stack.pop()
+            for neighbour in edges.get(node, ()):
+                if neighbour == start and len(path) > 0:
+                    key = frozenset(path)
+                    if key not in seen_cycle_keys:
+                        seen_cycle_keys.add(key)
+                        cycles.append(path)
+                elif neighbour not in visited and neighbour in edges:
+                    visited.add(neighbour)
+                    stack.append((neighbour, path + [neighbour]))
+    return cycles
+
+
+def vc_leq(a: VectorClock, b: VectorClock) -> bool:
+    """Component-wise ≤ — ``a`` happens-before-or-equals ``b``."""
+    return all(x <= y for x, y in zip(a, b))
+
+
+def check_double_posts(
+    trace: ProtocolTrace,
+    replay: ReplayResult,
+    clocks: Dict[Loc, VectorClock],
+) -> List[Finding]:
+    """Flag posts that can overwrite an unconsumed notification value.
+
+    For consecutive posts ``p`` then ``q`` to the same slot, require a
+    consume of ``p`` that happens-before ``q``.  Un-reposted trailing
+    notifications (the final call's acks) are normal and not findings.
+    """
+    if trace.overwrite_tolerant:
+        return []
+    findings: List[Finding] = []
+    for (dst, segment, notif_id), posts in sorted(replay.slot_posts.items()):
+        for current, following in zip(posts, posts[1:]):
+            poster = current[0]
+            reposter = following[0]
+            consume = replay.consumed_by.get(current)
+            if consume is None:
+                findings.append(
+                    Finding(
+                        DOUBLE_POST,
+                        f"rank {reposter} re-posts notification {notif_id} on "
+                        f"rank {dst}'s segment {segment} while rank {poster}'s "
+                        "earlier post was never consumed — the first value is "
+                        "silently overwritten",
+                        rank=dst,
+                        segment=segment,
+                        notif_id=notif_id,
+                    )
+                )
+            elif consume not in clocks or following not in clocks:
+                continue  # stuck replay: the pair never executed
+            elif not vc_leq(clocks[consume], clocks[following]):
+                findings.append(
+                    Finding(
+                        DOUBLE_POST,
+                        f"rank {reposter}'s re-post of notification {notif_id} "
+                        f"on rank {dst}'s segment {segment} is not ordered "
+                        f"after rank {dst}'s consume of the previous value — "
+                        "under an adverse interleaving the notification is lost",
+                        rank=dst,
+                        segment=segment,
+                        notif_id=notif_id,
+                    )
+                )
+    return findings

@@ -1,0 +1,766 @@
+"""Symbolic execution of compiled collective plans.
+
+This module runs the *real* plan classes — the same ``__init__`` that
+freezes topology, offsets and notification layouts in production — over
+an in-memory :class:`ModelRuntime` whose operations are deterministic and
+instantaneous, and records every protocol action as an
+:class:`~repro.analysis.events.Event`.  The result is one event sequence
+per rank, over real payload bytes, for the checkers in
+:mod:`repro.analysis.deadlock`, :mod:`repro.analysis.races` and
+:mod:`repro.analysis.budget`.
+
+Two execution styles are bridged:
+
+* The three *pipelined* plans are generators already: ``begin(request)``
+  yields a :class:`~repro.core.pipeline.WaitSpec` whenever a wait would
+  block, so the model simply drives the real generator cooperatively.
+* The five *monolithic* plans block inline (``notify_waitsome`` with a
+  real timeout).  For these, :mod:`repro.analysis.model` carries one
+  *emitter* per plan class — a generator transliteration of the plan's
+  ``execute`` body, operating on the plan instance's own frozen operands
+  (slots, offsets, notification ids), that yields instead of blocking.
+  An emitter contains no schedule knowledge of its own: every offset and
+  id it uses comes from the constructed plan, so a planner bug is
+  faithfully reproduced in the trace.
+
+All rank programs run under a round-robin cooperative scheduler.  Because
+the model executes real NumPy payloads, callers can additionally check
+the *numerical* result of the modelled collective — the model is wrong if
+it cannot reproduce the algorithm's values, which keeps the emitters
+honest against the executors they mirror.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import kernels
+from ..core.bcast import _NOTIF_DATA, BstBcastPlan, FlatBcastPlan
+from ..core.allreduce_ring import RingAllreducePlan
+from ..core.allreduce_ssp import HypercubeAllreducePlan
+from ..core.plan import CollectivePlan, PlanKey, policy_fingerprint
+from ..core.policy import CollectiveRequest, ConsistencyPolicy
+from ..core.reduce import (
+    _NOTIF_ACK,
+    _NOTIF_DATA_BASE,
+    _NOTIF_READY_BASE,
+    BstReducePlan,
+)
+from ..core.reduction_ops import get_op
+from ..core.registry import REGISTRY
+from ..gaspi.constants import (
+    DEFAULT_NOTIFICATION_COUNT,
+    DEFAULT_NOTIFICATION_VALUE,
+    GASPI_BLOCK,
+)
+from ..gaspi.runtime import GaspiRuntime
+from .events import (
+    BARRIER,
+    CONSUME,
+    LOCAL_WRITE,
+    POST,
+    Event,
+    ProtocolTrace,
+    SegmentMeta,
+)
+
+Emitter = Generator[None, None, None]
+
+
+# --------------------------------------------------------------------------- #
+# model substrate
+# --------------------------------------------------------------------------- #
+class _TrackedView(np.ndarray):
+    """Segment view that records stores as ``write`` events.
+
+    Captures the two store idioms of the collectives: slice/scalar
+    assignment (staging copies) and ufunc calls with a segment-resident
+    ``out=`` (the fused folds of :mod:`repro.core.kernels`, which call
+    ``func(acc, contrib, out=acc)``).
+    """
+
+    _segment: Optional["ModelSegment"]
+
+    def __array_finalize__(self, obj: Optional[np.ndarray]) -> None:
+        self._segment = getattr(obj, "_segment", None)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        np.ndarray.__setitem__(self, key, value)
+        segment = getattr(self, "_segment", None)
+        if segment is None:
+            return
+        if isinstance(key, (int, np.integer)):
+            target = np.ndarray.__getitem__(self, slice(int(key), int(key) + 1))
+        else:
+            target = np.ndarray.__getitem__(self, key)
+        if isinstance(target, np.ndarray) and target.nbytes:
+            segment.record_store(target)
+
+    def __array_ufunc__(
+        self, ufunc: np.ufunc, method: str, *inputs: Any, **kwargs: Any
+    ) -> Any:
+        out = kwargs.get("out", ())
+        if out:
+            kwargs["out"] = tuple(
+                o.view(np.ndarray) if isinstance(o, _TrackedView) else o for o in out
+            )
+        plain = tuple(
+            x.view(np.ndarray) if isinstance(x, _TrackedView) else x for x in inputs
+        )
+        result = getattr(ufunc, method)(*plain, **kwargs)
+        for original in out:
+            if isinstance(original, _TrackedView):
+                segment = getattr(original, "_segment", None)
+                if segment is not None and original.nbytes:
+                    segment.record_store(original)
+        return result
+
+
+class ModelSegment:
+    """One rank's copy of a segment: bytes + notification slots."""
+
+    def __init__(
+        self, world: "ModelWorld", rank: int, segment_id: int, size: int, slots: int
+    ) -> None:
+        self.world = world
+        self.rank = rank
+        self.segment_id = segment_id
+        self.buffer = np.zeros(max(int(size), 1), dtype=np.uint8)
+        self.num_notifications = slots
+        #: Pending notification values, board semantics: a post *overwrites*
+        #: the slot — exactly the behaviour the double-post checker audits.
+        self.pending: Dict[int, int] = {}
+
+    @property
+    def base_address(self) -> int:
+        return int(self.buffer.__array_interface__["data"][0])
+
+    def view(self, dtype: Any, offset: int, count: Optional[int]) -> np.ndarray:
+        itemsize = np.dtype(dtype).itemsize
+        if count is None:
+            count = (self.buffer.size - offset) // itemsize
+        raw = self.buffer[offset : offset + count * itemsize]
+        tracked = raw.view(dtype).view(_TrackedView)
+        tracked._segment = self
+        return tracked
+
+    def record_store(self, target: np.ndarray) -> None:
+        offset = int(target.__array_interface__["data"][0]) - self.base_address
+        self.world.record(
+            Event(
+                kind=LOCAL_WRITE,
+                rank=self.rank,
+                segment=self.segment_id,
+                dst=self.rank,
+                offset=offset,
+                length=int(target.nbytes),
+            )
+        )
+
+
+class ModelWorld:
+    """All ranks' segments plus the recorded event sequences."""
+
+    def __init__(self, num_ranks: int) -> None:
+        self.num_ranks = num_ranks
+        self.events: List[List[Event]] = [[] for _ in range(num_ranks)]
+        self.segments: Dict[Tuple[int, int], ModelSegment] = {}
+        #: Monotone progress counter for the cooperative scheduler.
+        self.op_count = 0
+        self._runtimes = [ModelRuntime(self, r) for r in range(num_ranks)]
+
+    def runtime(self, rank: int) -> "ModelRuntime":
+        return self._runtimes[rank]
+
+    def record(self, event: Event) -> None:
+        self.events[event.rank].append(event)
+        self.op_count += 1
+
+    def segment(self, rank: int, segment_id: int) -> ModelSegment:
+        try:
+            return self.segments[(rank, segment_id)]
+        except KeyError:
+            raise KeyError(
+                f"rank {rank} references segment {segment_id} before creating it"
+            ) from None
+
+    def segment_metas(self) -> Dict[Tuple[int, int], SegmentMeta]:
+        return {
+            key: SegmentMeta(
+                rank=seg.rank,
+                segment_id=seg.segment_id,
+                size=seg.buffer.size,
+                num_notifications=seg.num_notifications,
+            )
+            for key, seg in self.segments.items()
+        }
+
+
+class ModelRuntime(GaspiRuntime):
+    """Deterministic in-memory :class:`GaspiRuntime` used by the model.
+
+    Data movement is immediate and in order; waits never block (a blocking
+    wait with nothing pending is a model bug and raises).  ``segment_bind``
+    is deliberately *not* implemented so ``supports_bind`` is False and the
+    pipelined broadcast takes its staging path, whose local copies the
+    tracked views can observe.
+    """
+
+    def __init__(self, world: ModelWorld, rank: int) -> None:
+        self._world = world
+        self._rank = rank
+
+    # -- identity ------------------------------------------------------- #
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._world.num_ranks
+
+    # -- segments ------------------------------------------------------- #
+    def segment_create(
+        self,
+        segment_id: int,
+        size: int,
+        num_notifications: int = DEFAULT_NOTIFICATION_COUNT,
+    ) -> None:
+        key = (self._rank, segment_id)
+        if key in self._world.segments:
+            raise ValueError(f"rank {self._rank}: segment {segment_id} already exists")
+        self._world.segments[key] = ModelSegment(
+            self._world, self._rank, segment_id, size, num_notifications
+        )
+
+    def segment_delete(self, segment_id: int) -> None:
+        self._world.segments.pop((self._rank, segment_id), None)
+
+    def segment_view(
+        self,
+        segment_id: int,
+        dtype: Any = np.float64,
+        offset: int = 0,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        return self._world.segment(self._rank, segment_id).view(dtype, offset, count)
+
+    def segment_size(self, segment_id: int) -> int:
+        return self._world.segment(self._rank, segment_id).buffer.size
+
+    def segment_read(
+        self,
+        segment_id: int,
+        dtype: Any = np.float64,
+        offset: int = 0,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        segment = self._world.segment(self._rank, segment_id)
+        itemsize = np.dtype(dtype).itemsize
+        if count is None:
+            count = (segment.buffer.size - offset) // itemsize
+        return segment.buffer[offset : offset + count * itemsize].view(dtype).copy()
+
+    # -- one-sided ------------------------------------------------------ #
+    def write(
+        self,
+        segment_id_local: int,
+        offset_local: int,
+        target_rank: int,
+        segment_id_remote: int,
+        offset_remote: int,
+        size: int,
+        queue: int = 0,
+    ) -> None:
+        self._transfer(
+            segment_id_local, offset_local, target_rank, segment_id_remote,
+            offset_remote, size,
+        )
+        self._world.record(
+            Event(
+                kind=POST,
+                rank=self._rank,
+                segment=segment_id_remote,
+                dst=target_rank,
+                offset=offset_remote,
+                length=size,
+                local_offset=offset_local,
+                note="write",
+            )
+        )
+
+    def notify(
+        self,
+        target_rank: int,
+        segment_id_remote: int,
+        notification_id: int,
+        notification_value: int = DEFAULT_NOTIFICATION_VALUE,
+        queue: int = 0,
+    ) -> None:
+        target = self._world.segment(target_rank, segment_id_remote)
+        target.pending[notification_id] = notification_value
+        self._world.record(
+            Event(
+                kind=POST,
+                rank=self._rank,
+                segment=segment_id_remote,
+                dst=target_rank,
+                notif_id=notification_id,
+                value=notification_value,
+            )
+        )
+
+    def write_notify(
+        self,
+        segment_id_local: int,
+        offset_local: int,
+        target_rank: int,
+        segment_id_remote: int,
+        offset_remote: int,
+        size: int,
+        notification_id: int,
+        notification_value: int = DEFAULT_NOTIFICATION_VALUE,
+        queue: int = 0,
+    ) -> None:
+        self._transfer(
+            segment_id_local, offset_local, target_rank, segment_id_remote,
+            offset_remote, size,
+        )
+        target = self._world.segment(target_rank, segment_id_remote)
+        target.pending[notification_id] = notification_value
+        self._world.record(
+            Event(
+                kind=POST,
+                rank=self._rank,
+                segment=segment_id_remote,
+                dst=target_rank,
+                offset=offset_remote,
+                length=size,
+                notif_id=notification_id,
+                value=notification_value,
+                local_offset=offset_local,
+            )
+        )
+
+    def _transfer(
+        self,
+        segment_id_local: int,
+        offset_local: int,
+        target_rank: int,
+        segment_id_remote: int,
+        offset_remote: int,
+        size: int,
+    ) -> None:
+        source = self._world.segment(self._rank, segment_id_local)
+        target = self._world.segment(target_rank, segment_id_remote)
+        data = source.buffer[offset_local : offset_local + size]
+        target.buffer[offset_remote : offset_remote + size] = data
+
+    # -- weak synchronisation ------------------------------------------- #
+    def notify_waitsome(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count: Optional[int] = None,
+        timeout: float = GASPI_BLOCK,
+    ) -> Optional[int]:
+        segment = self._world.segment(self._rank, segment_id_local)
+        if notification_count is None:
+            notification_count = segment.num_notifications - notification_begin
+        end = notification_begin + notification_count
+        pending = [
+            nid
+            for nid, value in segment.pending.items()
+            if value > 0 and notification_begin <= nid < end
+        ]
+        if pending:
+            return min(pending)
+        if timeout == GASPI_BLOCK or timeout > 0:
+            raise RuntimeError(
+                f"rank {self._rank}: blocking notify_waitsome([{notification_begin}, "
+                f"{end}) on segment {segment_id_local}) inside the model — emitters "
+                "must poll with timeout=0 and yield"
+            )
+        return None
+
+    def notify_reset(self, segment_id_local: int, notification_id: int) -> int:
+        segment = self._world.segment(self._rank, segment_id_local)
+        value = segment.pending.pop(notification_id, 0)
+        if value > 0:
+            self._world.record(
+                Event(
+                    kind=CONSUME,
+                    rank=self._rank,
+                    segment=segment_id_local,
+                    dst=self._rank,
+                    notif_id=notification_id,
+                    value=value,
+                )
+            )
+        return value
+
+    def notify_peek(self, segment_id_local: int, notification_id: int) -> int:
+        segment = self._world.segment(self._rank, segment_id_local)
+        return segment.pending.get(notification_id, 0)
+
+    # -- queues / synchronisation --------------------------------------- #
+    def wait(self, queue: int = 0, timeout: float = GASPI_BLOCK) -> None:
+        return None
+
+    def barrier(self, group: Any = None, timeout: float = GASPI_BLOCK) -> None:
+        self._world.record(Event(kind=BARRIER, rank=self._rank))
+
+
+# --------------------------------------------------------------------------- #
+# emitters: generator transliterations of the monolithic plan executors
+# --------------------------------------------------------------------------- #
+def _consume(
+    rt: GaspiRuntime, segment_id: int, notif_id: int
+) -> Generator[None, None, int]:
+    """Poll for one notification, yielding while absent; reset and return it."""
+    while rt.notify_waitsome(segment_id, notif_id, 1, timeout=0.0) is None:
+        yield
+    return rt.notify_reset(segment_id, notif_id)
+
+
+def _emit_bst_bcast(plan: BstBcastPlan, request: CollectiveRequest) -> Emitter:
+    buffer = np.asarray(request.sendbuf)
+    rt = plan.runtime
+    sid = plan.segment_id
+    send = plan.send_elems
+    if rt.rank == plan.key.root:
+        plan._staging[:send] = buffer[:send]
+    else:
+        yield from _consume(rt, sid, _NOTIF_DATA)
+        buffer[:send] = plan._staging[:send]
+    if plan.children:
+        if plan.calls:
+            for slot in plan.child_ack_slots:
+                yield from _consume(rt, sid, slot)
+        for child in plan.children:
+            rt.write_notify(sid, 0, child, sid, 0, plan.send_bytes, _NOTIF_DATA)
+        rt.wait(0)
+    if plan.parent is not None:
+        rt.notify(plan.parent, sid, plan.parent_ack_slot)
+        rt.wait(0)
+    plan.calls += 1
+
+
+def _emit_flat_bcast(plan: FlatBcastPlan, request: CollectiveRequest) -> Emitter:
+    buffer = np.asarray(request.sendbuf)
+    rt = plan.runtime
+    sid = plan.segment_id
+    send = plan.send_elems
+    if rt.rank == plan.key.root:
+        if plan.calls:
+            for slot in plan.peer_ack_slots:
+                yield from _consume(rt, sid, slot)
+        plan._staging[:send] = buffer[:send]
+        for peer in plan.peers:
+            rt.write_notify(sid, 0, peer, sid, 0, plan.send_bytes, _NOTIF_DATA)
+        rt.wait(0)
+    else:
+        yield from _consume(rt, sid, _NOTIF_DATA)
+        buffer[:send] = plan._staging[:send]
+        rt.notify(plan.key.root, sid, plan.ack_slot)
+        rt.wait(0)
+    plan.calls += 1
+
+
+def _emit_bst_reduce(plan: BstReducePlan, request: CollectiveRequest) -> Emitter:
+    sendbuf = np.asarray(request.sendbuf)
+    operator = get_op(request.op)
+    rt = plan.runtime
+    sid = plan.segment_id
+    reduce_elems = plan.reduce_elems
+    contributors = 1 if plan.participating else 0
+    if plan.participating:
+        accumulator = sendbuf[:reduce_elems].astype(plan.dtype, copy=True)
+        for child in plan.children:
+            rt.notify(child, sid, _NOTIF_READY_BASE)
+        if plan.children:
+            rt.wait(0)
+        for child, child_index, slot in zip(
+            plan.children, plan.child_indices, plan._child_slots
+        ):
+            value = yield from _consume(rt, sid, _NOTIF_DATA_BASE + child_index)
+            contributors += max(1, value) if value else 1
+            kernels.reduce_into(operator, accumulator, slot)
+            rt.notify(child, sid, _NOTIF_ACK)
+        if plan.children:
+            rt.wait(0)
+        if rt.rank == plan.key.root:
+            if request.recvbuf is not None:
+                np.asarray(request.recvbuf)[:reduce_elems] = accumulator
+        else:
+            yield from _consume(rt, sid, _NOTIF_READY_BASE)
+            plan._staging[:] = accumulator
+            rt.write_notify(
+                sid,
+                0,
+                plan.parent,
+                sid,
+                plan.my_index * plan.reduce_bytes,
+                plan.reduce_bytes,
+                _NOTIF_DATA_BASE + plan.my_index,
+                max(1, contributors),
+            )
+            rt.wait(0)
+            yield from _consume(rt, sid, _NOTIF_ACK)
+    plan.calls += 1
+
+
+def _emit_ring_allreduce(plan: RingAllreducePlan, request: CollectiveRequest) -> Emitter:
+    sendbuf = np.asarray(request.sendbuf)
+    operator = get_op(request.op)
+    rt = plan.runtime
+    sid = plan.segment_id
+    itemsize = plan.dtype.itemsize
+    recvbuf = np.asarray(request.recvbuf) if request.recvbuf is not None else None
+    if rt.size == 1:
+        if recvbuf is not None:
+            recvbuf[:] = sendbuf
+        plan.calls += 1
+        return
+    work = sendbuf.astype(plan.dtype, copy=True)
+    for i, (step, (s_begin, s_end), (r_begin, r_end), reduce_step) in enumerate(
+        plan.steps
+    ):
+        send_slot = plan._send_slots[i]
+        if send_slot is not None:
+            send_slot[:] = work[s_begin:s_end]
+            rt.write_notify(
+                sid,
+                plan.send_region + step * plan.slot_bytes,
+                plan.next_rank,
+                sid,
+                step * plan.slot_bytes,
+                (s_end - s_begin) * itemsize,
+                step,
+            )
+        else:
+            rt.notify(plan.next_rank, sid, step)
+        rt.wait(0)
+        yield from _consume(rt, sid, step)
+        recv_slot = plan._recv_slots[i]
+        if recv_slot is not None:
+            if reduce_step:
+                kernels.reduce_into(operator, work[r_begin:r_end], recv_slot)
+            else:
+                work[r_begin:r_end] = recv_slot
+    if recvbuf is not None:
+        recvbuf[:] = work
+    plan.calls += 1
+
+
+def _emit_ssp_allreduce(
+    plan: HypercubeAllreducePlan, request: CollectiveRequest
+) -> Emitter:
+    """Transliteration of :meth:`SSPAllreduce.reduce` (Algorithm 1).
+
+    ``_send_partial`` and ``_read_mailbox`` are non-blocking and reused
+    directly from the instance; only the stale-wait loop is rewritten to
+    yield instead of sleeping.
+    """
+    instance = plan.instance
+    rt = instance.runtime
+    sid = instance.segment_id
+    contribution = np.ascontiguousarray(request.sendbuf, dtype=instance.dtype)
+    instance.clock += 1
+    min_clock_accepted = instance.clock - instance.slack
+    part_red = contribution.copy()
+    part_clock = instance.clock
+    for k in range(instance.dimensions):
+        partner = instance.hypercube.partner(rt.rank, k)
+        instance._send_partial(partner, k, part_red, part_clock)
+        rcv_clock, rcv_data = instance._read_mailbox(k)
+        if rcv_clock < min_clock_accepted:
+            while True:
+                got = rt.notify_waitsome(sid, k, 1, timeout=0.0)
+                if got is not None:
+                    rt.notify_reset(sid, got)
+                rcv_clock, rcv_data = instance._read_mailbox(k)
+                if rcv_clock >= min_clock_accepted:
+                    break
+                yield
+        else:
+            if rt.notify_peek(sid, k):
+                rt.notify_reset(sid, k)
+        kernels.reduce_into(instance.op, part_red, rcv_data)
+        part_clock = min(part_clock, int(rcv_clock))
+    if request.recvbuf is not None:
+        np.asarray(request.recvbuf)[:] = part_red
+    plan.calls += 1
+
+
+def _drive_pipelined(plan: CollectivePlan, request: CollectiveRequest) -> Emitter:
+    """Cooperatively drive a pipelined plan's real ``begin()`` generator."""
+    rt = plan.runtime
+    gen = plan.begin(request)  # type: ignore[attr-defined]
+    while True:
+        try:
+            spec = next(gen)
+        except StopIteration:
+            return
+        while (
+            rt.notify_waitsome(spec.segment_id, spec.first, spec.count, timeout=0.0)
+            is None
+        ):
+            yield
+
+
+_EMITTERS: Dict[type, Callable[[Any, CollectiveRequest], Emitter]] = {
+    BstBcastPlan: _emit_bst_bcast,
+    FlatBcastPlan: _emit_flat_bcast,
+    BstReducePlan: _emit_bst_reduce,
+    RingAllreducePlan: _emit_ring_allreduce,
+    HypercubeAllreducePlan: _emit_ssp_allreduce,
+}
+
+
+def _emitter_for(plan: CollectivePlan) -> Callable[[Any, CollectiveRequest], Emitter]:
+    if hasattr(plan, "begin"):
+        return _drive_pipelined
+    try:
+        return _EMITTERS[type(plan)]
+    except KeyError:
+        raise NotImplementedError(
+            f"no symbolic emitter for plan class {type(plan).__name__}"
+        ) from None
+
+
+# --------------------------------------------------------------------------- #
+# cooperative scheduler and entry point
+# --------------------------------------------------------------------------- #
+@dataclass
+class ModelRun:
+    """A completed symbolic execution: the trace plus the data it computed."""
+
+    trace: ProtocolTrace
+    world: ModelWorld
+    plans: List[CollectivePlan]
+    sendbufs: List[np.ndarray]
+    recvbufs: List[Optional[np.ndarray]]
+    algorithm: str = ""
+    stalled_ranks: List[int] = field(default_factory=list)
+
+
+def _run_cooperative(world: ModelWorld, programs: List[Iterator[None]]) -> List[int]:
+    """Round-robin the rank programs to completion; return stalled ranks."""
+    live: Dict[int, Iterator[None]] = dict(enumerate(programs))
+    while live:
+        progressed = False
+        for rank in sorted(live):
+            before = world.op_count
+            try:
+                next(live[rank])
+            except StopIteration:
+                del live[rank]
+                progressed = True
+                continue
+            if world.op_count != before:
+                progressed = True
+        if not progressed:
+            return sorted(live)
+    return []
+
+
+def build_model(
+    algorithm: str,
+    num_ranks: int,
+    nbytes: int = 256,
+    *,
+    root: int = 0,
+    op: str = "sum",
+    chunk_bytes: Optional[int] = None,
+    calls: int = 2,
+    segment_id: int = 23,
+) -> ModelRun:
+    """Symbolically execute ``calls`` back-to-back planned collectives.
+
+    Builds the real compiled plan of ``algorithm`` on every rank of a
+    ``num_ranks``-rank :class:`ModelWorld` (float64 payloads of ``nbytes``
+    bytes), runs ``calls`` consecutive calls per rank under the
+    cooperative scheduler — two calls exercise every cross-call
+    consume-ack handshake — and returns the recorded
+    :class:`~repro.analysis.events.ProtocolTrace` together with the
+    payload buffers for numerical validation.
+    """
+    info = REGISTRY.get(algorithm)
+    if not info.plannable:
+        raise ValueError(f"algorithm {algorithm!r} has no compiled plan to verify")
+    dtype = np.dtype(np.float64)
+    elements = max(1, nbytes // dtype.itemsize)
+    nbytes = elements * dtype.itemsize
+    policy = ConsistencyPolicy(chunk_bytes=chunk_bytes)
+    key = PlanKey(
+        collective=info.collective,
+        algorithm=algorithm,
+        size=num_ranks,
+        root=root,
+        nbytes=nbytes,
+        dtype=dtype.str,
+        op=op,
+        policy=policy_fingerprint(policy),
+    )
+
+    world = ModelWorld(num_ranks)
+    plans = [
+        info.plan(world.runtime(rank), key, segment_id, policy)
+        for rank in range(num_ranks)
+    ]
+
+    sendbufs: List[np.ndarray] = []
+    recvbufs: List[Optional[np.ndarray]] = []
+    for rank in range(num_ranks):
+        if info.collective == "bcast":
+            if rank == root:
+                sendbufs.append(np.arange(elements, dtype=dtype) + 1.0)
+            else:
+                sendbufs.append(np.zeros(elements, dtype=dtype))
+            recvbufs.append(None)
+        else:
+            sendbufs.append(np.arange(elements, dtype=dtype) + rank + 1.0)
+            recvbufs.append(np.zeros(elements, dtype=dtype))
+
+    emit = _emitter_for(plans[0])
+
+    def rank_program(rank: int) -> Emitter:
+        for _ in range(calls):
+            request = CollectiveRequest(
+                collective=info.collective,
+                sendbuf=sendbufs[rank],
+                recvbuf=recvbufs[rank],
+                root=root,
+                op=op,
+                policy=policy,
+                segment_id=segment_id,
+            )
+            yield from emit(plans[rank], request)
+
+    stalled = _run_cooperative(world, [rank_program(r) for r in range(num_ranks)])
+
+    chunk_label = "-" if chunk_bytes is None else str(chunk_bytes)
+    trace = ProtocolTrace(
+        name=(
+            f"{algorithm}[ranks={num_ranks}, root={root}, nbytes={nbytes}, "
+            f"chunk_bytes={chunk_label}, calls={calls}]"
+        ),
+        num_ranks=num_ranks,
+        events=world.events,
+        segments=world.segment_metas(),
+        overwrite_tolerant=isinstance(plans[0], HypercubeAllreducePlan),
+        stalled_ranks=stalled,
+    )
+    return ModelRun(
+        trace=trace,
+        world=world,
+        plans=plans,
+        sendbufs=sendbufs,
+        recvbufs=recvbufs,
+        algorithm=algorithm,
+        stalled_ranks=stalled,
+    )

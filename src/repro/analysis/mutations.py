@@ -1,0 +1,178 @@
+"""Seeded schedule corruptions — the analyzer's own regression fixtures.
+
+Each function takes a *clean* :class:`~repro.analysis.events.ProtocolTrace`
+and returns a copy with one deliberate protocol defect planted in it.
+The test suite asserts that :func:`repro.analysis.analyze` flags each
+corrupted trace with exactly the finding class the defect belongs to —
+a checker that stays silent on its own defect class, or that misfiles a
+defect under a different class, fails the suite.
+
+The defects mirror real bug patterns in hand-built one-sided schedules:
+a forgotten ``notify`` (drop), a consume hoisted above the post that
+funds it (deadlock), a copy-paste error in a chunk-id map (duplicate
+id), a handshake shortened by "obviously unnecessary" acks (lost
+notification), a missing entry fence (data race), and an off-by-range
+slice of the notification board or workspace (budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Optional
+
+from .events import CONSUME, POST, Event, ProtocolTrace
+
+
+def _first_post_location(
+    trace: ProtocolTrace, rank: Optional[int], data_only: bool
+) -> tuple:
+    ranks = range(trace.num_ranks) if rank is None else (rank,)
+    for r in ranks:
+        for i, event in enumerate(trace.events[r]):
+            if event.kind != POST or event.notif_id < 0:
+                continue
+            if data_only and event.length <= 0:
+                continue
+            return r, i
+    raise ValueError("trace contains no matching post event to mutate")
+
+
+def drop_notify(trace: ProtocolTrace, rank: Optional[int] = None) -> ProtocolTrace:
+    """Delete one rank's posts to its first notification slot.
+
+    A forgotten ``notify`` is a source-level bug, so it is missing in
+    *every* call of the schedule — all of the rank's posts to the slot go,
+    not just the first, otherwise a later call's post would turn the
+    starvation into an ordinary wait-for edge.  Expected finding class:
+    ``unmatched-notification`` — the consumer waits on a slot nobody will
+    ever fund.
+    """
+    mutated = trace.copy()
+    r, i = _first_post_location(mutated, rank, data_only=False)
+    anchor = mutated.events[r][i]
+    slot = (anchor.dst, anchor.segment, anchor.notif_id)
+    mutated.events[r] = [
+        event
+        for event in mutated.events[r]
+        if not (
+            event.kind == POST
+            and (event.dst, event.segment, event.notif_id) == slot
+        )
+    ]
+    mutated.name += " +drop_notify"
+    return mutated
+
+
+def hoist_first_consume(trace: ProtocolTrace) -> ProtocolTrace:
+    """Move every rank's first consume to the front of its sequence.
+
+    Models a schedule that waits before it sends.  On a ring (each rank
+    funds its successor), this creates a circular wait: expected finding
+    class ``deadlock``.
+    """
+    mutated = trace.copy()
+    for r in range(mutated.num_ranks):
+        sequence = mutated.events[r]
+        for i, event in enumerate(sequence):
+            if event.kind == CONSUME:
+                sequence.insert(0, sequence.pop(i))
+                break
+    mutated.name += " +hoist_first_consume"
+    return mutated
+
+
+def duplicate_chunk_id(trace: ProtocolTrace) -> ProtocolTrace:
+    """Reassign a chunk's notification id onto its neighbour's slot.
+
+    The classic copy-paste error in a hand-built id map: two transfers of
+    one sender to one destination end up posting the *same* id, and the
+    intended id is never posted.  Expected finding classes:
+    ``double-post`` (the shared slot is overwritten unconsumed) plus
+    ``unmatched-notification`` (the orphaned slot's consumer starves).
+    """
+    mutated = trace.copy()
+    for r in range(mutated.num_ranks):
+        sequence = mutated.events[r]
+        first: Optional[int] = None
+        for i, event in enumerate(sequence):
+            if event.kind != POST or event.length <= 0 or event.notif_id < 0:
+                continue
+            if first is None:
+                first = i
+                continue
+            anchor = sequence[first]
+            if event.dst == anchor.dst and event.notif_id != anchor.notif_id:
+                sequence[first] = anchor.with_notif_id(event.notif_id)
+                mutated.name += " +duplicate_chunk_id"
+                return mutated
+    raise ValueError("trace has no same-destination chunk posts to collide")
+
+
+def drop_consumes(
+    trace: ProtocolTrace, rank: int, notif_ids: Iterable[int]
+) -> ProtocolTrace:
+    """Delete ``rank``'s consumes of the given notification ids.
+
+    The generic "shrunk handshake" mutation.  Dropping a plan's
+    previous-call ack consumes yields ``double-post`` (the acked slot —
+    and the data slot it guards — can be overwritten unconsumed);
+    dropping a pipelined ring's entry-fence consume additionally yields
+    ``data-race`` (the predecessor's writes are no longer ordered after
+    the local payload initialisation).
+    """
+    wanted = set(notif_ids)
+    mutated = trace.copy()
+    mutated.events[rank] = [
+        event
+        for event in mutated.events[rank]
+        if not (event.kind == CONSUME and event.notif_id in wanted)
+    ]
+    mutated.name += " +drop_consumes"
+    return mutated
+
+
+def corrupt_notification_id(trace: ProtocolTrace) -> ProtocolTrace:
+    """Shift one notification slot wholly outside the board budget.
+
+    Both sides of the handshake compute the same wrong id (as a mis-built
+    ``NotificationLayout`` range would), so the schedule still matches up
+    — only the budget check can see the defect.  Expected finding class:
+    ``budget``.
+    """
+    mutated = trace.copy()
+    r, i = _first_post_location(mutated, None, data_only=False)
+    anchor = mutated.events[r][i]
+    slot = (anchor.dst, anchor.segment, anchor.notif_id)
+    meta = mutated.segments.get((anchor.dst, anchor.segment))
+    bogus = (meta.num_notifications if meta else 1 << 20) + 7
+    for rank in range(mutated.num_ranks):
+        sequence = mutated.events[rank]
+        for j, event in enumerate(sequence):
+            if event.kind == POST and (
+                event.dst, event.segment, event.notif_id
+            ) == slot:
+                sequence[j] = event.with_notif_id(bogus)
+            elif event.kind == CONSUME and (
+                event.rank, event.segment, event.notif_id
+            ) == slot:
+                sequence[j] = event.with_notif_id(bogus)
+    mutated.name += " +corrupt_notification_id"
+    return mutated
+
+
+def corrupt_offset(trace: ProtocolTrace) -> ProtocolTrace:
+    """Slide one transfer's staging slice past the end of its workspace.
+
+    The source offset of a ``write_notify`` overruns the local segment —
+    a mis-sized staging pool.  The destination, the notification and the
+    matching are untouched, so every other checker stays clean.  Expected
+    finding class: ``budget`` (source overflow).
+    """
+    mutated = trace.copy()
+    r, i = _first_post_location(mutated, None, data_only=True)
+    anchor = mutated.events[r][i]
+    meta = mutated.segments.get((anchor.rank, anchor.segment))
+    size = meta.size if meta else 0
+    mutated.events[r][i] = replace(anchor, local_offset=max(size - 1, 0))
+    mutated.name += " +corrupt_offset"
+    return mutated

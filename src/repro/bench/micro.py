@@ -368,6 +368,64 @@ def run_overlap_measurement(
     return records, rows
 
 
+def run_trace_measurement(
+    collective: str = "allreduce",
+    algorithm: str = "gaspi_allreduce_ring",
+    nbytes: int = 16_384,
+    ranks: int = 8,
+    iterations: int = 5,
+) -> Dict[str, object]:
+    """One micro cell under :class:`~repro.analysis.TracingRuntime`.
+
+    Runs the cell twice on the threaded backend — bare, then with every
+    rank's runtime wrapped in a tracing recorder — replays the recorded
+    execution through the static checkers (no findings expected on a
+    clean run), and reports the tracing overhead.  The overhead is real:
+    every post/consume allocates an event and ``notify_drain`` falls back
+    to the per-slot base-class loop so each reset is observed, which is
+    why tracing is off by default and lives behind ``--trace``.
+    """
+    from ..analysis import TraceSink, analyze
+
+    def timed(sink):
+        def worker(runtime):
+            rt = runtime.traced(sink) if sink is not None else runtime
+            comm = Communicator(rt)
+            elements = max(1, nbytes // 8)
+            sendbuf = np.full(elements, float(rt.rank) + 1.0, dtype=np.float64)
+            recvbuf = np.empty_like(sendbuf)
+            call = _collective_caller(comm, collective, algorithm, sendbuf, recvbuf)
+            call()  # warmup: compiles the plan
+            rt.barrier()
+            start = time.perf_counter()
+            for _ in range(iterations):
+                call()
+            elapsed = time.perf_counter() - start
+            rt.barrier()
+            comm.close()
+            return elapsed / iterations
+
+        per_rank = run_backend(ranks, worker, backend="threaded")
+        return max(per_rank)
+
+    base_latency = timed(None)
+    sink = TraceSink(ranks)
+    traced_latency = timed(sink)
+    trace = sink.trace(name=f"{algorithm}[traced, ranks={ranks}, nbytes={nbytes}]")
+    findings = analyze(trace)
+    return {
+        "collective": collective,
+        "algorithm": algorithm,
+        "ranks": ranks,
+        "payload_bytes": nbytes,
+        "events": trace.total_events(),
+        "findings": [finding.describe() for finding in findings],
+        "base_seconds": base_latency,
+        "traced_seconds": traced_latency,
+        "overhead": traced_latency / base_latency if base_latency else float("inf"),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--backend", choices=BACKENDS + ("both",),
@@ -387,7 +445,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="skip the ML overlap measurement")
     parser.add_argument("--out", type=str, default=DEFAULT_OUT,
                         help=f"JSON report path (default: {DEFAULT_OUT})")
+    parser.add_argument("--trace", action="store_true",
+                        help="run one cell under TracingRuntime, replay it "
+                             "through the static checkers and report the "
+                             "tracing overhead (skips the sweep)")
     args = parser.parse_args(argv)
+
+    if args.trace:
+        row = run_trace_measurement(ranks=args.ranks)
+        print(format_kv_table(
+            [{k: v for k, v in row.items() if k != "findings"}],
+            title="traced cell (threaded backend)",
+        ))
+        if row["findings"]:
+            print("\nfindings:")
+            for finding in row["findings"]:
+                print(f"  {finding}")
+            return 1
+        print("\ntrace replay clean: no findings")
+        return 0
 
     sizes: Sequence[int]
     if args.sizes:

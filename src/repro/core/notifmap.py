@@ -98,6 +98,11 @@ class NotificationLayout:
         """Total ids allocated so far."""
         return self._next
 
+    @property
+    def remaining(self) -> int:
+        """Ids still available before the budget is exhausted."""
+        return self.budget - self._next
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         ranges = ", ".join(
             f"{r.name}=[{r.base},{r.end})" for r in self._ranges.values()

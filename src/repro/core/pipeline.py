@@ -597,6 +597,15 @@ class PipelinedBstBcastPlan(CollectivePlan):
         ]
         self.zero_copy = runtime.supports_bind
         self._bound: Optional[np.ndarray] = None
+        # Budget check: the chunk map is sliced by hand below, so prove
+        # here — once, on every rank alike — that the last chunk ends
+        # inside the workspace the next line creates.
+        require(
+            not self._byte_bounds
+            or self._byte_bounds[-1][1] <= max(key.nbytes, 8),
+            f"pipelined bcast chunk map overruns the workspace: last chunk "
+            f"ends at byte {self._byte_bounds[-1][1]} of {max(key.nbytes, 8)}",
+        )
         self._create_workspace(key.nbytes)
         self._staging = (
             None
@@ -777,6 +786,20 @@ class PipelinedBstReducePlan(CollectivePlan):
                 (1 + self.my_index) * self.reduce_bytes + bb
                 for bb, _ in self._byte_bounds
             ]
+            # Budget check: the push offsets index the *parent's* slot
+            # table, which the parent sizes from its own child count —
+            # prove every push lands inside it before any call posts.
+            parent_slots = max(1, len(self.tree.children(self.parent)))
+            parent_workspace = (1 + parent_slots) * max(key.nbytes, 8)
+            last_bb, last_be = self._byte_bounds[-1]
+            require(
+                self._push_offsets[-1] + (last_be - last_bb)
+                <= parent_workspace,
+                f"pipelined reduce push-up overruns the parent's workspace: "
+                f"slot {self.my_index} chunk {C - 1} ends at byte "
+                f"{self._push_offsets[-1] + (last_be - last_bb)} of "
+                f"{parent_workspace}",
+            )
         # Segment layout: the accumulator in [0, reduce_bytes), then one
         # full-width slot per child.
         slot_count = max(1, len(self.children_all))
@@ -1057,7 +1080,21 @@ class PipelinedRingAllreducePlan(CollectivePlan):
             self.steps.append((sends, recvs, fold))
         if size > 1:
             slot_region = self.scatter_steps * self.subs * self.sub_slot_bytes
-            self._create_workspace(max(key.nbytes, 8) + slot_region)
+            workspace_bytes = max(key.nbytes, 8) + slot_region
+            # Budget check: the step table's remote offsets are computed by
+            # hand (scatter slots past the work region, allgather writes
+            # into the work region itself) — prove every send of every
+            # step lands inside the workspace created just below.
+            for sends, _recvs, _fold in self.steps:
+                for nid, _local, remote, send_bytes in sends:
+                    require(
+                        0 <= remote and remote + send_bytes <= workspace_bytes,
+                        f"ring step table overruns the workspace: send for "
+                        f"notification {nid} covers bytes "
+                        f"[{remote}, {remote + send_bytes}) of "
+                        f"{workspace_bytes}",
+                    )
+            self._create_workspace(workspace_bytes)
             self._work = runtime.segment_view(
                 segment_id, dtype=self.dtype, count=self.elements
             )

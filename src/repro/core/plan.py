@@ -182,7 +182,7 @@ class CollectivePlan:
     # ------------------------------------------------------------------ #
     def _create_workspace(self, nbytes: int, num_notifications: Optional[int] = None) -> None:
         """Register the pooled segment on every rank and synchronise once."""
-        kwargs = {}
+        kwargs: Dict[str, int] = {}
         if num_notifications is not None:
             kwargs["num_notifications"] = num_notifications
         self.runtime.segment_create(self.segment_id, max(int(nbytes), 8), **kwargs)

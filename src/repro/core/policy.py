@@ -213,7 +213,7 @@ def coerce_policy(
         return STRICT
     return ConsistencyPolicy(
         threshold=threshold if threshold is not None else 1.0,
-        mode=mode if mode is not None else ReduceMode.DATA,
+        mode=ReduceMode(mode) if mode is not None else ReduceMode.DATA,
         slack=slack if slack is not None else 0,
     )
 

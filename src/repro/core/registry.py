@@ -83,6 +83,14 @@ class AlgorithmCapabilities:
         ``chunk_bytes`` kwarg, and — because pipelines expose an
         incremental ``begin()`` executor — it can back the nonblocking
         ``ibcast``/``ireduce``/``iallreduce`` API.
+    verified:
+        The algorithm's compiled plan is covered by the static schedule
+        verifier (:mod:`repro.analysis`): ``python -m repro.analysis
+        --all`` models it at several rank counts/payloads and checks
+        notification matching, deadlock freedom, happens-before data-race
+        freedom and notification/offset budgets.  Set for every plannable
+        algorithm; schedule-only and cold-path-only entries are not
+        modelled and keep the default.
     """
 
     supports_threshold: bool = False
@@ -96,6 +104,7 @@ class AlgorithmCapabilities:
     fault_tolerant: bool = False
     plannable: bool = False
     pipelined: bool = False
+    verified: bool = False
 
     def unsupported_reason(
         self,
@@ -568,7 +577,7 @@ def _register_core_algorithms() -> None:
         runner=_run_bcast_bst,
         planner=_plan_bcast_bst,
         capabilities=AlgorithmCapabilities(
-            supports_threshold=True, modes=("data",), plannable=True
+            supports_threshold=True, modes=("data",), plannable=True, verified=True
         ),
         description="Binomial spanning tree broadcast with data threshold (paper III-B)",
     )
@@ -580,7 +589,7 @@ def _register_core_algorithms() -> None:
         runner=_run_bcast_flat,
         planner=_plan_bcast_flat,
         capabilities=AlgorithmCapabilities(
-            supports_threshold=True, modes=("data",), plannable=True
+            supports_threshold=True, modes=("data",), plannable=True, verified=True
         ),
         description="Flat broadcast: P-1 write_notify calls from the root",
     )
@@ -596,6 +605,7 @@ def _register_core_algorithms() -> None:
             modes=("data", "processes"),
             supports_op=True,
             plannable=True,
+            verified=True,
         ),
         description="Binomial spanning tree reduce with data/process threshold (paper III-B)",
     )
@@ -606,7 +616,9 @@ def _register_core_algorithms() -> None:
         builder=ring_allreduce_schedule,
         runner=_run_allreduce_ring,
         planner=_plan_allreduce_ring,
-        capabilities=AlgorithmCapabilities(supports_op=True, plannable=True),
+        capabilities=AlgorithmCapabilities(
+            supports_op=True, plannable=True, verified=True
+        ),
         description="Segmented pipelined ring allreduce with notifications (paper IV-A)",
     )
     REGISTRY.register(
@@ -621,6 +633,7 @@ def _register_core_algorithms() -> None:
             supports_slack=True,
             requires_power_of_two=True,
             plannable=True,
+            verified=True,
         ),
         description="Hypercube allreduce underlying allreduce_SSP (paper III-A)",
     )
@@ -638,7 +651,11 @@ def _register_core_algorithms() -> None:
         runner=_run_bcast_pipelined,
         planner=_plan_bcast_pipelined,
         capabilities=AlgorithmCapabilities(
-            supports_threshold=True, modes=("data",), plannable=True, pipelined=True
+            supports_threshold=True,
+            modes=("data",),
+            plannable=True,
+            pipelined=True,
+            verified=True,
         ),
         description=(
             "Chunked pipelined BST broadcast: per-chunk notifications, "
@@ -658,6 +675,7 @@ def _register_core_algorithms() -> None:
             supports_op=True,
             plannable=True,
             pipelined=True,
+            verified=True,
         ),
         description=(
             "Chunked pipelined BST reduce: per-chunk folds pushed up the "
@@ -672,7 +690,7 @@ def _register_core_algorithms() -> None:
         runner=_run_allreduce_pipelined,
         planner=_plan_allreduce_pipelined,
         capabilities=AlgorithmCapabilities(
-            supports_op=True, plannable=True, pipelined=True
+            supports_op=True, plannable=True, pipelined=True, verified=True
         ),
         description=(
             "Chunked ring allreduce: multiple in-flight sub-chunk slots, "

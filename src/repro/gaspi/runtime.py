@@ -14,7 +14,7 @@ GASPI API.  The method names follow GPI-2 (``gaspi_write_notify`` →
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -144,6 +144,19 @@ class GaspiRuntime(abc.ABC):
             return True
         except Exception:
             return False
+
+    def traced(self, sink: Any) -> "GaspiRuntime":
+        """Wrap this runtime so every post/consume is recorded into ``sink``.
+
+        ``sink`` is a :class:`repro.analysis.tracing.TraceSink`; the
+        returned wrapper forwards all operations to ``self`` while
+        recording the protocol events the static checkers consume
+        (:func:`repro.analysis.analyze`).  Imported lazily so the core
+        runtime stack carries no dependency on the analysis package.
+        """
+        from ..analysis.tracing import TracingRuntime
+
+        return TracingRuntime(self, sink)
 
     # ------------------------------------------------------------------ #
     # one-sided communication

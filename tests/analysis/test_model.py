@@ -1,0 +1,107 @@
+"""The symbolic model: numerical fidelity and clean verification.
+
+The model executes the *real* plan classes on an in-memory runtime, so a
+planner bug shows up twice: as a wrong number here and as a finding in
+the checkers.  Both directions are pinned — the modelled collectives must
+compute the exact same results as the live backends, and every registered
+plannable algorithm must verify with zero findings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze, build_model, verify_algorithm
+from repro.core.registry import REGISTRY
+
+PLANNABLE = sorted(
+    info.name for info in REGISTRY.items() if info.plannable
+)
+
+
+def _payload(name):
+    """(nbytes, chunk_bytes) giving pipelined plans several chunks."""
+    if REGISTRY.get(name).capabilities.pipelined:
+        return 512, 128
+    return 256, None
+
+
+# --------------------------------------------------------------------------- #
+# numerical fidelity
+# --------------------------------------------------------------------------- #
+def test_model_bcast_delivers_root_payload():
+    run = build_model("gaspi_bcast_bst", 8, 256)
+    for rank in range(1, 8):
+        assert np.array_equal(run.sendbufs[rank], run.sendbufs[0])
+
+
+def test_model_allreduce_sums_exactly():
+    run = build_model("gaspi_allreduce_ring", 8, 256)
+    expected = sum(
+        np.arange(32, dtype=np.float64) + rank + 1 for rank in range(8)
+    )
+    for rank in range(8):
+        assert np.allclose(run.recvbufs[rank], expected)
+
+
+def test_model_reduce_sums_exactly_at_root():
+    run = build_model("gaspi_reduce_bst", 8, 256)
+    expected = sum(
+        np.arange(32, dtype=np.float64) + rank + 1 for rank in range(8)
+    )
+    assert np.allclose(run.recvbufs[0], expected)
+
+
+def test_model_pipelined_reduce_sums_exactly_at_root():
+    run = build_model("gaspi_reduce_bst_pipelined", 8, 512, chunk_bytes=128)
+    expected = sum(
+        np.arange(64, dtype=np.float64) + rank + 1 for rank in range(8)
+    )
+    assert np.allclose(run.recvbufs[0], expected)
+
+
+def test_model_nondefault_root():
+    run = build_model("gaspi_bcast_bst", 8, 256, root=3)
+    for rank in range(8):
+        assert np.array_equal(run.sendbufs[rank], run.sendbufs[3])
+
+
+# --------------------------------------------------------------------------- #
+# clean verification
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("ranks", [4, 8])
+@pytest.mark.parametrize("algorithm", PLANNABLE)
+def test_every_plannable_algorithm_verifies_clean(algorithm, ranks):
+    nbytes, chunk_bytes = _payload(algorithm)
+    findings = verify_algorithm(
+        algorithm, ranks, nbytes, chunk_bytes=chunk_bytes
+    )
+    assert findings == [], [finding.describe() for finding in findings]
+
+
+def test_model_traces_carry_events():
+    run = build_model("gaspi_allreduce_ring", 4, 256)
+    assert run.trace.total_events() > 0
+    assert run.trace.num_ranks == 4
+    assert not run.stalled_ranks
+
+
+def test_analyze_reports_trace_name():
+    run = build_model("gaspi_bcast_bst", 4, 256)
+    from repro.analysis.mutations import drop_notify
+
+    findings = analyze(drop_notify(run.trace))
+    assert findings
+    for finding in findings:
+        assert "gaspi_bcast_bst" in finding.trace
+
+
+# --------------------------------------------------------------------------- #
+# registry flag
+# --------------------------------------------------------------------------- #
+def test_verified_capability_matches_plannable():
+    # Exactly the plannable algorithms are covered by the verifier; the
+    # schedule-only and cold-path-only entries keep the default.
+    for info in REGISTRY.items():
+        assert info.capabilities.verified == bool(info.plannable), info.name

@@ -1,0 +1,110 @@
+"""Seeded-mutation fixtures: each checker flags exactly its defect class.
+
+Every test plants one deliberate protocol defect in a clean modelled
+trace and asserts the *exact* set of finding classes the analyzers
+report.  The sets are deterministic — the replay explores one canonical
+adverse schedule — so a checker that goes silent on its own class, or
+that starts misfiling defects under another class, fails here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    BUDGET,
+    DATA_RACE,
+    DEADLOCK,
+    DOUBLE_POST,
+    UNMATCHED,
+    analyze,
+    build_model,
+)
+from repro.analysis.mutations import (
+    corrupt_notification_id,
+    corrupt_offset,
+    drop_consumes,
+    drop_notify,
+    duplicate_chunk_id,
+    hoist_first_consume,
+)
+
+
+def classes(findings):
+    return {finding.check for finding in findings}
+
+
+def test_clean_traces_have_no_findings():
+    trace = build_model("gaspi_bcast_bst", 8, 256).trace
+    assert analyze(trace) == []
+
+
+def test_drop_notify_is_unmatched_notification():
+    # A forgotten notify: the consumer waits on a slot nobody ever funds.
+    trace = build_model("gaspi_bcast_bst", 8, 256).trace
+    assert classes(analyze(drop_notify(trace))) == {UNMATCHED}
+
+
+def test_hoisted_consume_deadlocks_the_ring():
+    # Every rank waits before it sends: a full circular wait on the ring.
+    trace = build_model("gaspi_allreduce_ring", 4, 256).trace
+    assert classes(analyze(hoist_first_consume(trace))) == {DEADLOCK}
+
+
+def test_duplicate_chunk_id_is_double_post():
+    # Two chunks of one sender collide on one id: the shared slot is
+    # overwritten before its consume, and the starved orphan slot leaves
+    # the receiver blocked mid-pipeline.
+    trace = build_model(
+        "gaspi_bcast_bst_pipelined", 8, 512, chunk_bytes=128
+    ).trace
+    assert classes(analyze(duplicate_chunk_id(trace))) == {
+        DOUBLE_POST,
+        DEADLOCK,
+    }
+
+
+def test_shrunk_ack_handshake_is_double_post():
+    # The flat broadcast root stops consuming its peers' acks — call 2
+    # may then overwrite the data slot while call 1 is unconsumed, and
+    # the unread acks starve.
+    run = build_model("gaspi_bcast_flat", 4, 256)
+    mutated = drop_consumes(run.trace, 0, run.plans[0].peer_ack_slots)
+    assert classes(analyze(mutated)) == {DOUBLE_POST, UNMATCHED}
+
+
+def test_dropped_ready_fence_is_a_data_race():
+    # BST reduce: a child that skips the parent's READY fence pushes its
+    # next call's partial into the parent's child slot while the parent
+    # may still be folding the previous call — concurrent overlapping
+    # writes to the same segment bytes.
+    from repro.core.reduce import _NOTIF_READY_BASE
+
+    run = build_model("gaspi_reduce_bst", 4, 256)
+    mutated = drop_consumes(run.trace, 3, [_NOTIF_READY_BASE])
+    found = classes(analyze(mutated))
+    assert DATA_RACE in found
+    assert found == {DATA_RACE, DOUBLE_POST}
+
+
+def test_corrupt_notification_id_is_budget_only():
+    # Both sides of the handshake agree on the wrong id, so the schedule
+    # still matches — only the board-budget check can see the defect.
+    trace = build_model("gaspi_bcast_bst", 8, 256).trace
+    assert classes(analyze(corrupt_notification_id(trace))) == {BUDGET}
+
+
+def test_corrupt_offset_is_budget_only():
+    # The staging slice slides past the end of its workspace; matching,
+    # ordering and destination ranges are untouched.
+    trace = build_model("gaspi_bcast_bst", 8, 256).trace
+    assert classes(analyze(corrupt_offset(trace))) == {BUDGET}
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [drop_notify, hoist_first_consume, corrupt_notification_id, corrupt_offset],
+)
+def test_mutations_tag_the_trace_name(mutate):
+    trace = build_model("gaspi_allreduce_ring", 4, 256).trace
+    assert mutate.__name__ in mutate(trace).name
