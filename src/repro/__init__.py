@@ -19,6 +19,8 @@ The package is organised as follows (see DESIGN.md for the full map):
 * :mod:`repro.apps` — the FFT mini-app whose AlltoAll traffic motivates
   Figure 13.
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+* :mod:`repro.telemetry` — off-by-default runtime metrics: per-rank span
+  timelines, counters/gauges/latency histograms and Chrome-trace export.
 
 Quick start::
 
@@ -111,6 +113,14 @@ from .faults import (
     get_scenario,
     scenario_names,
 )
+from .telemetry import (
+    Telemetry,
+    TelemetryRuntime,
+    chrome_trace,
+    merge_snapshots,
+    render_summary,
+    write_chrome_trace,
+)
 
 __all__ = [
     "__version__",
@@ -176,4 +186,11 @@ __all__ = [
     "RankCrashedError",
     "get_scenario",
     "scenario_names",
+    # telemetry
+    "Telemetry",
+    "TelemetryRuntime",
+    "chrome_trace",
+    "merge_snapshots",
+    "render_summary",
+    "write_chrome_trace",
 ]

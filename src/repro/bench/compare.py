@@ -19,6 +19,7 @@ perf-smoke job uploads the comparison for humans instead).
 from __future__ import annotations
 
 import argparse
+import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .harness import load_json_report
@@ -26,6 +27,11 @@ from .report import format_kv_table
 
 #: Fields identifying "the same measurement" across two reports.
 KEY_FIELDS = ("benchmark", "metric", "collective", "algorithm", "payload_bytes", "mode")
+
+#: Tail-latency extras diffed when both records carry them.  These are the
+#: percentile keys the micro sweep records; reports from before the
+#: percentile schema addition simply lack them and diff as before.
+TAIL_FIELDS = ("latency_p50_seconds", "latency_p95_seconds", "latency_p99_seconds")
 
 RecordKey = Tuple[Any, ...]
 
@@ -63,14 +69,27 @@ def compare_documents(
             continue
         old_value = float(old_record["value"])
         new_value = float(new_record["value"])
-        matched.append(
-            {
-                **dict(zip(KEY_FIELDS, key)),
-                "old_value": old_value,
-                "new_value": new_value,
-                "ratio": (old_value / new_value) if new_value else None,
-            }
-        )
+        row = {
+            **dict(zip(KEY_FIELDS, key)),
+            "old_value": old_value,
+            "new_value": new_value,
+            "ratio": (old_value / new_value) if new_value else None,
+        }
+        old_extra = old_record.get("extra") or {}
+        new_extra = new_record.get("extra") or {}
+        for field in TAIL_FIELDS:
+            before = old_extra.get(field)
+            after = new_extra.get(field)
+            if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
+                continue
+            before, after = float(before), float(after)
+            if math.isnan(before) or math.isnan(after):
+                continue
+            short = field.replace("latency_", "").replace("_seconds", "")
+            row[f"old_{short}"] = before
+            row[f"new_{short}"] = after
+            row[f"{short}_ratio"] = (before / after) if after else None
+        matched.append(row)
     added = [dict(zip(KEY_FIELDS, k)) for k in new_index if k not in old_index]
     removed = [dict(zip(KEY_FIELDS, k)) for k in old_index if k not in new_index]
     ratios = [row["ratio"] for row in matched if row["ratio"] is not None]
@@ -104,8 +123,13 @@ def format_comparison(result: Dict[str, Any], old_path: str, new_path: str) -> s
     """Human-readable rendering of a comparison."""
     lines: List[str] = [f"benchmark comparison: {old_path} -> {new_path}", ""]
     if result["matched"]:
-        rows = [
-            {
+        has_tail = any("p95_ratio" in row for row in result["matched"])
+        rows = []
+        for row in sorted(
+            result["matched"],
+            key=lambda r: (r["collective"], r["payload_bytes"], r["mode"]),
+        ):
+            rendered = {
                 "collective": row["collective"],
                 "algorithm": row["algorithm"],
                 "payload_bytes": row["payload_bytes"],
@@ -114,11 +138,16 @@ def format_comparison(result: Dict[str, Any], old_path: str, new_path: str) -> s
                 "new_us": row["new_value"] * 1e6,
                 "speedup": row["ratio"] if row["ratio"] is not None else float("nan"),
             }
-            for row in sorted(
-                result["matched"],
-                key=lambda r: (r["collective"], r["payload_bytes"], r["mode"]),
-            )
-        ]
+            if has_tail:
+                # Tail-latency columns (blank for records diffed against a
+                # pre-percentile baseline).
+                for short in ("p95", "p99"):
+                    have = f"old_{short}" in row
+                    rendered[f"old_{short}_us"] = row[f"old_{short}"] * 1e6 if have else ""
+                    rendered[f"new_{short}_us"] = row[f"new_{short}"] * 1e6 if have else ""
+                    ratio = row.get(f"{short}_ratio")
+                    rendered[f"{short}_speedup"] = ratio if ratio is not None else ""
+            rows.append(rendered)
         lines.append(format_kv_table(rows, title="matched records (old/new)"))
     for section, title in (
         ("added", "new records (only in the new report)"),

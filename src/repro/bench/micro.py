@@ -55,6 +55,7 @@ from ..core.api import Communicator
 from ..gaspi.launch import BACKENDS, run_backend
 from .harness import BenchRecord, write_json_report
 from .report import format_kv_table
+from .stats import summarize
 
 #: Default sweep: (collective, short algorithm alias) pairs.  Covers the
 #: three acceptance collectives, with both allreduce algorithms so the
@@ -135,21 +136,30 @@ def time_collective(
             call()
         resolved = comm.last_result.algorithm
         runtime.barrier()
-        start = time.perf_counter()
+        # Per-iteration samples (two clock reads per call, noise floor well
+        # below the collective latency) so tail percentiles are reportable.
+        samples = []
         for _ in range(iterations):
+            t0 = time.perf_counter()
             call()
-        elapsed = time.perf_counter() - start
+            samples.append(time.perf_counter() - t0)
         runtime.barrier()
         stats = comm.plan_cache_stats()
         comm.close()
-        return elapsed / iterations, resolved, stats.hits
+        return sum(samples) / iterations, resolved, stats.hits, tuple(samples)
 
     results = run_backend(ranks, worker, backend=backend, timeout=timeout)
     per_rank = [r[0] for r in results]
+    # Tail percentiles come from the slowest rank's own samples — the same
+    # rank whose mean is reported as the completion latency.
+    slowest = summarize(results[per_rank.index(max(per_rank))][3])
     return {
         "latency_seconds": max(per_rank),
         "latency_rank_min_seconds": min(per_rank),
         "latency_rank_mean_seconds": sum(per_rank) / len(per_rank),
+        "latency_p50_seconds": slowest.p50,
+        "latency_p95_seconds": slowest.p95,
+        "latency_p99_seconds": slowest.p99,
         "algorithm": results[0][1],
         "plan_hits": results[0][2],
     }
@@ -193,6 +203,9 @@ def _latency_record(
             ),
             "latency_rank_min_seconds": measured["latency_rank_min_seconds"],
             "latency_rank_mean_seconds": measured["latency_rank_mean_seconds"],
+            "latency_p50_seconds": measured.get("latency_p50_seconds"),
+            "latency_p95_seconds": measured.get("latency_p95_seconds"),
+            "latency_p99_seconds": measured.get("latency_p99_seconds"),
             "plan_cache_hits": measured.get("plan_hits", 0),
         },
     )
@@ -426,6 +439,70 @@ def run_trace_measurement(
     }
 
 
+def run_telemetry_measurement(
+    collective: str = "allreduce",
+    algorithm: str = "ring_pipelined",
+    nbytes: int = 1_048_576,
+    ranks: int = 8,
+    iterations: int = 5,
+    backend: str = "threaded",
+) -> Dict[str, object]:
+    """One micro cell bare vs telemetry-enabled, plus the merged snapshot.
+
+    The cell runs twice on the same backend — without a registry, then
+    with every rank feeding a :class:`~repro.telemetry.Telemetry` — and
+    reports the enabled-mode overhead the same way ``--trace`` reports
+    tracing overhead.  The per-rank result checksums of both runs are
+    compared (telemetry must never change the numerics) and the merged,
+    schema-validated snapshot is returned for embedding in the report's
+    meta.
+    """
+    from ..telemetry import Telemetry, merge_snapshots, validate_snapshot
+
+    def timed(enabled: bool):
+        def worker(runtime):
+            tel = Telemetry(rank=runtime.rank) if enabled else None
+            comm = Communicator(runtime, telemetry=tel)
+            elements = max(1, nbytes // 8)
+            sendbuf = np.full(elements, float(runtime.rank) + 1.0, dtype=np.float64)
+            recvbuf = np.empty_like(sendbuf)
+            call = _collective_caller(comm, collective, algorithm, sendbuf, recvbuf)
+            call()  # warmup: compiles the plan
+            runtime.barrier()
+            start = time.perf_counter()
+            for _ in range(iterations):
+                call()
+            elapsed = time.perf_counter() - start
+            runtime.barrier()
+            checksum = float(np.sum(recvbuf if collective != "bcast" else sendbuf))
+            comm.close()
+            snap = tel.snapshot() if tel is not None else None
+            return elapsed / iterations, checksum, snap
+
+        results = run_backend(ranks, worker, backend=backend)
+        latency = max(r[0] for r in results)
+        checksums = [r[1] for r in results]
+        snapshots = [r[2] for r in results]
+        return latency, checksums, snapshots
+
+    base_latency, base_checksums, _ = timed(False)
+    tel_latency, tel_checksums, snapshots = timed(True)
+    merged = merge_snapshots(snapshots)
+    validate_snapshot(merged)
+    return {
+        "collective": collective,
+        "algorithm": algorithm,
+        "backend": backend,
+        "ranks": ranks,
+        "payload_bytes": nbytes,
+        "results_match": base_checksums == tel_checksums,
+        "base_seconds": base_latency,
+        "telemetry_seconds": tel_latency,
+        "overhead": tel_latency / base_latency if base_latency else float("inf"),
+        "snapshot": merged,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--backend", choices=BACKENDS + ("both",),
@@ -449,6 +526,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run one cell under TracingRuntime, replay it "
                              "through the static checkers and report the "
                              "tracing overhead (skips the sweep)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="additionally run one cell bare vs "
+                             "telemetry-enabled, report the overhead and "
+                             "embed the merged snapshot in the report meta")
     args = parser.parse_args(argv)
 
     if args.trace:
@@ -500,6 +581,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         overlap_records, overlap_rows = run_overlap_measurement(quick=args.quick)
         records.extend(overlap_records)
 
+    telemetry_row: Dict[str, object] = {}
+    if args.telemetry:
+        telemetry_row = run_telemetry_measurement(
+            ranks=args.ranks,
+            nbytes=min(sizes) if args.quick else 1_048_576,
+            iterations=iterations,
+            backend=backends[0],
+        )
+
     primary = summaries[backends[0]]
     min_speedup = min(row["speedup"] for row in primary)
     small = [r["speedup"] for r in primary if r["payload_bytes"] == min(sizes)]
@@ -524,6 +614,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "pipelined_speedups_large": [r["speedup"] for r in large_rows],
             "backend_comparison": crossover,
             "overlap_demo": overlap_rows,
+            "telemetry": telemetry_row,
             "baseline_report": "BENCH_pr4.json",
         },
     )
@@ -545,6 +636,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f" vs overlapped {overlap_rows['overlapped_seconds']*1e3:.2f} ms"
               f" ({overlap_rows['speedup']:.2f}x, bit-identical="
               f"{overlap_rows['results_match']})")
+    if telemetry_row:
+        print(f"\ntelemetry cell [{telemetry_row['backend']}]: bare "
+              f"{telemetry_row['base_seconds']*1e3:.2f} ms vs instrumented "
+              f"{telemetry_row['telemetry_seconds']*1e3:.2f} ms "
+              f"({telemetry_row['overhead']:.2f}x, results_match="
+              f"{telemetry_row['results_match']})")
     print(f"\nreport written to {args.out}")
     return 0
 

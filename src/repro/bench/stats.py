@@ -10,7 +10,7 @@ repeated and summarised with the same mean ± 95 % CI the paper uses.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -20,7 +20,15 @@ from ..utils.validation import require
 
 @dataclass(frozen=True)
 class Measurement:
-    """Mean, spread and 95 % confidence half-width of a repeated measurement."""
+    """Mean, spread and 95 % confidence half-width of a repeated measurement.
+
+    When built through :func:`summarize` the raw samples are kept (they
+    are small — 10 to 100 repeats), so tail latency is available through
+    :meth:`percentile` and the :attr:`p50`/:attr:`p95`/:attr:`p99`
+    properties.  A ``Measurement`` constructed without samples (older
+    callers, deserialised records) reports ``nan`` percentiles instead of
+    guessing from the mean.
+    """
 
     mean: float
     std: float
@@ -28,6 +36,7 @@ class Measurement:
     count: int
     minimum: float
     maximum: float
+    samples: tuple = field(default=(), repr=False, compare=False)
 
     @property
     def lower(self) -> float:
@@ -38,6 +47,31 @@ class Measurement:
     def upper(self) -> float:
         """Upper edge of the 95 % confidence interval."""
         return self.mean + self.ci95
+
+    def percentile(self, q: float) -> float:
+        """``q``-th percentile (0–100) of the raw samples, linear-interpolated.
+
+        ``nan`` when the measurement does not carry its samples.
+        """
+        require(0.0 <= q <= 100.0, f"percentile q must be in [0, 100], got {q!r}")
+        if not self.samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.samples, dtype=np.float64), q))
+
+    @property
+    def p50(self) -> float:
+        """Median of the raw samples (``nan`` without samples)."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile of the raw samples (``nan`` without samples)."""
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile of the raw samples (``nan`` without samples)."""
+        return self.percentile(99.0)
 
     def __str__(self) -> str:
         return f"{self.mean:.6g} ± {self.ci95:.2g} (n={self.count})"
@@ -91,6 +125,7 @@ def summarize(samples: Sequence[float]) -> Measurement:
         count=int(arr.size),
         minimum=float(arr.min()),
         maximum=float(arr.max()),
+        samples=tuple(samples),
     )
 
 

@@ -55,6 +55,8 @@ from ..gaspi.constants import GASPI_BLOCK
 from ..gaspi.errors import GaspiError
 from ..gaspi.runtime import GaspiRuntime
 from ..gaspi.subruntime import GroupRuntime
+from ..telemetry.core import CLOCK, NULL_TELEMETRY, Telemetry
+from ..utils.logging import get_logger
 from ..utils.validation import require
 from .allgather import ring_allgather
 from .allreduce_ssp import SSPAllreduce, SSPAllreduceResult
@@ -94,6 +96,8 @@ _MAX_OPEN_DEGRADED = 8
 #: open — a workload that never repeats a shape evicts (and frees) the
 #: oldest plan instead of growing without limit.
 _MAX_CACHED_PLANS = 16
+
+logger = get_logger("core.api")
 
 #: Shorthand algorithm aliases kept from the v1 API, per collective.
 _ALGORITHM_ALIASES: Dict[str, Dict[str, str]] = {
@@ -175,6 +179,14 @@ class Communicator:
         and the reduction kernels only.  Observe it through
         :meth:`plan_cache_stats`; pin plans explicitly with
         :meth:`persistent`.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` registry.  The
+        runtime is wrapped in a
+        :class:`~repro.telemetry.TelemetryRuntime` (outermost, outside
+        any fault layer) and every dispatch records a span plus latency,
+        plan-cache, and traffic metrics into the registry.  Off by
+        default: without a registry the instrumentation points hit shared
+        no-op instruments.  See the README's "Observability" section.
     """
 
     def __init__(
@@ -191,11 +203,19 @@ class Communicator:
         faults=None,
         detect_timeout: Optional[float] = None,
         plan_cache: int = _MAX_CACHED_PLANS,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if faults is not None:
             from ..faults.injection import FaultyRuntime
 
             runtime = FaultyRuntime(runtime, faults)
+        if telemetry is not None and getattr(runtime, "telemetry", None) is not telemetry:
+            # Telemetry wraps outermost (outside any fault layer) so posts
+            # a fault plan swallows still count as attempted.  A runtime
+            # already carrying this registry — a GroupRuntime over an
+            # instrumented parent — is left alone so child collectives are
+            # not counted twice.
+            runtime = runtime.instrumented(telemetry)
         require(
             detect_timeout is None or detect_timeout > 0,
             f"detect_timeout must be positive, got {detect_timeout!r}",
@@ -226,7 +246,19 @@ class Communicator:
         self._last_result: Optional[CollectiveResult] = None
         self._last_segment_id: Optional[int] = None
         self._plans = PlanCache(plan_cache)
-        self._progress = ProgressEngine(self.runtime)
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._telemetry = tel
+        # Instrument handles resolved once; with telemetry disabled these
+        # are shared no-ops, so the hot path pays one method call each.
+        self._c_calls = tel.counter("collective.calls")
+        self._c_errors = tel.counter("collective.errors")
+        self._c_degraded = tel.counter("collective.degraded")
+        self._c_nonblocking = tel.counter("collective.nonblocking")
+        self._h_latency = tel.histogram("collective.latency_s")
+        self._c_cache_hits = tel.counter("plan_cache.hits")
+        self._c_cache_misses = tel.counter("plan_cache.misses")
+        self._c_cache_evictions = tel.counter("plan_cache.evictions")
+        self._progress = ProgressEngine(self.runtime, telemetry=tel)
         self._resolve_cache: Dict[tuple, AlgorithmInfo] = {}
 
     # ------------------------------------------------------------------ #
@@ -316,6 +348,11 @@ class Communicator:
         return self._faults
 
     @property
+    def telemetry(self) -> Telemetry:
+        """The attached telemetry registry (a shared no-op when disabled)."""
+        return self._telemetry
+
+    @property
     def suspected_ranks(self) -> frozenset:
         """Ranks a fault-tolerant collective has reported missing.
 
@@ -331,7 +368,10 @@ class Communicator:
         folded in, so the next collectives include it again.
         """
         for rank in ranks:
-            self._suspected.discard(int(rank))
+            rank = int(rank)
+            if rank in self._suspected:
+                logger.info("rank %d: reinstating rank %d", self.rank, rank)
+            self._suspected.discard(rank)
 
     @property
     def is_subcommunicator(self) -> bool:
@@ -511,11 +551,19 @@ class Communicator:
             return None
         plan = self._plans.get(key)
         if plan is None:
+            self._c_cache_misses.add()
             plan = info.plan(
                 self.runtime, key, self._allocate_segment_id(), request.policy
             )
             evicted = self._plans.put(key, plan)
             if evicted:
+                self._c_cache_evictions.add(len(evicted))
+                logger.debug(
+                    "rank %d: plan cache evicted %d plan(s) compiling "
+                    "%s/%s (capacity %d)",
+                    self.rank, len(evicted), info.collective, info.name,
+                    self._plans.capacity,
+                )
                 # Deferred-consumption notifications of an evicted plan (the
                 # bcast consume-acks) may still be in flight from a rank
                 # that is a step behind; evictions happen at the same
@@ -524,6 +572,8 @@ class Communicator:
                 self._quiesce_plans()
                 for old in evicted:
                     old.close()
+        else:
+            self._c_cache_hits.add()
         return plan
 
     def _quiesce_plans(self) -> None:
@@ -546,7 +596,49 @@ class Communicator:
     def _dispatch(
         self, collective: str, algorithm: str, request: CollectiveRequest
     ) -> CollectiveResult:
-        """Route one collective through the registry (and the simulator)."""
+        """Route one collective through the registry (and the simulator).
+
+        With telemetry attached, the dispatch is recorded as one span per
+        call (algorithm, payload bytes, plan-cache outcome, degraded
+        outcome with ``missing_ranks``) plus a latency histogram sample;
+        without it, one attribute check routes straight to the
+        uninstrumented implementation.
+        """
+        tel = self._telemetry
+        if not tel.enabled:
+            return self._dispatch_impl(collective, algorithm, request)
+        self._c_calls.add()
+        hits0 = self._plans._hits
+        misses0 = self._plans._misses
+        t0 = CLOCK()
+        with tel.span(collective, cat="collective", nbytes=request.nbytes) as span:
+            try:
+                result = self._dispatch_impl(collective, algorithm, request)
+            except Exception as exc:
+                self._c_errors.add()
+                span.set(outcome="error", error=type(exc).__name__)
+                raise
+            if self._plans._hits > hits0:
+                cache = "hit"
+            elif self._plans._misses > misses0:
+                cache = "miss"
+            else:
+                cache = "bypass"
+            span.set(algorithm=result.algorithm, plan_cache=cache)
+            if result.missing_ranks:
+                self._c_degraded.add()
+                span.set(
+                    outcome="degraded",
+                    missing_ranks=sorted(result.missing_ranks),
+                )
+            else:
+                span.set(outcome="ok")
+        self._h_latency.observe(CLOCK() - t0)
+        return result
+
+    def _dispatch_impl(
+        self, collective: str, algorithm: str, request: CollectiveRequest
+    ) -> CollectiveResult:
         check_policy(request.policy)
         seq = self._collective_seq
         self._collective_seq += 1
@@ -583,6 +675,12 @@ class Communicator:
             self._track_degraded(getattr(exc, "detail", None))
             raise
         if result.missing_ranks:
+            newly = set(result.missing_ranks) - self._suspected
+            if newly:
+                logger.info(
+                    "rank %d: %s completed degraded, now suspecting ranks %s",
+                    self.rank, collective, sorted(newly),
+                )
             self._suspected.update(result.missing_ranks)
             self._track_degraded(result.detail)
         if self._machine is not None:
@@ -885,10 +983,23 @@ class Communicator:
         info.check_request(self.size, request.policy, dtype)
         request.segment_id = plan.segment_id
         self._last_segment_id = plan.segment_id
+        self._c_nonblocking.add()
+        tel = self._telemetry
+        issue_t = CLOCK() if tel.enabled else 0.0
+        span_nbytes = request.nbytes
 
         def on_complete(result: CollectiveResult) -> None:
             result.algorithm = info.name
             result.policy = request.policy
+            if tel.enabled:
+                # Issue→completion window of the overlapped collective; the
+                # progress engine drives it, so this is recorded here rather
+                # than with a context-managed span.
+                tel.record_span(
+                    f"i{collective}", "collective", issue_t, CLOCK(),
+                    {"algorithm": info.name, "nbytes": span_nbytes,
+                     "outcome": "ok", "nonblocking": True},
+                )
             if self._machine is not None:
                 from ..simulate.executor import simulate_schedule
 
@@ -1132,6 +1243,10 @@ class Communicator:
             registry=self._registry,
             detect_timeout=self._detect_timeout,
             plan_cache=self._plans.capacity,
+            # The child shares the parent's registry: the GroupRuntime
+            # forwards it, so the double-wrap guard keeps traffic counted
+            # once while the child still records its own dispatch spans.
+            telemetry=self._telemetry if self._telemetry.enabled else None,
         )
         # Fault injection stays attached through the wrapped runtime (its
         # `fault_injected` flag keeps auto-selection on the tolerant

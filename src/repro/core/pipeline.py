@@ -55,6 +55,8 @@ import numpy as np
 
 from ..gaspi.constants import GASPI_BLOCK
 from ..gaspi.errors import GaspiError
+from ..telemetry.core import CLOCK, NULL_TELEMETRY
+from ..utils.logging import get_logger
 from ..utils.validation import require
 from . import kernels
 from .bcast import BroadcastResult, _require_vector, threshold_elements
@@ -67,6 +69,8 @@ from .topology import BinomialTree, Ring, chunk_bounds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .policy import CollectiveRequest, CollectiveResult
+
+logger = get_logger("core.pipeline")
 
 
 # --------------------------------------------------------------------------- #
@@ -161,7 +165,16 @@ PipelineGen = Generator[WaitSpec, None, "CollectiveResult"]
 
 
 def drive_pipeline(runtime, gen: PipelineGen, timeout: float = GASPI_BLOCK):
-    """Run a pipeline generator to completion with blocking waits."""
+    """Run a pipeline generator to completion with blocking waits.
+
+    When the runtime stack carries a telemetry registry the blocking
+    waits become ``"chunk"`` spans (nested inside the dispatch span on
+    the trace timeline) and feed the ``pipeline.chunk_wait_s`` histogram;
+    otherwise the loop is exactly the uninstrumented original.
+    """
+    tel = getattr(runtime, "telemetry", None)
+    if tel is not None and tel.enabled:
+        return _drive_pipeline_instrumented(runtime, tel, gen, timeout)
     try:
         spec = next(gen)
         while True:
@@ -175,6 +188,54 @@ def drive_pipeline(runtime, gen: PipelineGen, timeout: float = GASPI_BLOCK):
                     f"for notifications [{spec.first}, {spec.first + spec.count}) "
                     f"on segment {spec.segment_id}"
                 )
+            spec = next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+def _plan_poll_timeout(runtime, request) -> float:
+    """Inline-wait timeout for a plan's blocking ``execute`` path.
+
+    Uninstrumented, the generator waits inline with the request's timeout
+    and never yields (one wait per notification, no poll-then-park double
+    round-trip).  With telemetry attached it polls with ``timeout=0`` and
+    yields when blocked, so every blocked chunk surfaces as a
+    :class:`WaitSpec` and the instrumented driver can record it as a
+    ``"chunk"`` span — the cost is the extra zero-timeout probe per
+    notification, which is part of the documented enabled-mode overhead.
+    """
+    tel = getattr(runtime, "telemetry", None)
+    if tel is not None and tel.enabled:
+        return 0.0
+    return request.timeout
+
+
+def _drive_pipeline_instrumented(runtime, tel, gen: PipelineGen, timeout: float):
+    """The blocking driver with per-chunk wait instrumentation."""
+    h_wait = tel.histogram("pipeline.chunk_wait_s")
+    c_chunks = tel.counter("pipeline.chunks")
+    try:
+        spec = next(gen)
+        while True:
+            t0 = CLOCK()
+            got = runtime.notify_waitsome(
+                spec.segment_id, spec.first, spec.count, timeout=timeout
+            )
+            t1 = CLOCK()
+            if got is None:
+                gen.close()
+                raise TimeoutError(
+                    f"rank {runtime.rank}: pipelined collective timed out waiting "
+                    f"for notifications [{spec.first}, {spec.first + spec.count}) "
+                    f"on segment {spec.segment_id}"
+                )
+            h_wait.observe(t1 - t0)
+            c_chunks.add()
+            tel.record_span(
+                "chunk", "chunk", t0, t1,
+                {"segment": spec.segment_id, "first": spec.first,
+                 "count": spec.count},
+            )
             spec = next(gen)
     except StopIteration as stop:
         return stop.value
@@ -256,6 +317,10 @@ class CollectiveHandle:
         """
         self._error = exc
         self._done = True
+        logger.debug(
+            "rank %d: nonblocking collective failed mid-flight: %s",
+            getattr(self._runtime, "rank", -1), exc, exc_info=exc,
+        )
         gen = self._gen
         self._gen = None
         self._spec = None
@@ -360,13 +425,16 @@ class ProgressEngine:
     thread and the caller never race on a generator.
     """
 
-    def __init__(self, runtime) -> None:
+    def __init__(self, runtime, telemetry=None) -> None:
         self._runtime = runtime
         self._handles: List[CollectiveHandle] = []
         self._lock = threading.RLock()
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._work = threading.Event()
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._g_depth = tel.gauge("progress.queue_depth")
+        self._c_registered = tel.counter("progress.handles")
 
     @property
     def active(self) -> int:
@@ -381,8 +449,10 @@ class ProgressEngine:
     def register(self, handle: CollectiveHandle) -> None:
         if handle.done:
             return
+        self._c_registered.add()
         with self._lock:
             self._handles.append(handle)
+            self._g_depth.set(len(self._handles))
             # Start eagerly: post the entry handshake and the first sends
             # now, so peer writes can land while the caller computes.
             self._pump()
@@ -408,7 +478,9 @@ class ProgressEngine:
                 if handle._step(timeout=0.0):
                     self._handles.remove(handle)
                     advanced = True  # a successor on the same plan may start
-        return len(self._handles)
+        depth = len(self._handles)
+        self._g_depth.set(depth)
+        return depth
 
     def progress(self) -> int:
         """One nonblocking pump over all runnable handles; returns #live."""
@@ -629,7 +701,9 @@ class PipelinedBstBcastPlan(CollectivePlan):
         # so the blocking path pays exactly one wait per notification —
         # no poll-then-park double round-trip.
         return drive_pipeline(
-            self.runtime, self._run(request, poll_timeout=request.timeout), request.timeout
+            self.runtime,
+            self._run(request, poll_timeout=_plan_poll_timeout(self.runtime, request)),
+            request.timeout,
         )
 
     # ------------------------------------------------------------------ #
@@ -826,7 +900,9 @@ class PipelinedBstReducePlan(CollectivePlan):
 
     def execute(self, request: "CollectiveRequest") -> "CollectiveResult":
         return drive_pipeline(
-            self.runtime, self._run(request, poll_timeout=request.timeout), request.timeout
+            self.runtime,
+            self._run(request, poll_timeout=_plan_poll_timeout(self.runtime, request)),
+            request.timeout,
         )
 
     # ------------------------------------------------------------------ #
@@ -1131,7 +1207,9 @@ class PipelinedRingAllreducePlan(CollectivePlan):
 
     def execute(self, request: "CollectiveRequest") -> "CollectiveResult":
         return drive_pipeline(
-            self.runtime, self._run(request, poll_timeout=request.timeout), request.timeout
+            self.runtime,
+            self._run(request, poll_timeout=_plan_poll_timeout(self.runtime, request)),
+            request.timeout,
         )
 
     # ------------------------------------------------------------------ #

@@ -43,7 +43,10 @@ from ..gaspi.constants import (
 from ..gaspi.errors import GaspiError
 from ..gaspi.group import Group
 from ..gaspi.runtime import GaspiRuntime
+from ..utils.logging import get_logger
 from ..utils.validation import require
+
+logger = get_logger("faults.injection")
 
 # Salt values keeping the drop / jitter RNG streams independent.
 _DROP_SALT = 7919
@@ -338,11 +341,20 @@ class FaultyRuntime(GaspiRuntime):
         crash = self._plan.crash_step(self.rank)
         if crash is not None and step >= crash:
             self._crashed = True
+            logger.debug(
+                "rank %d: injected crash at data-plane op %d", self.rank, step
+            )
             raise RankCrashedError(self.rank, step)
         pause = self._plan.send_delay(self.rank, step)
         if pause > 0.0:
             time.sleep(pause)
-        return not self._plan.should_drop(self.rank, target_rank, step)
+        if self._plan.should_drop(self.rank, target_rank, step):
+            logger.debug(
+                "rank %d: injected drop of op %d toward rank %d",
+                self.rank, step, target_rank,
+            )
+            return False
+        return True
 
     # -- segments --------------------------------------------------------- #
     def segment_create(

@@ -46,7 +46,11 @@ from ..gaspi.constants import GASPI_BLOCK
 from ..gaspi.errors import GaspiError, GaspiSegmentError
 from ..gaspi.group import Group
 from ..gaspi.runtime import GaspiRuntime
+from ..telemetry.core import CLOCK
+from ..utils.logging import get_logger
 from ..utils.validation import check_fraction, require
+
+logger = get_logger("faults.recovery")
 
 #: Default segment id of the standalone (non-Communicator) entry points.
 FAULT_SEGMENT_ID = 140
@@ -204,6 +208,17 @@ class DegradedResult:
             corrected |= arrived
             self.contributors += len(arrived)
 
+        newly = corrected - set(self.corrected_ranks)
+        if newly:
+            logger.info(
+                "rank %d: correction folded late contribution(s) from "
+                "ranks %s into %s result%s",
+                self.rank, sorted(newly), self.collective,
+                "" if missing else " (now complete)",
+            )
+            tel = getattr(rt, "telemetry", None)
+            if tel is not None and tel.enabled:
+                tel.counter("faults.corrections").add(len(newly))
         self.missing_ranks = tuple(sorted(missing))
         self.corrected_ranks = tuple(sorted(corrected))
         if not missing:
@@ -308,6 +323,7 @@ def _gather_contributions(
     """
     size = runtime.size
     received: Set[int] = set()
+    t_detect = CLOCK()
 
     def fold(nid: int) -> None:
         if operator is not None:
@@ -339,6 +355,19 @@ def _gather_contributions(
     for nid, value in runtime.notify_drain(segment_id, 0, size).items():
         if value > 0 and nid not in received and nid not in already_counted:
             fold(nid)
+    absent = expected - received
+    if absent:
+        # Suspicion latency: how long the detection window actually ran
+        # before these ranks were declared missing (≤ detect_timeout).
+        elapsed = CLOCK() - t_detect
+        logger.info(
+            "rank %d: declaring ranks %s missing after %.3fs detection window",
+            runtime.rank, sorted(absent), elapsed,
+        )
+        tel = getattr(runtime, "telemetry", None)
+        if tel is not None and tel.enabled:
+            tel.counter("faults.suspicions").add(len(absent))
+            tel.histogram("faults.suspicion_latency_s").observe(elapsed)
     return received
 
 
@@ -357,6 +386,14 @@ def _finish(detail: DegradedResult, on_failure: str) -> DegradedResult:
     otherwise it stays alive so :meth:`DegradedResult.correct` can absorb
     late contributions (and a late writer never hits a deleted segment).
     """
+    if detail.missing_ranks:
+        logger.info(
+            "rank %d: %s completed degraded, missing_ranks=%s "
+            "(%d/%d contributors, threshold %s)",
+            detail.rank, detail.collective, list(detail.missing_ranks),
+            detail.contributors, detail.required,
+            "met" if detail.met_threshold else "NOT met",
+        )
     if detail.complete:
         detail.close()
     if not detail.met_threshold and on_failure == "abort":

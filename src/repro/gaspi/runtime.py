@@ -158,6 +158,30 @@ class GaspiRuntime(abc.ABC):
 
         return TracingRuntime(self, sink)
 
+    def instrumented(self, telemetry: Any) -> "GaspiRuntime":
+        """Wrap this runtime so traffic and wait times feed ``telemetry``.
+
+        ``telemetry`` is a :class:`repro.telemetry.Telemetry` registry; the
+        returned wrapper forwards all operations to ``self`` while counting
+        writes, bytes, notifications, and wait/barrier latencies.  Imported
+        lazily so the core runtime stack carries no dependency on the
+        telemetry package.
+        """
+        from ..telemetry.runtime import TelemetryRuntime
+
+        return TelemetryRuntime(self, telemetry)
+
+    @property
+    def telemetry(self) -> Any:
+        """The attached telemetry registry, or None when uninstrumented.
+
+        Overridden by :class:`repro.telemetry.runtime.TelemetryRuntime`
+        (returns the live registry) and forwarded by the wrapping runtimes
+        so downstream instrumentation (the pipeline driver, the fault
+        vertical) can discover the registry with one attribute read.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # one-sided communication
     # ------------------------------------------------------------------ #

@@ -87,6 +87,12 @@ class GroupRuntime(GaspiRuntime):
     def fault_injected(self) -> bool:
         return self._base.fault_injected
 
+    @property
+    def telemetry(self):
+        # Forwarded so a split() communicator sharing the parent's registry
+        # is detected upstream and not wrapped (and counted) a second time.
+        return getattr(self._base, "telemetry", None)
+
     def to_base_rank(self, group_rank: int) -> int:
         """Translate a group rank to the base runtime's numbering."""
         try:

@@ -1,0 +1,175 @@
+"""CLI: run one workload cell with telemetry and render or export it.
+
+Examples (from the repository root)::
+
+    # live 8-rank pipelined allreduce, summary table on stdout
+    PYTHONPATH=src python -m repro.telemetry --ranks 8 \
+        --collective allreduce --algorithm ring_pipelined --bytes 1048576
+
+    # same cell on the process-per-rank backend, Chrome trace to a file
+    PYTHONPATH=src python -m repro.telemetry --backend shm --trace out.json
+
+    # machine-readable merged snapshot
+    PYTHONPATH=src python -m repro.telemetry --json
+
+The workload is the micro-benchmark cell shape: every rank calls the
+collective ``--iters`` times (after one unmeasured warm-up compiling the
+plan), each with its own :class:`~repro.telemetry.Telemetry` registry.
+Per-rank snapshots travel back through the launcher's result path (the
+shm result pipes / the threaded return list) and are merged here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..gaspi.launch import BACKENDS, run_backend
+from .core import Telemetry, merge_snapshots
+from .export import render_summary, validate_snapshot, write_chrome_trace
+
+
+def _cell_worker(
+    runtime,
+    *,
+    collective: str,
+    nbytes: int,
+    iters: int,
+    algorithm: str,
+    chunk_bytes: Optional[int],
+) -> Dict[str, Any]:
+    from ..core.api import Communicator
+    from ..core.policy import ConsistencyPolicy
+
+    telemetry = Telemetry(rank=runtime.rank)
+    policy = (
+        ConsistencyPolicy(chunk_bytes=chunk_bytes) if chunk_bytes else None
+    )
+    comm = Communicator(runtime, telemetry=telemetry, policy=policy)
+    elements = max(1, nbytes // 8)
+    sendbuf = np.full(elements, float(runtime.rank) + 1.0, dtype=np.float64)
+    recvbuf = np.empty_like(sendbuf)
+    if collective == "bcast":
+        call = lambda: comm.bcast(sendbuf, root=0, algorithm=algorithm)  # noqa: E731
+    elif collective == "reduce":
+        call = lambda: comm.reduce(  # noqa: E731
+            sendbuf, recvbuf=recvbuf, root=0, algorithm=algorithm
+        )
+    elif collective == "allreduce":
+        call = lambda: comm.allreduce(  # noqa: E731
+            sendbuf, recvbuf=recvbuf, algorithm=algorithm
+        )
+    else:
+        raise ValueError(f"unsupported collective {collective!r}")
+    call()  # warm-up: compiles the plan outside the recorded window
+    comm.barrier()
+    for _ in range(iters):
+        call()
+    resolved = comm.last_result.algorithm
+    checksum = float(np.sum(recvbuf)) if collective != "bcast" else float(np.sum(sendbuf))
+    comm.close()
+    return {
+        "rank": runtime.rank,
+        "algorithm": resolved,
+        "checksum": checksum,
+        "snapshot": telemetry.snapshot(events=True),
+    }
+
+
+def run_cell(
+    *,
+    backend: str = "threaded",
+    ranks: int = 8,
+    collective: str = "allreduce",
+    algorithm: str = "auto",
+    nbytes: int = 1_048_576,
+    iters: int = 8,
+    chunk_bytes: Optional[int] = None,
+    timeout: float = 120.0,
+) -> Dict[str, Any]:
+    """Run the workload cell; returns per-rank results + merged snapshot."""
+    results = run_backend(
+        ranks,
+        _cell_worker,
+        backend=backend,
+        timeout=timeout,
+        collective=collective,
+        nbytes=nbytes,
+        iters=iters,
+        algorithm=algorithm,
+        chunk_bytes=chunk_bytes,
+    )
+    merged = merge_snapshots([r["snapshot"] for r in results])
+    return {
+        "backend": backend,
+        "ranks": ranks,
+        "collective": collective,
+        "algorithm": results[0]["algorithm"],
+        "payload_bytes": nbytes,
+        "iterations": iters,
+        "checksums": [r["checksum"] for r in results],
+        "snapshots": [r["snapshot"] for r in results],
+        "merged": merged,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--backend", choices=BACKENDS, default="threaded",
+                        help="rank-world substrate (default: threaded)")
+    parser.add_argument("--ranks", type=int, default=8,
+                        help="world size (default: 8)")
+    parser.add_argument("--collective", default="allreduce",
+                        choices=("bcast", "reduce", "allreduce"),
+                        help="collective to run (default: allreduce)")
+    parser.add_argument("--algorithm", default="auto",
+                        help="algorithm name or alias (default: auto)")
+    parser.add_argument("--bytes", type=int, default=1_048_576, dest="nbytes",
+                        help="payload size in bytes (default: 1 MiB)")
+    parser.add_argument("--iters", type=int, default=8,
+                        help="measured calls per rank (default: 8)")
+    parser.add_argument("--chunk-bytes", type=int, default=None,
+                        help="pipeline chunk size override (policy.chunk_bytes)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON (Perfetto) here")
+    parser.add_argument("--json", action="store_true",
+                        help="print the merged snapshot as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    cell = run_cell(
+        backend=args.backend,
+        ranks=args.ranks,
+        collective=args.collective,
+        algorithm=args.algorithm,
+        nbytes=args.nbytes,
+        iters=args.iters,
+        chunk_bytes=args.chunk_bytes,
+    )
+    merged = cell["merged"]
+    validate_snapshot(merged)
+    if args.trace:
+        write_chrome_trace(args.trace, cell["snapshots"])
+    if args.json:
+        # The merged events are already in the trace file; keep stdout lean.
+        print(json.dumps({k: v for k, v in merged.items() if k != "events"}, indent=2))
+    else:
+        print(
+            f"{cell['collective']} [{cell['algorithm']}] x{cell['iterations']}, "
+            f"{cell['payload_bytes']} B, {cell['ranks']} ranks, "
+            f"backend={cell['backend']}"
+        )
+        print()
+        print(render_summary(merged))
+    if args.trace:
+        print(f"\nChrome trace written to {args.trace} (load in ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    raise SystemExit(main())

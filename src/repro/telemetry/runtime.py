@@ -1,0 +1,239 @@
+"""Instrumented runtime wrapper: traffic counters and wait histograms.
+
+:class:`TelemetryRuntime` wraps any concrete
+:class:`~repro.gaspi.runtime.GaspiRuntime` (threaded, shm, fault-injected
+stacks — the same forwarding idiom as
+:class:`~repro.analysis.tracing.TracingRuntime`) and feeds a
+:class:`~repro.telemetry.core.Telemetry` registry:
+
+* ``runtime.writes`` / ``runtime.bytes_written`` — one-sided posts;
+* ``runtime.notifications_posted`` / ``runtime.notifications_consumed``;
+* ``runtime.wait_s`` — latency histogram of every *blocking*
+  ``notify_waitsome`` (zero-timeout probes are forwarded untimed: the
+  progress engine polls them by the thousand);
+* ``runtime.barriers`` / ``runtime.barrier_s`` — barrier count and wait
+  time, the cheapest live arrival-skew signal a rank has.
+
+The wrapper sits *outside* any fault-injection layer (the communicator
+wraps faults first, telemetry last), so posts that a fault plan swallows
+still count as posted — telemetry observes what the rank attempted, the
+fault plan decides what the wire delivers.  ``notify_drain`` forwards to
+the inner runtime's optimised sweep and counts the drained slots
+afterwards, unlike tracing, which needs every reset individually.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..gaspi.constants import (
+    DEFAULT_NOTIFICATION_COUNT,
+    DEFAULT_NOTIFICATION_VALUE,
+    GASPI_BLOCK,
+)
+from ..gaspi.group import Group
+from ..gaspi.runtime import GaspiRuntime
+from .core import CLOCK, Telemetry
+
+
+class TelemetryRuntime(GaspiRuntime):
+    """Forwarding wrapper that counts traffic into a telemetry registry."""
+
+    def __init__(self, inner: GaspiRuntime, telemetry: Telemetry) -> None:
+        self.inner = inner
+        self._telemetry = telemetry
+        # Instrument handles are resolved once; the hot path then pays a
+        # method call and an integer add per operation.
+        self._c_writes = telemetry.counter("runtime.writes")
+        self._c_bytes = telemetry.counter("runtime.bytes_written")
+        self._c_posted = telemetry.counter("runtime.notifications_posted")
+        self._c_consumed = telemetry.counter("runtime.notifications_consumed")
+        self._c_barriers = telemetry.counter("runtime.barriers")
+        self._h_wait = telemetry.histogram("runtime.wait_s")
+        self._h_barrier = telemetry.histogram("runtime.barrier_s")
+
+    # -- identity ------------------------------------------------------- #
+    @property
+    def rank(self) -> int:
+        return self.inner.rank
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    @property
+    def fault_injected(self) -> bool:
+        return self.inner.fault_injected
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The live registry (discovered by downstream instrumentation)."""
+        return self._telemetry
+
+    # -- segments ------------------------------------------------------- #
+    def segment_create(
+        self,
+        segment_id: int,
+        size: int,
+        num_notifications: int = DEFAULT_NOTIFICATION_COUNT,
+    ) -> None:
+        self.inner.segment_create(segment_id, size, num_notifications)
+
+    def segment_delete(self, segment_id: int) -> None:
+        self.inner.segment_delete(segment_id)
+
+    def segment_view(
+        self,
+        segment_id: int,
+        dtype: Any = np.float64,
+        offset: int = 0,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        return self.inner.segment_view(segment_id, dtype, offset, count)
+
+    def segment_size(self, segment_id: int) -> int:
+        return self.inner.segment_size(segment_id)
+
+    def segment_read(
+        self,
+        segment_id: int,
+        dtype: Any = np.float64,
+        offset: int = 0,
+        count: Optional[int] = None,
+    ) -> np.ndarray:
+        return self.inner.segment_read(segment_id, dtype, offset, count)
+
+    def segment_bind(self, segment_id: int, array: np.ndarray) -> None:
+        self.inner.segment_bind(segment_id, array)
+
+    @property
+    def supports_bind(self) -> bool:
+        # Defining segment_bind above would otherwise make the base-class
+        # probe report bind support the inner runtime may not have.
+        return self.inner.supports_bind
+
+    # -- one-sided ------------------------------------------------------ #
+    def write(
+        self,
+        segment_id_local: int,
+        offset_local: int,
+        target_rank: int,
+        segment_id_remote: int,
+        offset_remote: int,
+        size: int,
+        queue: int = 0,
+    ) -> None:
+        self.inner.write(
+            segment_id_local, offset_local, target_rank, segment_id_remote,
+            offset_remote, size, queue,
+        )
+        self._c_writes.add()
+        self._c_bytes.add(size)
+
+    def notify(
+        self,
+        target_rank: int,
+        segment_id_remote: int,
+        notification_id: int,
+        notification_value: int = DEFAULT_NOTIFICATION_VALUE,
+        queue: int = 0,
+    ) -> None:
+        self.inner.notify(
+            target_rank, segment_id_remote, notification_id, notification_value, queue
+        )
+        self._c_posted.add()
+
+    def write_notify(
+        self,
+        segment_id_local: int,
+        offset_local: int,
+        target_rank: int,
+        segment_id_remote: int,
+        offset_remote: int,
+        size: int,
+        notification_id: int,
+        notification_value: int = DEFAULT_NOTIFICATION_VALUE,
+        queue: int = 0,
+    ) -> None:
+        self.inner.write_notify(
+            segment_id_local, offset_local, target_rank, segment_id_remote,
+            offset_remote, size, notification_id, notification_value, queue,
+        )
+        self._c_writes.add()
+        self._c_bytes.add(size)
+        self._c_posted.add()
+
+    # -- weak synchronisation ------------------------------------------- #
+    def notify_waitsome(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count: Optional[int] = None,
+        timeout: float = GASPI_BLOCK,
+    ) -> Optional[int]:
+        if timeout == 0.0:
+            # Zero-timeout polls are the progress engine's pump; counting
+            # them would swamp the wait histogram with zeros.
+            return self.inner.notify_waitsome(
+                segment_id_local, notification_begin, notification_count, timeout
+            )
+        t0 = CLOCK()
+        got = self.inner.notify_waitsome(
+            segment_id_local, notification_begin, notification_count, timeout
+        )
+        self._h_wait.observe(CLOCK() - t0)
+        return got
+
+    def notify_reset(self, segment_id_local: int, notification_id: int) -> int:
+        value = self.inner.notify_reset(segment_id_local, notification_id)
+        if value > 0:
+            self._c_consumed.add()
+        return value
+
+    def notify_peek(self, segment_id_local: int, notification_id: int) -> int:
+        return self.inner.notify_peek(segment_id_local, notification_id)
+
+    def notify_probe(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count: Optional[int] = None,
+    ) -> bool:
+        return self.inner.notify_probe(
+            segment_id_local, notification_begin, notification_count
+        )
+
+    def notify_drain(
+        self,
+        segment_id_local: int,
+        notification_begin: int = 0,
+        notification_count: Optional[int] = None,
+    ) -> dict:
+        drained = self.inner.notify_drain(
+            segment_id_local, notification_begin, notification_count
+        )
+        if drained:
+            self._c_consumed.add(len(drained))
+        return drained
+
+    # -- queues / synchronisation --------------------------------------- #
+    def wait(self, queue: int = 0, timeout: float = GASPI_BLOCK) -> None:
+        self.inner.wait(queue, timeout)
+
+    def barrier(
+        self, group: Optional[Group] = None, timeout: float = GASPI_BLOCK
+    ) -> None:
+        t0 = CLOCK()
+        self.inner.barrier(group, timeout)
+        self._h_barrier.observe(CLOCK() - t0)
+        self._c_barriers.add()
+
+    def atomic_fetch_add(
+        self, segment_id: int, offset: int, target_rank: int, value: int
+    ) -> int:
+        return self.inner.atomic_fetch_add(segment_id, offset, target_rank, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TelemetryRuntime({self.inner!r})"

@@ -1,0 +1,183 @@
+"""Live telemetry: instrumented communicators, traces, identical numerics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Communicator
+from repro.telemetry import Telemetry, chrome_trace, merge_snapshots, validate_snapshot
+from tests.helpers import expected_sum, rank_vector, spmd
+
+RANKS = 4
+N = 4096  # large enough for several pipeline chunks with chunk_bytes below
+
+
+def _allreduce_cell(runtime, iters=3, algorithm="ring_pipelined"):
+    from repro.core.policy import ConsistencyPolicy
+
+    tel = Telemetry(rank=runtime.rank)
+    comm = Communicator(
+        runtime,
+        telemetry=tel,
+        policy=ConsistencyPolicy(chunk_bytes=4096),
+    )
+    out = None
+    for _ in range(iters):
+        out = comm.allreduce(rank_vector(runtime.rank, N), algorithm=algorithm)
+    comm.close()
+    return out, tel.snapshot(events=True)
+
+
+class TestInstrumentedRun:
+    @pytest.fixture(scope="class")
+    def cell(self):
+        results = spmd(RANKS, _allreduce_cell)
+        return [r[0] for r in results], [r[1] for r in results]
+
+    def test_results_identical_to_uninstrumented_run(self, cell):
+        values, _ = cell
+        bare = spmd(
+            RANKS,
+            lambda rt: Communicator(rt).allreduce(
+                rank_vector(rt.rank, N), algorithm="ring_pipelined"
+            ),
+        )
+        expected = expected_sum(RANKS, N)
+        for instrumented, plain in zip(values, bare):
+            np.testing.assert_allclose(instrumented, expected, rtol=1e-12)
+            np.testing.assert_array_equal(instrumented, plain)
+
+    def test_snapshot_counts_dispatches_and_cache_outcomes(self, cell):
+        _, snapshots = cell
+        merged = merge_snapshots(snapshots)
+        validate_snapshot(merged)
+        assert merged["counters"]["collective.calls"] == 3 * RANKS
+        assert merged["counters"]["plan_cache.misses"] == RANKS
+        assert merged["counters"]["plan_cache.hits"] == 2 * RANKS
+        assert merged["counters"]["runtime.writes"] > 0
+        assert merged["counters"]["runtime.bytes_written"] > 0
+        assert (
+            merged["counters"]["runtime.notifications_posted"]
+            >= merged["counters"]["runtime.notifications_consumed"] > 0
+        )
+
+    def test_dispatch_spans_carry_algorithm_and_outcome(self, cell):
+        _, snapshots = cell
+        for snap in snapshots:
+            spans = [e for e in snap["events"] if e["cat"] == "collective"]
+            assert len(spans) == 3
+            for span in spans:
+                assert span["name"] == "allreduce"
+                assert span["args"]["outcome"] == "ok"
+                assert span["args"]["algorithm"] == "gaspi_allreduce_ring_pipelined"
+                assert span["args"]["plan_cache"] in ("hit", "miss")
+
+    def test_chrome_trace_has_rank_rows_with_nested_chunks(self, cell):
+        _, snapshots = cell
+        trace = chrome_trace(snapshots)
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in events} == set(range(RANKS))
+        collectives = [e for e in events if e["cat"] == "collective"]
+        chunks = [e for e in events if e["cat"] == "chunk"]
+        assert chunks, "pipelined run must surface chunk spans"
+        for chunk in chunks:
+            assert any(
+                parent["tid"] == chunk["tid"]
+                and parent["ts"] <= chunk["ts"]
+                and chunk["ts"] + chunk["dur"] <= parent["ts"] + parent["dur"] + 1.0
+                for parent in collectives
+            ), "every chunk span nests inside a collective span"
+        names = [
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names == [f"rank {r}" for r in range(RANKS)]
+
+    def test_wait_histogram_has_samples(self, cell):
+        _, snapshots = cell
+        merged = merge_snapshots(snapshots)
+        chunk_wait = merged["histograms"]["pipeline.chunk_wait_s"]
+        latency = merged["histograms"]["collective.latency_s"]
+        assert latency["count"] == 3 * RANKS
+        assert latency["p50"] <= latency["p99"] <= latency["max"]
+        # Chunk waits happen whenever a rank blocks on a peer; with 4 ranks
+        # and several chunks per call at least some ranks block.
+        assert chunk_wait["count"] == merged["counters"]["pipeline.chunks"]
+
+
+class TestDisabledPathEquivalence:
+    def test_uninstrumented_communicator_uses_null_registry(self):
+        def worker(runtime):
+            comm = Communicator(runtime)
+            assert not comm.telemetry.enabled
+            out = comm.allreduce(rank_vector(runtime.rank, 128))
+            snap = comm.telemetry.snapshot()
+            comm.close()
+            return out, snap
+
+        results = spmd(2, worker)
+        for out, snap in results:
+            np.testing.assert_allclose(out, expected_sum(2, 128), rtol=1e-12)
+            assert snap["counters"] == {}
+            assert snap["events_recorded"] == 0
+
+
+class TestSplitSharesRegistry:
+    def test_child_communicator_counts_traffic_once(self):
+        def worker(runtime):
+            tel = Telemetry(rank=runtime.rank)
+            comm = Communicator(runtime, telemetry=tel)
+            child = comm.split(runtime.rank % 2)
+            child.allreduce(rank_vector(runtime.rank, 64))
+            child.close()
+            comm.close()
+            return tel.snapshot()
+
+        snapshots = spmd(RANKS, worker)
+        merged = merge_snapshots(snapshots)
+        # The child dispatch span/counters land in the shared parent
+        # registry; split's own allgather plus the child allreduce are
+        # counted, and no metric is doubled by re-wrapping.
+        assert merged["counters"]["collective.calls"] == RANKS
+        writes = merged["counters"]["runtime.writes"]
+        assert 0 < writes < 10 * RANKS * RANKS
+
+
+class TestFaultyRunTelemetry:
+    def test_degraded_dispatch_records_outcome_and_suspicions(self):
+        from repro.core.policy import ConsistencyPolicy
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.single_crash(2, at_op=0)
+        # Tolerant policy: survivors complete degraded instead of aborting,
+        # so the dispatch span records outcome="degraded" + missing_ranks.
+        tolerant = ConsistencyPolicy.process_threshold(0.5, on_failure="complete")
+
+        def worker(runtime):
+            tel = Telemetry(rank=runtime.rank)
+            comm = Communicator(
+                runtime, faults=plan, detect_timeout=0.4, telemetry=tel
+            )
+            try:
+                comm.allreduce(np.ones(64), policy=tolerant)
+            except Exception:
+                pass
+            snap = tel.snapshot(events=True)
+            comm.close()
+            return runtime.rank, snap
+
+        results = dict(spmd(RANKS, worker, timeout=90.0))
+        survivors = [r for r in range(RANKS) if r != 2]
+        merged = merge_snapshots([results[r] for r in survivors])
+        assert merged["counters"]["faults.suspicions"] >= len(survivors)
+        assert merged["histograms"]["faults.suspicion_latency_s"]["count"] >= 1
+        degraded = [
+            e
+            for r in survivors
+            for e in results[r]["events"]
+            if e["args"].get("outcome") == "degraded"
+        ]
+        assert degraded
+        assert all(e["args"]["missing_ranks"] == [2] for e in degraded)

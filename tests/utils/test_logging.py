@@ -1,0 +1,70 @@
+"""Tests for :mod:`repro.utils.logging` — namespacing and handler hygiene."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.utils.logging import enable_debug_logging, get_logger
+
+
+def _stream_handlers():
+    return [
+        h
+        for h in logging.getLogger("repro").handlers
+        if isinstance(h, logging.StreamHandler)
+        and not isinstance(h, logging.NullHandler)
+    ]
+
+
+def teardown_function(_fn):
+    # Undo whatever enable_debug_logging attached so tests stay isolated.
+    base = logging.getLogger("repro")
+    for handler in _stream_handlers():
+        base.removeHandler(handler)
+    base.setLevel(logging.NOTSET)
+
+
+def test_get_logger_namespaces_under_repro():
+    assert get_logger("core.api").name == "repro.core.api"
+    assert get_logger("faults.recovery").name == "repro.faults.recovery"
+
+
+def test_get_logger_keeps_already_namespaced_names():
+    assert get_logger("repro.core.api").name == "repro.core.api"
+    assert get_logger("repro").name == "repro"
+
+
+def test_base_logger_has_null_handler_only_by_default():
+    base = logging.getLogger("repro")
+    assert any(isinstance(h, logging.NullHandler) for h in base.handlers)
+    assert not _stream_handlers()
+
+
+def test_library_loggers_propagate_to_repro_base():
+    records = []
+
+    class Capture(logging.Handler):
+        def emit(self, record):
+            records.append(record)
+
+    base = logging.getLogger("repro")
+    handler = Capture(level=logging.DEBUG)
+    base.addHandler(handler)
+    base.setLevel(logging.DEBUG)
+    try:
+        get_logger("core.pipeline").debug("hello from %s", "test")
+    finally:
+        base.removeHandler(handler)
+        base.setLevel(logging.NOTSET)
+    assert [r.getMessage() for r in records] == ["hello from test"]
+    assert records[0].name == "repro.core.pipeline"
+
+
+def test_enable_debug_logging_is_idempotent():
+    enable_debug_logging()
+    first = _stream_handlers()
+    assert len(first) == 1
+    enable_debug_logging()
+    enable_debug_logging(logging.INFO)
+    assert _stream_handlers() == first  # no duplicate handlers
+    assert logging.getLogger("repro").level == logging.INFO
