@@ -10,19 +10,25 @@ Two sweeps quantify what the degraded-mode collectives buy:
 * :func:`skew_sweep` — arrival-pattern skew vs. completion time, the
   Proficz-style imbalanced-PAP experiment: completion of a strict
   collective is gated by the latest arrival, which is exactly why the
-  process-threshold policies pay off.
+  process-threshold policies pay off;
+* :func:`elasticity_sweep` — how long the elastic recovery paths take:
+  time to ``shrink()`` a crashed world and time to fold a recovered rank
+  back in (rejoin + correction + reinstate), per world size.
 
-Both produce plain dict rows; render them with
+All produce plain dict rows; render them with
 :func:`repro.bench.report.format_kv_table`.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.api import Communicator
+from ..core.policy import ConsistencyPolicy
 from ..faults.injection import FaultPlan, FaultyRuntime, RankCrashedError
 from ..faults.recovery import (
     FAULT_SEGMENT_ID,
@@ -179,6 +185,126 @@ def crash_sweep(
         ),
         "rows": rows,
         "table": format_kv_table(rows, title="completion time / error vs. crash count"),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# elasticity sweep
+# --------------------------------------------------------------------------- #
+def elasticity_sweep(
+    rank_counts: Sequence[int] = (4, 8),
+    elements: int = 2048,
+    detect_timeout: float = 0.2,
+    converge_timeout: float = 30.0,
+) -> Dict:
+    """Time-to-shrink and time-to-respawn per world size (threaded).
+
+    Two measured recovery paths per rank count, both starting from a
+    degraded allreduce whose last rank crashed:
+
+    * **shrink** — wall time of the survivors' ``Communicator.shrink()``
+      (agreement round + quiesce + rebuild), reported as the slowest
+      survivor;
+    * **respawn** — wall time from degraded completion until the
+      survivors folded the recovered rank's late contribution back in
+      and reinstated it, again slowest-survivor.  The victim drives
+      :func:`repro.elastic.rejoin` in place, gated on the survivors
+      completing degraded first — otherwise the late contribution lands
+      inside the detection window and there is nothing to measure.
+    """
+    from ..elastic.respawn import rejoin
+
+    policy = ConsistencyPolicy.process_threshold(0.5, on_failure="complete")
+    rows: List[Dict] = []
+    for num_ranks in rank_counts:
+        require(num_ranks >= 2, "need at least 2 ranks")
+        victim = num_ranks - 1
+        crash_op = max(1, (num_ranks - 1) // 2)
+
+        def shrink_worker(runtime, num_ranks=num_ranks, victim=victim):
+            faults = get_scenario("crash_then_shrink").plan(num_ranks)
+            comm = Communicator(runtime, faults=faults, detect_timeout=detect_timeout)
+            try:
+                data = _rank_vector(comm.rank, elements)
+                if comm.rank == victim:
+                    try:
+                        comm.allreduce(data, policy=policy)
+                    except RankCrashedError:
+                        pass
+                    return None
+                comm.allreduce(data, policy=policy)
+                t0 = time.perf_counter()
+                shrunk = comm.shrink()
+                elapsed = time.perf_counter() - t0
+                shrunk.close()
+                return elapsed
+            finally:
+                comm.close()
+
+        # Every survivor must have *finished* degraded before the victim
+        # rejoins, or the late contribution lands inside someone's
+        # detection window and the correction pass degenerates to a no-op.
+        degraded_done = threading.Barrier(num_ranks - 1)
+        resend = threading.Event()
+
+        def respawn_worker(
+            runtime, num_ranks=num_ranks, victim=victim, crash_op=crash_op,
+            degraded_done=degraded_done, resend=resend,
+        ):
+            faults = get_scenario("crash_then_respawn").plan(num_ranks)
+            comm = Communicator(runtime, faults=faults, detect_timeout=detect_timeout)
+            try:
+                data = _rank_vector(comm.rank, elements)
+                if comm.rank == victim:
+                    try:
+                        comm.allreduce(data, policy=policy)
+                    except RankCrashedError:
+                        resend.wait(converge_timeout)
+                        rejoin(
+                            comm, data,
+                            min_peers=(num_ranks - 1) - crash_op,
+                            timeout=converge_timeout,
+                        )
+                    return None
+                comm.allreduce(data, policy=policy)
+                degraded_done.wait(converge_timeout)
+                t0 = time.perf_counter()
+                resend.set()
+                detail = comm.last_result.detail
+                deadline = time.monotonic() + converge_timeout
+                while (
+                    detail is not None
+                    and not detail.complete
+                    and time.monotonic() < deadline
+                ):
+                    detail.correct(timeout=0.5)
+                comm.reinstate(victim)
+                return time.perf_counter() - t0
+            finally:
+                comm.close()
+
+        shrink_times = [
+            t for t in run_spmd(num_ranks, shrink_worker, timeout=120.0)
+            if t is not None
+        ]
+        respawn_times = [
+            t for t in run_spmd(num_ranks, respawn_worker, timeout=120.0)
+            if t is not None
+        ]
+        rows.append(
+            {
+                "ranks": int(num_ranks),
+                "time_to_shrink_s": max(shrink_times),
+                "time_to_respawn_s": max(respawn_times),
+            }
+        )
+    return {
+        "title": (
+            f"elastic recovery, {elements} elements, "
+            f"detect timeout {detect_timeout}s (threaded substrate)"
+        ),
+        "rows": rows,
+        "table": format_kv_table(rows, title="time to shrink / respawn vs. ranks"),
     }
 
 

@@ -530,6 +530,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="additionally run one cell bare vs "
                              "telemetry-enabled, report the overhead and "
                              "embed the merged snapshot in the report meta")
+    parser.add_argument("--elasticity", action="store_true",
+                        help="additionally measure time-to-shrink and "
+                             "time-to-respawn per world size and embed the "
+                             "rows in the report meta")
     args = parser.parse_args(argv)
 
     if args.trace:
@@ -590,6 +594,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backend=backends[0],
         )
 
+    elasticity: Dict[str, object] = {}
+    if args.elasticity:
+        from .faults import elasticity_sweep
+
+        elasticity = elasticity_sweep(
+            rank_counts=(4,) if args.quick else (4, 8),
+            elements=512 if args.quick else 2048,
+        )
+
     primary = summaries[backends[0]]
     min_speedup = min(row["speedup"] for row in primary)
     small = [r["speedup"] for r in primary if r["payload_bytes"] == min(sizes)]
@@ -615,6 +628,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "backend_comparison": crossover,
             "overlap_demo": overlap_rows,
             "telemetry": telemetry_row,
+            "elasticity": {
+                k: v for k, v in elasticity.items() if k != "table"
+            },
             "baseline_report": "BENCH_pr4.json",
         },
     )
@@ -636,6 +652,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f" vs overlapped {overlap_rows['overlapped_seconds']*1e3:.2f} ms"
               f" ({overlap_rows['speedup']:.2f}x, bit-identical="
               f"{overlap_rows['results_match']})")
+    if elasticity:
+        print()
+        print(elasticity["table"])
     if telemetry_row:
         print(f"\ntelemetry cell [{telemetry_row['backend']}]: bare "
               f"{telemetry_row['base_seconds']*1e3:.2f} ms vs instrumented "

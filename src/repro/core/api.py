@@ -47,12 +47,15 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Dict, List, Optional, Sequence, Set
+import weakref
+from dataclasses import replace as dataclass_replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
 from ..gaspi.constants import GASPI_BLOCK
 from ..gaspi.errors import GaspiError
+from ..gaspi.group import Group
 from ..gaspi.runtime import GaspiRuntime
 from ..gaspi.subruntime import GroupRuntime
 from ..telemetry.core import CLOCK, NULL_TELEMETRY, Telemetry
@@ -243,6 +246,9 @@ class Communicator:
         self._collective_seq = 0
         self._ssp_instances: Dict[int, SSPAllreduce] = {}
         self._split_count = 0
+        #: Live child communicators from split()/dup(), as (weakref, members)
+        #: pairs, so reinstate() can propagate into their suspicion maps.
+        self._children: List[tuple] = []
         self._last_result: Optional[CollectiveResult] = None
         self._last_segment_id: Optional[int] = None
         self._plans = PlanCache(plan_cache)
@@ -365,13 +371,40 @@ class Communicator:
         """Stop suspecting ranks (collective hygiene, call it on all ranks).
 
         Use after a crashed rank recovered and its late contribution was
-        folded in, so the next collectives include it again.
+        folded in, so the next collectives include it again.  Propagates
+        into the suspicion maps of child communicators created by
+        :meth:`split`/:meth:`dup` before the reinstate — a recovered rank
+        must not stay excluded from sub-communicator collectives.
         """
+        cleared: List[int] = []
         for rank in ranks:
             rank = int(rank)
             if rank in self._suspected:
                 logger.info("rank %d: reinstating rank %d", self.rank, rank)
             self._suspected.discard(rank)
+            cleared.append(rank)
+        if cleared and self._children:
+            self._propagate_reinstate(cleared)
+
+    def _propagate_reinstate(self, ranks: Iterable[int]) -> None:
+        """Clear reinstated ranks from live children (in child numbering).
+
+        Children track their own children, so the clear recurses through
+        the whole sub-communicator tree; dead weakrefs are pruned along
+        the way.
+        """
+        live: List[tuple] = []
+        for ref, members in self._children:
+            child = ref()
+            if child is None:
+                continue
+            live.append((ref, members))
+            translated = [
+                members.index(r) for r in ranks if r in members
+            ]
+            if translated:
+                child.reinstate(*translated)
+        self._children = live
 
     @property
     def is_subcommunicator(self) -> bool:
@@ -576,16 +609,21 @@ class Communicator:
             self._c_cache_hits.add()
         return plan
 
-    def _quiesce_plans(self) -> None:
+    def _quiesce_plans(
+        self, group: Optional[Group] = None, timeout: float = GASPI_BLOCK
+    ) -> None:
         """Synchronise ranks before freeing pooled plan segments.
 
         Best effort: a runtime that can no longer synchronise (a fault
         plan crashed this rank, a peer died mid-run) must not turn
         teardown into a hang — the subsequent segment deletes tolerate
-        whatever the missing synchronisation leaves behind.
+        whatever the missing synchronisation leaves behind.  ``group``
+        restricts the barrier to a survivor subset (elastic shrink), and
+        a finite ``timeout`` bounds the wait when some of them may be
+        gone too.
         """
         try:
-            self.runtime.barrier()
+            self.runtime.barrier(group, timeout=timeout)
         except GaspiError:
             pass
 
@@ -1256,6 +1294,9 @@ class Communicator:
         child._suspected = {
             members.index(r) for r in self._suspected if r in members
         }
+        # Weakly tracked so reinstate() can propagate into the child's
+        # suspicion map without keeping a closed child alive.
+        self._children.append((weakref.ref(child), tuple(members)))
         return child
 
     def dup(self) -> "Communicator":
@@ -1267,6 +1308,176 @@ class Communicator:
         dup = self.split(0, key=0)
         assert dup is not None  # every rank participates with the same color
         return dup
+
+    # ------------------------------------------------------------------ #
+    # elasticity
+    # ------------------------------------------------------------------ #
+    def checkpoint(self):
+        """Snapshot this rank's communicator state at a collective boundary.
+
+        Collective: call it on every rank at the same point.  Returns a
+        :class:`~repro.elastic.checkpoint.CommSnapshot` that serializes
+        to JSON (``snapshot.save(dir)``) and restores into a fresh world
+        via :func:`repro.elastic.restore`.  See :mod:`repro.elastic`.
+        """
+        from ..elastic.checkpoint import checkpoint
+
+        return checkpoint(self)
+
+    def shrink(
+        self,
+        failed: Optional[Iterable[int]] = None,
+        *,
+        detect_timeout: Optional[float] = None,
+    ) -> "Communicator":
+        """Renumber the survivors into a fresh full-strength communicator.
+
+        Collective over the *survivors* (every live rank must call it at
+        the same point; crashed ranks obviously do not).  The removal set
+        is ``failed`` if given, else the current :attr:`suspected_ranks`.
+        The survivors agree on it through one tolerant max-allreduce over
+        removal masks — so a rank whose detection window missed a death
+        still learns it here — then quiesce this communicator's in-flight
+        state and build a new one on a :class:`GroupRuntime` over the
+        survivor subset with a disjoint segment-id slice.
+
+        The shrunk communicator runs *non-degraded* collectives: its
+        policy resets ``on_failure`` to ``"abort"`` (no dead weight left
+        to tolerate), its plan cache starts empty and recompiles for the
+        new size, and suspicion not covered by the removal carries over
+        in survivor numbering.  The parent communicator remains usable
+        only for teardown (``close()``); run collectives on the returned
+        child.
+        """
+        removing: Set[int] = (
+            {int(r) for r in failed} if failed is not None else set(self._suspected)
+        )
+        for r in removing:
+            require(
+                0 <= r < self.size,
+                f"cannot shrink away rank {r} outside world of size {self.size}",
+            )
+        require(
+            self.rank not in removing,
+            f"rank {self.rank} cannot shrink itself away",
+        )
+        from ..faults.recovery import DEFAULT_DETECT_TIMEOUT, tolerant_allreduce
+
+        timeout = (
+            detect_timeout
+            if detect_timeout is not None
+            else (self._detect_timeout or DEFAULT_DETECT_TIMEOUT)
+        )
+        tel = self._telemetry
+        t0 = CLOCK() if tel.enabled else 0.0
+
+        # Agreement round: every survivor contributes its removal mask;
+        # the max-combine unions the views, and ranks that fail to show
+        # up for the agreement itself join the removal set.
+        mask = np.zeros(self.size, dtype=np.int64)
+        if removing:
+            mask[sorted(removing)] = 1
+        self._collective_seq += 1
+        verdict = tolerant_allreduce(
+            self.runtime,
+            mask,
+            op="max",
+            threshold=1.0 / self.size,
+            on_failure="complete",
+            detect_timeout=timeout,
+            known_failed=removing,
+            segment_id=self._allocate_segment_id(),
+        )
+        agreed = {r for r in range(self.size) if verdict.value[r] > 0}
+        agreed |= set(verdict.missing_ranks)
+        verdict.close()
+        require(
+            self.rank not in agreed,
+            f"rank {self.rank} was voted dead by the survivors and cannot "
+            f"shrink (checkpoint/respawn instead)",
+        )
+        survivors = [r for r in range(self.size) if r not in agreed]
+        require(
+            len(survivors) >= 1 and agreed,
+            f"shrink needs at least one removed rank and one survivor "
+            f"(removed: {sorted(agreed)})",
+        )
+
+        # Quiesce: drain in-flight state so the parent's pooled segments
+        # can be freed without racing a survivor still driving them.
+        if self._progress.active:
+            try:
+                self._progress.wait_all(timeout)
+            except (GaspiError, TimeoutError):
+                pass
+        self._progress.stop_thread()
+        for key in list(self._ssp_instances):
+            inst = self._ssp_instances.pop(key)
+            try:
+                inst.close()
+            except GaspiError:  # pragma: no cover - dead peer mid-close
+                pass
+        for detail in self._open_degraded:
+            detail.close()
+        self._open_degraded.clear()
+        if len(self._plans):
+            self._quiesce_plans(Group(survivors), timeout=timeout)
+        self._plans.close_all()
+
+        # Unwrap instrumentation and fault layers: the child re-wraps
+        # telemetry itself, and injected faults died with the removed
+        # ranks (a shrunk world is a fresh, full-strength one).  The
+        # structural GroupRuntime layers stay — survivors are expressed
+        # in this communicator's numbering.
+        base = self.runtime
+        while True:
+            inner = getattr(base, "inner", None)
+            if inner is not None and not isinstance(base, GroupRuntime):
+                base = inner
+                continue
+            faulty_base = getattr(base, "base", None)
+            if faulty_base is not None and not isinstance(base, GroupRuntime):
+                base = faulty_base
+                continue
+            break
+
+        split_seq = self._split_count
+        self._split_count += 1
+        child_base, child_span = self._child_segment_range(split_seq)
+        policy = self._policy
+        if policy.on_failure != "abort":
+            policy = dataclass_replace(policy, on_failure="abort")
+        shrunk = Communicator(
+            GroupRuntime(base, survivors),
+            segment_base=child_base,
+            segment_span=child_span,
+            policy=policy,
+            tuning=self._tuning,
+            machine=self._machine,
+            family=self._family,
+            registry=self._registry,
+            detect_timeout=self._detect_timeout,
+            plan_cache=self._plans.capacity,
+            telemetry=tel if tel.enabled else None,
+        )
+        shrunk._suspected = {
+            survivors.index(r) for r in self._suspected if r in survivors
+        }
+        self._suspected.update(agreed)
+        self._children.append((weakref.ref(shrunk), tuple(survivors)))
+        logger.info(
+            "rank %d: shrink removed ranks %s, continuing as rank %d/%d",
+            self.rank, sorted(agreed), shrunk.rank, shrunk.size,
+        )
+        if tel.enabled:
+            t1 = CLOCK()
+            tel.counter("elastic.shrinks").add()
+            tel.histogram("elastic.shrink_s").observe(t1 - t0)
+            tel.record_span(
+                "shrink", "elastic", t0, t1,
+                {"removed": sorted(agreed), "survivors": len(survivors)},
+            )
+        return shrunk
 
     # ------------------------------------------------------------------ #
     # lifecycle

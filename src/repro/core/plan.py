@@ -147,6 +147,51 @@ class PlanKey:
             tag=int(request.tag),
         )
 
+    # ------------------------------------------------------------------ #
+    # serialization (checkpoint snapshots)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form of the key (used by elastic checkpoints)."""
+        return {
+            "collective": self.collective,
+            "algorithm": self.algorithm,
+            "size": self.size,
+            "root": self.root,
+            "nbytes": self.nbytes,
+            "dtype": self.dtype,
+            "op": self.op,
+            "policy": list(self.policy),
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PlanKey":
+        """Rebuild a key from :meth:`to_dict` output (JSON round-trip safe).
+
+        The policy fingerprint travels as a JSON list; it is coerced back
+        to the canonical tuple form so the rebuilt key hashes and compares
+        equal to the original.
+        """
+        threshold, mode, slack, on_failure, chunk_bytes = data["policy"]
+        fingerprint: PolicyFingerprint = (
+            float(threshold),
+            str(mode),
+            int(slack),
+            str(on_failure),
+            None if chunk_bytes is None else int(chunk_bytes),
+        )
+        return cls(
+            collective=str(data["collective"]),
+            algorithm=str(data["algorithm"]),
+            size=int(data["size"]),
+            root=int(data["root"]),
+            nbytes=int(data["nbytes"]),
+            dtype=str(data["dtype"]),
+            op=str(data["op"]),
+            policy=fingerprint,
+            tag=int(data.get("tag", 0)),
+        )
+
 
 # --------------------------------------------------------------------------- #
 # plan base class

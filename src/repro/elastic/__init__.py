@@ -1,0 +1,48 @@
+"""Elastic communicators: checkpoint, shrink, and respawn into a live world.
+
+The step from batch job to operable service, built on three primitives:
+
+* :func:`checkpoint` / :func:`restore` — serialize per-rank communicator
+  state at a collective boundary (``repro-ckpt/v1`` JSON snapshots) and
+  rebuild it in a fresh world with bit-identical replay;
+* :meth:`Communicator.shrink() <repro.core.api.Communicator.shrink>` —
+  renumber the survivors of a crash into a fresh full-strength
+  communicator (agreement round, quiesce, disjoint segment range);
+* :func:`rejoin` + :class:`ElasticShmWorld` — spawn a replacement rank
+  into a live shm world, adopt the dead predecessor's shared-memory
+  blocks, and fold the late contribution back in Küttler-style.
+
+``python -m repro.elastic`` demonstrates all three end to end (the
+chaos-smoke CI job runs it on both backends).
+"""
+
+from .checkpoint import (
+    CKPT_SCHEMA,
+    MANIFEST_NAME,
+    CommSnapshot,
+    PlanEntry,
+    checkpoint,
+    restore,
+)
+from .respawn import (
+    DEFAULT_REJOIN_TIMEOUT,
+    recover_crashed,
+    rejoin,
+    sweep_stale_segments,
+)
+from .world import ElasticShmWorld, RankResult
+
+__all__ = [
+    "CKPT_SCHEMA",
+    "MANIFEST_NAME",
+    "CommSnapshot",
+    "PlanEntry",
+    "checkpoint",
+    "restore",
+    "DEFAULT_REJOIN_TIMEOUT",
+    "recover_crashed",
+    "rejoin",
+    "sweep_stale_segments",
+    "ElasticShmWorld",
+    "RankResult",
+]

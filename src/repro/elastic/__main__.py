@@ -1,0 +1,440 @@
+"""Crash → checkpoint → shrink → respawn demo (``python -m repro.elastic``).
+
+Three end-to-end flows, each verifying exactness rather than printing
+pretty numbers:
+
+* ``checkpoint`` — run planned allreduces, checkpoint at a collective
+  boundary, restore into a *fresh* world and replay the epilogue;
+  the restored run must be bit-identical to the uninterrupted one and
+  must serve every replayed call from the restored plan cache
+  (``misses == 0``).
+* ``shrink`` — lose the last rank mid-stream (``crash_then_shrink``),
+  have the survivors ``shrink()`` to a full-strength smaller world, and
+  compare the shrunk world's strict collectives bit-for-bit against a
+  native run of that smaller size.
+* ``respawn`` — lose the last rank mid-collective
+  (``crash_then_respawn``), fold a recovered (threaded) or freshly
+  respawned (shm, via :class:`~repro.elastic.world.ElasticShmWorld`)
+  incarnation back in, and verify exact re-convergence of integer sums
+  on every rank.
+
+The shm flows additionally fail on any leaked ``/dev/shm`` block — this
+is what the chaos-smoke CI job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+import warnings
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.api import Communicator
+from ..core.policy import ConsistencyPolicy
+from ..faults.injection import RankCrashedError
+from ..faults.scenarios import get_scenario
+from ..gaspi.launch import BACKENDS, run_backend
+from .checkpoint import CommSnapshot, restore
+from .respawn import rejoin, sweep_stale_segments
+from .world import ElasticShmWorld
+
+#: Algorithms exercised by the checkpoint round-trip (monolithic ring and
+#: the paper's segmented pipelined ring).
+CHECKPOINT_ALGORITHMS = ("ring", "ring_pipelined")
+
+#: Process-threshold policy of the degraded phases: complete at half.
+DEGRADED = ConsistencyPolicy.process_threshold(0.5, on_failure="complete")
+
+#: Detection window of the crash flows; generous enough for loaded CI.
+DETECT_TIMEOUT = 1.5
+
+#: Budget of the survivors' correction loop and the replacement's rejoin.
+CONVERGE_TIMEOUT = 30.0
+
+
+def _payload(rank: int, step: int, elements: int) -> np.ndarray:
+    """Deterministic per-(rank, step) float payload (replayable anywhere)."""
+    return np.arange(elements, dtype=np.float64) * 0.001 + rank * 1.7 + step * 0.31
+
+
+def _int_payload(rank: int, elements: int) -> np.ndarray:
+    """Integer payload for exact re-convergence checks."""
+    return np.arange(elements, dtype=np.int64) + rank * 1000
+
+
+def _shm_leaks(caught) -> List[str]:
+    """ResourceWarnings from run_shm's leak sweep, as messages."""
+    return [
+        str(w.message)
+        for w in caught
+        if issubclass(w.category, ResourceWarning) and "leaked" in str(w.message)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# checkpoint round-trip
+# --------------------------------------------------------------------------- #
+def _checkpoint_phase_a(runtime, algorithm, steps_before, steps_after, elements, ckpt_dir):
+    comm = Communicator(runtime)
+    try:
+        for step in range(steps_before):
+            comm.allreduce(_payload(comm.rank, step, elements), algorithm=algorithm)
+        comm.checkpoint().save(ckpt_dir)
+        out = [
+            comm.allreduce(
+                _payload(comm.rank, steps_before + j, elements), algorithm=algorithm
+            ).tobytes()
+            for j in range(steps_after)
+        ]
+        return b"".join(out)
+    finally:
+        comm.close()
+
+
+def _checkpoint_phase_b(runtime, algorithm, steps_before, steps_after, elements, ckpt_dir):
+    snapshot = CommSnapshot.load(ckpt_dir, runtime.rank)
+    comm = restore(runtime, snapshot)
+    try:
+        out = [
+            comm.allreduce(
+                _payload(comm.rank, steps_before + j, elements), algorithm=algorithm
+            ).tobytes()
+            for j in range(steps_after)
+        ]
+        stats = comm.plan_cache_stats()
+        return b"".join(out), stats.misses, stats.hits
+    finally:
+        comm.close()
+
+
+def run_checkpoint_demo(
+    backend: str,
+    ranks: int,
+    elements: int = 2048,
+    steps_before: int = 3,
+    steps_after: int = 3,
+) -> Dict[str, object]:
+    """Checkpoint → restore-into-fresh-world → bit-identical replay."""
+    failures: List[str] = []
+    for algorithm in CHECKPOINT_ALGORITHMS:
+        with tempfile.TemporaryDirectory(prefix="repro-ckpt-") as ckpt_dir:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always", ResourceWarning)
+                reference = run_backend(
+                    ranks, _checkpoint_phase_a, algorithm, steps_before,
+                    steps_after, elements, ckpt_dir, backend=backend,
+                )
+                replayed = run_backend(
+                    ranks, _checkpoint_phase_b, algorithm, steps_before,
+                    steps_after, elements, ckpt_dir, backend=backend,
+                )
+            leaks = _shm_leaks(caught)
+            if leaks:
+                failures.append(f"{algorithm}: shm leak(s): {leaks}")
+            for rank in range(ranks):
+                replay_bytes, misses, hits = replayed[rank]
+                if replay_bytes != reference[rank]:
+                    failures.append(
+                        f"{algorithm}: rank {rank} replay diverged from the "
+                        f"uninterrupted run"
+                    )
+                if misses != 0:
+                    failures.append(
+                        f"{algorithm}: rank {rank} recompiled plans on replay "
+                        f"({misses} miss(es), {hits} hit(s)) — restore did not "
+                        f"repopulate the cache"
+                    )
+    return {
+        "mode": "checkpoint",
+        "backend": backend,
+        "ranks": ranks,
+        "ok": not failures,
+        "failures": failures,
+        "detail": f"{len(CHECKPOINT_ALGORITHMS)} algorithm(s), "
+                  f"{steps_before}+{steps_after} steps",
+    }
+
+
+# --------------------------------------------------------------------------- #
+# shrink
+# --------------------------------------------------------------------------- #
+def _shrink_worker(runtime, victim, elements, steps, faults):
+    comm = Communicator(runtime, faults=faults, detect_timeout=DETECT_TIMEOUT)
+    if comm.rank == victim:
+        try:
+            comm.allreduce(_payload(comm.rank, 0, elements), policy=DEGRADED)
+        except RankCrashedError:
+            pass
+        comm.close()
+        return None
+    try:
+        comm.allreduce(_payload(comm.rank, 0, elements), policy=DEGRADED)
+        shrunk = comm.shrink()
+        try:
+            out = [
+                shrunk.allreduce(
+                    _payload(shrunk.rank, 1 + step, elements), algorithm="ring"
+                ).tobytes()
+                for step in range(steps)
+            ]
+            return b"".join(out)
+        finally:
+            shrunk.close()
+    finally:
+        comm.close()
+
+
+def _shrink_native_worker(runtime, elements, steps):
+    comm = Communicator(runtime)
+    try:
+        out = [
+            comm.allreduce(
+                _payload(comm.rank, 1 + step, elements), algorithm="ring"
+            ).tobytes()
+            for step in range(steps)
+        ]
+        return b"".join(out)
+    finally:
+        comm.close()
+
+
+def run_shrink_demo(
+    backend: str, ranks: int, elements: int = 2048, steps: int = 3
+) -> Dict[str, object]:
+    """Crash → survivors shrink() → bit-identical to a native smaller run."""
+    victim = ranks - 1
+    faults = get_scenario("crash_then_shrink").plan(ranks)
+    failures: List[str] = []
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", ResourceWarning)
+        shrunk = run_backend(
+            ranks, _shrink_worker, victim, elements, steps, faults, backend=backend
+        )
+        native = run_backend(
+            ranks - 1, _shrink_native_worker, elements, steps, backend=backend
+        )
+    leaks = _shm_leaks(caught)
+    if leaks:
+        failures.append(f"shm leak(s): {leaks}")
+    if shrunk[victim] is not None:
+        failures.append(f"victim rank {victim} unexpectedly produced a result")
+    for rank in range(ranks - 1):
+        if shrunk[rank] != native[rank]:
+            failures.append(
+                f"rank {rank}: shrunk-world results diverged from the native "
+                f"{ranks - 1}-rank run"
+            )
+    return {
+        "mode": "shrink",
+        "backend": backend,
+        "ranks": ranks,
+        "ok": not failures,
+        "failures": failures,
+        "detail": f"{ranks} -> {ranks - 1} ranks, {steps} post-shrink steps",
+    }
+
+
+# --------------------------------------------------------------------------- #
+# respawn
+# --------------------------------------------------------------------------- #
+def _respawn_converge(comm, victim):
+    """Survivor side: correct until complete, then reinstate the victim."""
+    detail = comm.last_result.detail
+    deadline = time.monotonic() + CONVERGE_TIMEOUT
+    while detail is not None and not detail.complete:
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"rank {comm.rank}: correction did not converge within "
+                f"{CONVERGE_TIMEOUT}s (missing: {list(detail.missing_ranks)})"
+            )
+        detail.correct(timeout=0.5)
+    comm.reinstate(victim)
+
+
+def _respawn_threaded_worker(runtime, victim, rejoin_peers, elements, faults):
+    comm = Communicator(runtime, faults=faults, detect_timeout=DETECT_TIMEOUT)
+    try:
+        data = _int_payload(comm.rank, elements)
+        if comm.rank == victim:
+            try:
+                comm.allreduce(data, policy=DEGRADED)
+            except RankCrashedError:
+                rejoin(
+                    comm, data, min_peers=rejoin_peers, timeout=CONVERGE_TIMEOUT
+                )
+        else:
+            comm.allreduce(data, policy=DEGRADED)
+            _respawn_converge(comm, victim)
+        comm.barrier()
+        total = comm.allreduce(data, policy=DEGRADED)
+        return total.tobytes()
+    finally:
+        comm.close()
+
+
+def _respawn_shm_survivor(runtime, victim, elements, ckpt_dir, faults):
+    comm = Communicator(runtime, faults=faults, detect_timeout=DETECT_TIMEOUT)
+    try:
+        comm.checkpoint().save(ckpt_dir)
+        data = _int_payload(comm.rank, elements)
+        if comm.rank == victim:
+            try:
+                comm.allreduce(data, policy=DEGRADED)
+            except RankCrashedError:
+                # Hard death: no cleanup, no result — the leftover shm
+                # blocks are exactly what the replacement adopts.
+                os._exit(17)
+        comm.allreduce(data, policy=DEGRADED)
+        _respawn_converge(comm, victim)
+        comm.barrier()
+        total = comm.allreduce(data, policy=DEGRADED)
+        return total.tobytes()
+    finally:
+        comm.close()
+
+
+def _respawn_shm_replacement(runtime, rejoin_peers, elements, ckpt_dir):
+    snapshot = CommSnapshot.load(ckpt_dir, runtime.rank)
+    comm = restore(runtime, snapshot, barrier=False)
+    try:
+        data = _int_payload(comm.rank, elements)
+        rejoin(
+            comm, data, advance=True, min_peers=rejoin_peers,
+            timeout=CONVERGE_TIMEOUT,
+        )
+        sweep_stale_segments(comm.runtime, keep=[comm.last_segment_id])
+        comm.barrier()
+        total = comm.allreduce(data, policy=DEGRADED)
+        return total.tobytes()
+    finally:
+        comm.close()
+
+
+def run_respawn_demo(
+    backend: str, ranks: int, elements: int = 2048
+) -> Dict[str, object]:
+    """Crash mid-collective → recover/respawn → exact re-convergence."""
+    victim = ranks - 1
+    faults = get_scenario("crash_then_respawn").plan(ranks)
+    crash_op = max(1, (ranks - 1) // 2)
+    # Survivors the victim reached before dying hold its contribution and
+    # release their workspaces immediately; only the rest must (and can)
+    # accept the re-driven contribution.
+    rejoin_peers = (ranks - 1) - crash_op
+    expected = np.arange(elements, dtype=np.int64) * ranks + 1000 * sum(range(ranks))
+    expected_bytes = expected.tobytes()
+    failures: List[str] = []
+
+    if backend == "threaded":
+        results = run_backend(
+            ranks, _respawn_threaded_worker, victim, rejoin_peers, elements,
+            faults, backend="threaded",
+        )
+        for rank, blob in enumerate(results):
+            if blob != expected_bytes:
+                failures.append(f"rank {rank} did not re-converge exactly")
+        detail = f"in-place recovery, {ranks} ranks"
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-ckpt-") as ckpt_dir:
+            with ElasticShmWorld(ranks) as world:
+                world.spawn_all(
+                    _respawn_shm_survivor, victim, elements, ckpt_dir, faults
+                )
+                dead = world.wait([victim], timeout=CONVERGE_TIMEOUT)
+                if dead[victim].status != "dead":
+                    failures.append(
+                        f"victim rank {victim} did not die hard "
+                        f"(status {dead[victim].status!r})"
+                    )
+                else:
+                    world.spawn(
+                        victim, _respawn_shm_replacement, rejoin_peers,
+                        elements, ckpt_dir,
+                    )
+                results = world.wait(timeout=2 * CONVERGE_TIMEOUT)
+                for rank, res in sorted(results.items()):
+                    if not res.ok:
+                        failures.append(
+                            f"rank {rank} finished {res.status}: {res.error}"
+                        )
+                    elif res.value != expected_bytes:
+                        failures.append(f"rank {rank} did not re-converge exactly")
+                leaked = world.leaked_blocks()
+                if leaked:
+                    failures.append(f"/dev/shm leak(s) before teardown: {leaked}")
+                swept = world.close()
+                if swept:
+                    failures.append(f"teardown swept leaked block(s): {swept}")
+        detail = f"process respawn via ElasticShmWorld, {ranks} ranks"
+
+    return {
+        "mode": "respawn",
+        "backend": backend,
+        "ranks": ranks,
+        "ok": not failures,
+        "failures": failures,
+        "detail": detail,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.elastic",
+        description="crash -> checkpoint -> shrink -> respawn demo",
+    )
+    parser.add_argument(
+        "--backend", choices=list(BACKENDS) + ["both"], default="both",
+        help="rank-world substrate(s) to exercise",
+    )
+    parser.add_argument(
+        "--mode", choices=["checkpoint", "shrink", "respawn", "all"],
+        default="all", help="which flow(s) to run",
+    )
+    parser.add_argument("--ranks", type=int, default=8, help="world size")
+    parser.add_argument(
+        "--elements", type=int, default=2048, help="payload elements per rank"
+    )
+    args = parser.parse_args(argv)
+
+    backends = list(BACKENDS) if args.backend == "both" else [args.backend]
+    modes = (
+        ["checkpoint", "shrink", "respawn"] if args.mode == "all" else [args.mode]
+    )
+    runners = {
+        "checkpoint": run_checkpoint_demo,
+        "shrink": run_shrink_demo,
+        "respawn": run_respawn_demo,
+    }
+    reports = []
+    for backend in backends:
+        for mode in modes:
+            t0 = time.perf_counter()
+            report = runners[mode](backend, args.ranks, elements=args.elements)
+            report["seconds"] = time.perf_counter() - t0
+            reports.append(report)
+            status = "ok" if report["ok"] else "FAILED"
+            print(
+                f"[{status:>6}] {mode:<10} backend={backend:<8} "
+                f"ranks={report['ranks']} ({report['seconds']:.1f}s) "
+                f"- {report['detail']}"
+            )
+            for failure in report["failures"]:
+                print(f"         ! {failure}")
+    failed = [r for r in reports if not r["ok"]]
+    print(
+        f"\n{len(reports) - len(failed)}/{len(reports)} flow(s) passed"
+        + (f"; {len(failed)} FAILED" if failed else "")
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -499,7 +499,7 @@ def send_late_contribution(
     segment_id: int,
     targets: Optional[Iterable[int]] = None,
     queue: int = 0,
-) -> None:
+) -> list:
     """Push this rank's contribution into an earlier degraded exchange.
 
     The late half of the correction protocol: a recovered rank (see
@@ -514,6 +514,12 @@ def send_late_contribution(
     silently, so the default ``targets`` (everyone) is always safe; after
     a degraded *reduce* only the root holds a workspace, so
     ``targets=[root]`` merely avoids the wasted attempts.
+
+    Returns the sorted list of peer ranks actually reached (their
+    workspace accepted the write).  A caller racing the survivors'
+    workspace creation — the elastic rejoin path — retries the remainder;
+    the survivors' dedup of already-counted slots makes duplicate sends
+    idempotent.
     """
     sendbuf = np.ascontiguousarray(sendbuf)
     rank = runtime.rank
@@ -523,10 +529,11 @@ def send_late_contribution(
         segment_id, dtype=sendbuf.dtype, offset=rank * slot_bytes, count=sendbuf.size
     )
     staged[:] = sendbuf
+    reached = []
     for peer in peers:
         if int(peer) == rank:
             continue
-        _safe_write_notify(
+        if _safe_write_notify(
             runtime,
             segment_id_local=segment_id,
             offset_local=rank * slot_bytes,
@@ -536,8 +543,10 @@ def send_late_contribution(
             size=slot_bytes,
             notification_id=rank,
             queue=queue,
-        )
+        ):
+            reached.append(int(peer))
     runtime.wait(queue)
+    return sorted(reached)
 
 
 # --------------------------------------------------------------------------- #

@@ -28,6 +28,12 @@ Catalog
     the partition heals at a fixed operation index.
 ``message_loss``
     Every message is dropped with a small seeded probability.
+``crash_then_shrink``
+    The last rank dies before contributing; the survivors are expected
+    to ``shrink()`` to a full-strength smaller world.
+``crash_then_respawn``
+    The last rank dies mid-collective (some sends already out); a
+    recovered or respawned incarnation rejoins and re-converges.
 """
 
 from __future__ import annotations
@@ -122,6 +128,21 @@ def _message_loss(num_ranks: int, seed: int) -> FaultPlan:
     return FaultPlan(drop_probability=DEFAULT_LOSS, seed=seed)
 
 
+def _crash_then_shrink(num_ranks: int, seed: int) -> FaultPlan:
+    # Dies before contributing anything: the cleanest shrink case — the
+    # survivors detect the absence, agree on the removal and renumber.
+    return FaultPlan.single_crash(num_ranks - 1, at_op=0, seed=seed)
+
+
+def _crash_then_respawn(num_ranks: int, seed: int) -> FaultPlan:
+    # Dies mid-collective (same shape as late_crash): some survivors hold
+    # its contribution, some do not, so the respawned incarnation must
+    # re-drive its slot and the survivors' correction passes re-converge.
+    return FaultPlan.single_crash(
+        num_ranks - 1, at_op=max(1, (num_ranks - 1) // 2), seed=seed
+    )
+
+
 #: The scenario catalog, keyed by name.
 SCENARIOS: Dict[str, FaultScenario] = {
     s.name: s
@@ -165,6 +186,16 @@ SCENARIOS: Dict[str, FaultScenario] = {
             "message_loss",
             f"every message dropped with probability {DEFAULT_LOSS}",
             _message_loss,
+        ),
+        FaultScenario(
+            "crash_then_shrink",
+            "last rank dies silently; survivors shrink() to a smaller world",
+            _crash_then_shrink,
+        ),
+        FaultScenario(
+            "crash_then_respawn",
+            "last rank dies mid-collective; a respawn rejoins and re-converges",
+            _crash_then_respawn,
         ),
     )
 }

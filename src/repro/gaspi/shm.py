@@ -439,6 +439,50 @@ class ShmWorld:
             if name.startswith(prefix) and not name.endswith("-ctl")
         )
 
+    def stale_segments(self, rank: int) -> List[int]:
+        """Segment ids of ``rank``'s blocks still present in ``/dev/shm``.
+
+        After a rank process dies hard its owned blocks persist under
+        their deterministic names; a replacement process lists them here
+        to decide what to adopt (:meth:`ShmRuntime.adopt_segment`) and
+        what to discard (:meth:`unlink_segment`).
+        """
+        prefix = f"{self.uid}-r{int(rank)}-s"
+        ids: List[int] = []
+        for name in self.leaked_blocks():
+            if not name.startswith(prefix):
+                continue
+            try:
+                ids.append(int(name[len(prefix):]))
+            except ValueError:  # pragma: no cover - foreign name collision
+                continue
+        return sorted(ids)
+
+    def unlink_segment(self, rank: int, segment_id: int) -> bool:
+        """Unlink one dead rank's leftover block; True if it existed.
+
+        Invalidates the header first so peers holding a cached attachment
+        observe the deletion, exactly as the owner's ``segment_delete``
+        would have.
+        """
+        name = self.segment_name(int(rank), int(segment_id))
+        try:
+            stale = shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError:
+            return False
+        try:
+            header = np.frombuffer(stale.buf, dtype=np.int64, count=_HEADER_SLOTS)
+            header[_H_VALID] = 0
+            del header
+        except (ValueError, IndexError):  # pragma: no cover - truncated block
+            pass
+        _quiet_close(stale)
+        try:
+            stale.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced cleanup
+            return False
+        return True
+
     def sweep(self) -> List[str]:
         """Unlink any leaked segment blocks; returns their names."""
         leaked = self.leaked_blocks()
@@ -530,6 +574,61 @@ class ShmRuntime(GaspiRuntime):
             int(size),
             int(num_notifications),
         )
+
+    def adopt_segment(self, segment_id: int) -> Dict[int, int]:
+        """Re-attach a dead predecessor's block as this rank's own segment.
+
+        A respawned rank inherits the shared-memory block its previous
+        incarnation left behind in ``/dev/shm`` (same deterministic name,
+        since names key on rank and segment id, not process identity):
+        the block is mapped, the header word re-validated, and any stale
+        notifications the survivors posted at the dead incarnation are
+        drained under the segment lock.  Returns the drained
+        ``{notification_id: value}`` map — the survivors' contributions
+        are still in the data bytes, but the replacement re-drives the
+        exchange itself, so leftover arrival flags must not be mistaken
+        for fresh ones.
+
+        Raises :class:`GaspiSegmentError` when no such block exists (the
+        predecessor never created it, or it was swept) and
+        :class:`GaspiResourceError` on a duplicate id or segment-limit
+        breach, mirroring :meth:`segment_create`.
+        """
+        segment_id = int(segment_id)
+        if segment_id in self._local:
+            raise GaspiResourceError(
+                f"rank {self._rank}: segment {segment_id} already exists"
+            )
+        if len(self._local) >= self._world.config.max_segments:
+            raise GaspiResourceError(
+                f"rank {self._rank}: segment limit "
+                f"{self._world.config.max_segments} reached"
+            )
+        name = self._world.segment_name(self._rank, segment_id)
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError as exc:
+            raise GaspiSegmentError(
+                f"rank {self._rank}: no leftover block to adopt for "
+                f"segment {segment_id}"
+            ) from exc
+        block = _SegmentBlock(name, self._rank, segment_id, shm, owned=True)
+        if not block.valid:
+            block.release()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - raced cleanup
+                pass
+            raise GaspiSegmentError(
+                f"rank {self._rank}: leftover segment {segment_id} was "
+                f"invalidated before adoption"
+            )
+        with self._world.segment_lock(self._rank, segment_id):
+            pending = np.flatnonzero(block.notif > 0)
+            drained = {int(i): int(block.notif[i]) for i in pending}
+            block.notif[pending] = 0
+        self._local[segment_id] = block
+        return drained
 
     def segment_delete(self, segment_id: int) -> None:
         block = self._local.pop(segment_id, None)

@@ -6,7 +6,12 @@ import math
 
 import pytest
 
-from repro.bench.faults import crash_sweep, measure_crash_errors, skew_sweep
+from repro.bench.faults import (
+    crash_sweep,
+    elasticity_sweep,
+    measure_crash_errors,
+    skew_sweep,
+)
 
 
 class TestCrashSweep:
@@ -35,6 +40,21 @@ class TestCrashSweep:
     def test_infeasible_crash_count_rejected(self):
         with pytest.raises(ValueError, match="threshold"):
             measure_crash_errors(num_ranks=4, crash_counts=(4,), threshold=0.75)
+
+
+class TestElasticitySweep:
+    def test_measures_shrink_and_respawn_times(self):
+        result = elasticity_sweep(rank_counts=(4,), elements=256)
+        rows = result["rows"]
+        assert [r["ranks"] for r in rows] == [4]
+        assert rows[0]["time_to_shrink_s"] > 0
+        assert rows[0]["time_to_respawn_s"] > 0
+        assert not math.isnan(rows[0]["time_to_shrink_s"])
+        assert "shrink" in result["table"]
+
+    def test_rejects_single_rank(self):
+        with pytest.raises(ValueError, match="2 ranks"):
+            elasticity_sweep(rank_counts=(1,))
 
 
 class TestSkewSweep:

@@ -1,0 +1,128 @@
+"""Checkpoint/restore: snapshot schema, round trips, validation."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import Communicator
+from repro.core.plan import PlanKey, policy_fingerprint
+from repro.core.policy import STRICT
+from repro.elastic import CKPT_SCHEMA, MANIFEST_NAME, CommSnapshot, restore
+from repro.elastic.__main__ import run_checkpoint_demo
+from repro.gaspi import ThreadedWorld
+
+from tests.helpers import spmd
+
+
+def _snapshot_worker(rt, n):
+    comm = Communicator(rt)
+    try:
+        comm.allreduce(np.arange(n, dtype=np.float64) + rt.rank)
+        return comm.checkpoint().to_dict()
+    finally:
+        comm.close()
+
+
+class TestSnapshotSerialization:
+    def test_plan_key_dict_round_trip(self):
+        key = PlanKey(
+            collective="allreduce", algorithm="gaspi_allreduce_ring", size=4,
+            root=0, nbytes=256, dtype="<f8", op="sum",
+            policy=policy_fingerprint(STRICT), tag=2,
+        )
+        back = PlanKey.from_dict(key.to_dict())
+        assert back == key
+        assert hash(back) == hash(key)
+        assert json.loads(json.dumps(key.to_dict())) == key.to_dict()
+
+    def test_snapshot_dict_round_trip_carries_plans(self):
+        snap_dict = spmd(2, _snapshot_worker, 64)[1]
+        snap = CommSnapshot.from_dict(snap_dict)
+        assert snap.schema == CKPT_SCHEMA
+        assert snap.rank == 1 and snap.size == 2
+        assert snap.collective_seq == 1
+        assert len(snap.plans) == 1
+        assert snap.plans[0].calls == 1
+        assert CommSnapshot.from_dict(snap.to_dict()) == snap
+
+    def test_save_load_round_trip_and_manifest(self, tmp_path):
+        for snap_dict in spmd(2, _snapshot_worker, 32):
+            CommSnapshot.from_dict(snap_dict).save(tmp_path)
+        assert sorted(os.listdir(tmp_path)) == [
+            MANIFEST_NAME, "rank-00000.json", "rank-00001.json",
+        ]
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest == {"schema": CKPT_SCHEMA, "size": 2}
+        for rank in range(2):
+            loaded = CommSnapshot.load(tmp_path, rank)
+            assert loaded.rank == rank
+            assert loaded == CommSnapshot.from_dict(
+                CommSnapshot.from_dict(loaded.to_dict()).to_dict()
+            )
+
+    def test_load_rejects_identity_mismatch(self, tmp_path):
+        snap = CommSnapshot.from_dict(spmd(2, _snapshot_worker, 32)[0])
+        snap.save(tmp_path)
+        # Rank 0's snapshot masquerading under rank 1's file name.
+        (tmp_path / "rank-00001.json").write_text(
+            (tmp_path / "rank-00000.json").read_text()
+        )
+        with pytest.raises(ValueError, match="rank"):
+            CommSnapshot.load(tmp_path, 1)
+
+    def test_from_dict_rejects_unknown_schema(self):
+        bad = spmd(2, _snapshot_worker, 32)[0]
+        bad["schema"] = "repro-ckpt/v999"
+        with pytest.raises(ValueError, match="schema"):
+            CommSnapshot.from_dict(bad)
+
+
+class TestRestoreValidation:
+    def test_restore_rejects_mismatched_world(self):
+        snap = CommSnapshot.from_dict(spmd(2, _snapshot_worker, 32)[0])
+        world = ThreadedWorld(3)
+        try:
+            with pytest.raises(ValueError, match="world"):
+                restore(world.runtime(0), snap)
+        finally:
+            world.close()
+
+    def test_restore_rejects_wrong_rank(self):
+        snap = CommSnapshot.from_dict(spmd(2, _snapshot_worker, 32)[0])
+        world = ThreadedWorld(2)
+        try:
+            with pytest.raises(ValueError, match="rank"):
+                restore(world.runtime(1), snap)
+        finally:
+            world.close()
+
+    def test_restore_without_barrier_needs_plan_free_snapshot(self):
+        snap = CommSnapshot.from_dict(spmd(2, _snapshot_worker, 32)[0])
+        assert snap.plans  # the interesting case: plans would recompile
+        world = ThreadedWorld(2)
+        try:
+            with pytest.raises(ValueError, match="barrier"):
+                restore(world.runtime(0), snap, barrier=False)
+        finally:
+            world.close()
+
+
+class TestCheckpointRoundTrip:
+    """The acceptance matrix: backends x algorithms x world sizes.
+
+    Each demo run covers both the monolithic and the pipelined ring and
+    asserts bit-identical replay plus a miss-free restored plan cache.
+    """
+
+    @pytest.mark.parametrize("backend", ["threaded", "shm"])
+    @pytest.mark.parametrize("ranks", [4, 8])
+    def test_replay_is_bit_identical(self, backend, ranks):
+        report = run_checkpoint_demo(
+            backend, ranks, elements=512, steps_before=2, steps_after=2
+        )
+        assert report["failures"] == []
+        assert report["ok"]

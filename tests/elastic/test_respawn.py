@@ -1,0 +1,115 @@
+"""Respawn machinery: segment adoption, stale sweeps, rejoin."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Communicator
+from repro.elastic import rejoin, sweep_stale_segments
+from repro.elastic.__main__ import run_respawn_demo
+from repro.gaspi import ThreadedWorld
+from repro.gaspi.errors import GaspiResourceError, GaspiSegmentError
+from repro.gaspi.shm import ShmWorld
+
+
+def _orphan(runtime, segment_id):
+    """Drop a segment's mapping without unlinking — a hard-dead owner."""
+    block = runtime._local.pop(segment_id)
+    block.release()
+
+
+class TestAdoptSegment:
+    def test_adopts_leftover_block_and_drains_notifications(self):
+        world = ShmWorld(2)
+        try:
+            rt0 = world.runtime(0)
+            rt1 = world.runtime(1)
+            rt0.segment_create(5, 64)
+            rt1.notify(0, 5, 3, 7)  # stale by the time the successor looks
+            _orphan(rt0, 5)
+            assert world.stale_segments(0) == [5]
+
+            successor = world.runtime(0)
+            drained = successor.adopt_segment(5)
+            assert drained == {3: 7}
+            assert successor.segment_size(5) == 64
+            assert successor.notify_peek(5, 3) == 0  # board wiped clean
+            # Adopted means owned: delete unlinks it for good.
+            successor.segment_delete(5)
+            assert world.stale_segments(0) == []
+            successor.close()
+            rt1.close()
+            rt0.close()
+        finally:
+            world.sweep()
+            world.close()
+
+    def test_adopt_requires_a_leftover_block(self):
+        world = ShmWorld(1)
+        try:
+            rt = world.runtime(0)
+            with pytest.raises(GaspiSegmentError, match="adopt"):
+                rt.adopt_segment(9)
+            rt.segment_create(2, 32)
+            with pytest.raises(GaspiResourceError, match="exists"):
+                rt.adopt_segment(2)
+            rt.close()
+        finally:
+            world.sweep()
+            world.close()
+
+
+class TestSweepStaleSegments:
+    def test_sweeps_all_but_kept_and_owned(self):
+        world = ShmWorld(1)
+        try:
+            rt = world.runtime(0)
+            for sid in (1, 2, 3):
+                rt.segment_create(sid, 32)
+                _orphan(rt, sid)
+            successor = world.runtime(0)
+            successor.adopt_segment(2)
+            swept = sweep_stale_segments(successor, keep=[3])
+            assert swept == [1]
+            # Kept and owned blocks are still there, the rest is gone.
+            assert world.stale_segments(0) == [2, 3]
+            assert world.unlink_segment(0, 3)
+            successor.close()
+            rt.close()
+        finally:
+            world.sweep()
+            world.close()
+
+    def test_noop_on_non_shm_runtimes(self):
+        world = ThreadedWorld(1)
+        try:
+            assert sweep_stale_segments(world.runtime(0)) == []
+        finally:
+            world.close()
+
+
+class TestRejoinValidation:
+    def test_rejoin_needs_a_dispatched_collective_or_advance(self):
+        world = ThreadedWorld(2)
+        comm = Communicator(world.runtime(0))
+        try:
+            with pytest.raises(ValueError, match="advance"):
+                rejoin(comm, np.zeros(4))
+        finally:
+            comm.close()
+            world.close()
+
+
+class TestRespawnDemo:
+    """crash_then_respawn end to end: exact re-convergence on every rank."""
+
+    def test_threaded_in_place_recovery(self):
+        report = run_respawn_demo("threaded", 8, elements=256)
+        assert report["failures"] == []
+        assert report["ok"]
+
+    def test_shm_process_respawn(self):
+        report = run_respawn_demo("shm", 4, elements=256)
+        assert report["failures"] == []
+        assert report["ok"]

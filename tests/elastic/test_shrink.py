@@ -1,0 +1,117 @@
+"""Communicator.shrink() and suspicion propagation to split children."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Communicator
+from repro.core.policy import ConsistencyPolicy
+from repro.elastic.__main__ import run_shrink_demo
+from repro.faults.injection import RankCrashedError
+from repro.faults.scenarios import get_scenario
+from repro.gaspi import ThreadedWorld
+
+from tests.helpers import spmd
+
+DEGRADED = ConsistencyPolicy.process_threshold(0.5, on_failure="complete")
+
+
+def _shrink_worker(rt, n):
+    faults = get_scenario("crash_then_shrink").plan(n)
+    comm = Communicator(rt, faults=faults, detect_timeout=1.0)
+    victim = n - 1
+    if comm.rank == victim:
+        with pytest.raises(RankCrashedError):
+            comm.allreduce(np.ones(16), policy=DEGRADED)
+        comm.close()
+        return None
+    try:
+        comm.allreduce(np.ones(16), policy=DEGRADED)
+        shrunk = comm.shrink()
+        try:
+            total = shrunk.allreduce(np.full(16, 2.0))
+            return {
+                "rank": shrunk.rank,
+                "size": shrunk.size,
+                "total": float(total[0]),
+                "parent_suspects": sorted(comm.suspected_ranks),
+                "child_suspects": sorted(shrunk.suspected_ranks),
+                "parent_base": comm._segment_base,
+                "child_base": shrunk._segment_base,
+                "child_span": shrunk._segment_span,
+            }
+        finally:
+            shrunk.close()
+    finally:
+        comm.close()
+
+
+class TestShrinkSemantics:
+    def test_survivors_renumber_and_run_full_strength(self):
+        n = 4
+        results = spmd(n, _shrink_worker, n)
+        assert results[n - 1] is None
+        for rank in range(n - 1):
+            res = results[rank]
+            assert res["rank"] == rank and res["size"] == n - 1
+            assert res["total"] == 2.0 * (n - 1)  # strict, all survivors
+            assert res["parent_suspects"] == [n - 1]
+            assert res["child_suspects"] == []
+            # Disjoint segment-id slice carved out of the parent's range.
+            assert res["child_base"] != res["parent_base"]
+            assert res["child_span"] >= 1
+
+    def test_shrink_validates_removal_set(self):
+        world = ThreadedWorld(2)
+        comm = Communicator(world.runtime(0))
+        try:
+            with pytest.raises(ValueError, match="shrink itself"):
+                comm.shrink(failed=[0])
+            with pytest.raises(ValueError, match="outside world"):
+                comm.shrink(failed=[9])
+        finally:
+            comm.close()
+            world.close()
+
+
+def _reinstate_worker(rt):
+    comm = Communicator(rt)
+    try:
+        # Suspicion exists *before* the split, so the children inherit it.
+        comm._suspected = {3}
+        child = comm.split(0, key=comm.rank)  # every rank, same order
+        grandchild = child.dup()
+        inherited = (sorted(child.suspected_ranks), sorted(grandchild.suspected_ranks))
+        comm.reinstate(3)
+        cleared = (
+            sorted(comm.suspected_ranks),
+            sorted(child.suspected_ranks),
+            sorted(grandchild.suspected_ranks),
+        )
+        grandchild.close()
+        child.close()
+        return inherited, cleared
+    finally:
+        comm.close()
+
+
+class TestReinstatePropagation:
+    def test_reinstate_clears_split_children_recursively(self):
+        for inherited, cleared in spmd(4, _reinstate_worker):
+            assert inherited == ([3], [3])
+            assert cleared == ([], [], [])
+
+
+class TestShrinkDemo:
+    """crash_then_shrink end to end, bit-identical to a native small run."""
+
+    def test_threaded_eight_ranks(self):
+        report = run_shrink_demo("threaded", 8, elements=256, steps=2)
+        assert report["failures"] == []
+        assert report["ok"]
+
+    def test_shm_four_ranks(self):
+        report = run_shrink_demo("shm", 4, elements=256, steps=2)
+        assert report["failures"] == []
+        assert report["ok"]

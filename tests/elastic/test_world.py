@@ -1,0 +1,99 @@
+"""ElasticShmWorld: individually spawned, observed and replaced ranks."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.elastic import ElasticShmWorld
+from repro.gaspi.errors import GaspiInvalidArgumentError
+
+
+def _identity(runtime):
+    return (runtime.rank, runtime.size)
+
+
+def _die_hard(runtime):
+    os._exit(3)
+
+
+def _reborn(runtime):
+    return f"reborn-{runtime.rank}"
+
+
+def _sleepy(runtime):
+    import time
+
+    time.sleep(20.0)
+    return "done"
+
+
+class TestLifecycle:
+    def test_spawn_all_collects_every_rank(self):
+        with ElasticShmWorld(3) as world:
+            world.spawn_all(_identity)
+            results = world.wait(timeout=60.0)
+            assert {r: res.value for r, res in results.items()} == {
+                0: (0, 3), 1: (1, 3), 2: (2, 3),
+            }
+            assert all(res.ok for res in results.values())
+            assert world.incarnations == {0: 0, 1: 0, 2: 0}
+            assert world.close() == []  # nothing leaked
+
+    def test_hard_death_is_detected_and_rank_respawnable(self):
+        with ElasticShmWorld(2) as world:
+            world.spawn(0, _identity)
+            world.spawn(1, _die_hard)
+            dead = world.wait([1], timeout=30.0)
+            assert dead[1].status == "dead"
+            assert not dead[1].ok
+            world.spawn(1, _reborn)
+            assert world.incarnations[1] == 1
+            results = world.wait(timeout=30.0)
+            assert results[0].value == (0, 2)
+            assert results[1].value == "reborn-1"
+            assert world.close() == []
+
+    def test_worker_exception_is_reported_not_dead(self):
+        def boom(runtime):
+            raise RuntimeError("kaboom")
+
+        with ElasticShmWorld(1) as world:
+            world.spawn(0, boom)
+            res = world.wait(timeout=30.0)[0]
+            assert res.status == "error"
+            assert "kaboom" in str(res.error)
+            assert "RuntimeError" in res.traceback
+
+
+class TestValidation:
+    def test_spawn_rejects_out_of_range_and_live_ranks(self):
+        with ElasticShmWorld(2) as world:
+            with pytest.raises(GaspiInvalidArgumentError, match="outside"):
+                world.spawn(2, _identity)
+            world.spawn(0, _sleepy)
+            with pytest.raises(RuntimeError, match="still running"):
+                world.spawn(0, _identity)
+            # close() terminates the straggler; its blocks were never
+            # created, so nothing leaks.
+            world.close()
+
+    def test_wait_rejects_unspawned_rank(self):
+        with ElasticShmWorld(2) as world:
+            with pytest.raises(GaspiInvalidArgumentError, match="never spawned"):
+                world.wait([0])
+
+    def test_closed_world_rejects_spawn_and_close_is_idempotent(self):
+        world = ElasticShmWorld(1)
+        assert world.close() == []
+        assert world.close() == []
+        with pytest.raises(RuntimeError, match="closed"):
+            world.spawn(0, _identity)
+
+    def test_timeout_leaves_rank_running(self):
+        with ElasticShmWorld(1) as world:
+            world.spawn(0, _sleepy)
+            res = world.wait(timeout=0.2)[0]
+            assert res.status == "running"
+            world.close()  # terminates it

@@ -20,6 +20,8 @@ class TestCatalog:
             "random_arrival",
             "partition_heal",
             "message_loss",
+            "crash_then_shrink",
+            "crash_then_respawn",
         ):
             assert required in names
 
@@ -49,6 +51,16 @@ class TestCrashScenarios:
     def test_late_crash_is_mid_collective(self):
         plan = get_scenario("late_crash").plan(8)
         assert 1 <= plan.crash_step(7) < 7
+
+    def test_crash_then_shrink_dies_before_contributing(self):
+        plan = get_scenario("crash_then_shrink").plan(8)
+        assert plan.crash_step(7) == 0
+        assert all(plan.crash_step(r) is None for r in range(7))
+
+    def test_crash_then_respawn_dies_mid_collective(self):
+        plan = get_scenario("crash_then_respawn").plan(8)
+        assert 1 <= plan.crash_step(7) < 7
+        assert all(plan.crash_step(r) is None for r in range(7))
 
 
 class TestArrivalPatterns:
