@@ -13,7 +13,10 @@ Two sweeps quantify what the degraded-mode collectives buy:
   process-threshold policies pay off;
 * :func:`elasticity_sweep` — how long the elastic recovery paths take:
   time to ``shrink()`` a crashed world and time to fold a recovered rank
-  back in (rejoin + correction + reinstate), per world size.
+  back in (rejoin + correction + reinstate), per world size;
+* :func:`detection_sweep` — heartbeat period x confirm threshold vs.
+  time-to-detect of the phi-accrual detector, checked against the
+  degraded path's default detection window.
 
 All produce plain dict rows; render them with
 :func:`repro.bench.report.format_kv_table`.
@@ -305,6 +308,98 @@ def elasticity_sweep(
         ),
         "rows": rows,
         "table": format_kv_table(rows, title="time to shrink / respawn vs. ranks"),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# detection sweep
+# --------------------------------------------------------------------------- #
+#: Heartbeats of history the detection_sweep victim sends before going
+#: silent — enough to fill the estimator's bootstrap window.
+DETECTION_HISTORY_BEATS = 20
+
+
+def detection_sweep(
+    periods: Sequence[float] = (0.005, 0.01, 0.02),
+    confirm_phis: Sequence[float] = (3.0, 6.0, 9.0),
+    num_ranks: int = 3,
+    trials: int = 3,
+) -> Dict:
+    """Time-to-detect vs. heartbeat period x confirm threshold (threaded).
+
+    Each cell runs detector-only worlds in which the last rank beats
+    :data:`DETECTION_HISTORY_BEATS` times and then goes silent for good.
+    Every survivor measures the silence the detector needed before the
+    *confirm* event — from the victim's last observed beat to the
+    transition — and the cell reports the p50/p95 across survivors and
+    trials.  The verdict column checks p95 against the degraded path's
+    default detection window (:data:`~repro.faults.recovery.
+    DEFAULT_DETECT_TIMEOUT`): a confirm that lands inside that window
+    means supervised recovery reacts no slower than the collectives'
+    own missing-rank declaration.
+    """
+    from ..faults.recovery import DEFAULT_DETECT_TIMEOUT
+    from ..health.detector import HeartbeatDetector
+
+    require(num_ranks >= 2, "need at least 2 ranks")
+    victim = num_ranks - 1
+    rows: List[Dict] = []
+    for period in periods:
+        for confirm_phi in confirm_phis:
+            samples: List[float] = []
+            for _ in range(trials):
+                done = threading.Barrier(num_ranks)
+
+                def worker(
+                    runtime, done=done, period=period, confirm_phi=confirm_phi,
+                ):
+                    plan = FaultPlan(
+                        crash_at={victim: DETECTION_HISTORY_BEATS}
+                    )
+                    faulty = FaultyRuntime(runtime, plan)
+                    with HeartbeatDetector(
+                        faulty,
+                        period=period,
+                        suspect_phi=min(1.5, confirm_phi / 2.0),
+                        confirm_phi=confirm_phi,
+                    ) as det:
+                        if runtime.rank == victim:
+                            done.wait(60.0)
+                            return None
+                        event = det.wait_for("confirm", victim, timeout=60.0)
+                        anchor = det.last_heartbeat(victim)
+                        done.wait(60.0)
+                        if event is None or anchor is None:
+                            return None
+                        return event.time - anchor
+
+                samples.extend(
+                    t
+                    for t in run_spmd(num_ranks, worker, timeout=90.0)
+                    if t is not None
+                )
+            require(samples, "detection sweep produced no confirms")
+            p50 = float(np.percentile(samples, 50))
+            p95 = float(np.percentile(samples, 95))
+            rows.append(
+                {
+                    "period_ms": period * 1e3,
+                    "confirm_phi": float(confirm_phi),
+                    "detect_p50_ms": p50 * 1e3,
+                    "detect_p95_ms": p95 * 1e3,
+                    "within_budget": p95 < DEFAULT_DETECT_TIMEOUT,
+                }
+            )
+    return {
+        "title": (
+            f"time-to-detect, {num_ranks} ranks, {trials} trial(s), "
+            f"budget {DEFAULT_DETECT_TIMEOUT}s (threaded substrate)"
+        ),
+        "budget_s": DEFAULT_DETECT_TIMEOUT,
+        "rows": rows,
+        "table": format_kv_table(
+            rows, title="time to detect vs. heartbeat period x confirm phi"
+        ),
     }
 
 

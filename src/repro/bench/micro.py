@@ -534,6 +534,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="additionally measure time-to-shrink and "
                              "time-to-respawn per world size and embed the "
                              "rows in the report meta")
+    parser.add_argument("--detection", action="store_true",
+                        help="additionally sweep heartbeat period x confirm "
+                             "threshold vs. time-to-detect and embed the "
+                             "rows in the report meta (fails the run if p95 "
+                             "exceeds the degraded detection window)")
     args = parser.parse_args(argv)
 
     if args.trace:
@@ -603,6 +608,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             elements=512 if args.quick else 2048,
         )
 
+    detection: Dict[str, object] = {}
+    if args.detection:
+        from .faults import detection_sweep
+
+        detection = detection_sweep(
+            periods=(0.01, 0.02) if args.quick else (0.005, 0.01, 0.02),
+            confirm_phis=(3.0, 6.0) if args.quick else (3.0, 6.0, 9.0),
+            trials=2 if args.quick else 3,
+        )
+
     primary = summaries[backends[0]]
     min_speedup = min(row["speedup"] for row in primary)
     small = [r["speedup"] for r in primary if r["payload_bytes"] == min(sizes)]
@@ -631,6 +646,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "elasticity": {
                 k: v for k, v in elasticity.items() if k != "table"
             },
+            "detection": {
+                k: v for k, v in detection.items() if k != "table"
+            },
             "baseline_report": "BENCH_pr4.json",
         },
     )
@@ -655,6 +673,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if elasticity:
         print()
         print(elasticity["table"])
+    if detection:
+        print()
+        print(detection["table"])
+        slow = [r for r in detection["rows"] if not r["within_budget"]]
+        if slow:
+            print(f"\ndetection too slow for the degraded window in "
+                  f"{len(slow)} cell(s)")
+            return 1
     if telemetry_row:
         print(f"\ntelemetry cell [{telemetry_row['backend']}]: bare "
               f"{telemetry_row['base_seconds']*1e3:.2f} ms vs instrumented "

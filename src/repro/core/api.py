@@ -49,7 +49,7 @@ import time
 import warnings
 import weakref
 from dataclasses import replace as dataclass_replace
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -249,6 +249,14 @@ class Communicator:
         #: Live child communicators from split()/dup(), as (weakref, members)
         #: pairs, so reinstate() can propagate into their suspicion maps.
         self._children: List[tuple] = []
+        #: For a shrink() child: child rank -> parent-communicator rank.
+        #: None for a world that was not born from a shrink.
+        self._parent_ranks: Optional[Tuple[int, ...]] = None
+        #: Observers fired after every completed blocking collective — the
+        #: "consistent boundary" hook the recovery supervisor drives its
+        #: checkpoint/shrink escalation from.
+        self._boundary_hooks: List[Callable[["Communicator"], None]] = []
+        self._in_boundary_hook = False
         self._last_result: Optional[CollectiveResult] = None
         self._last_segment_id: Optional[int] = None
         self._plans = PlanCache(plan_cache)
@@ -366,6 +374,84 @@ class Communicator:
         for them; :meth:`reinstate` clears entries once a rank recovered.
         """
         return frozenset(self._suspected)
+
+    @property
+    def parent_ranks(self) -> Optional[Tuple[int, ...]]:
+        """For a :meth:`shrink` child: child rank -> parent rank, in order.
+
+        The agreement round may remove *more* ranks than the caller's
+        ``failed`` set (absent voters join the removal), so this is the
+        authoritative survivor mapping.  ``None`` for a communicator not
+        born from a shrink.
+        """
+        return self._parent_ranks
+
+    def suspect(self, *ranks: int) -> None:
+        """Start suspecting ranks before any collective timed them out.
+
+        The entry point for an external failure detector
+        (:class:`repro.health.HeartbeatDetector`): a suspected rank is
+        neither written to nor waited for by the fault-tolerant
+        collectives, so suspicion fed in here removes the per-call
+        detection-timeout wait entirely.  Propagates into child
+        communicators like the collective-driven suspicion does;
+        :meth:`reinstate` clears it again.
+        """
+        added: List[int] = []
+        for rank in ranks:
+            rank = int(rank)
+            if rank == self.rank or not (0 <= rank < self.size):
+                continue
+            if rank not in self._suspected:
+                logger.info("rank %d: suspecting rank %d", self.rank, rank)
+                self._suspected.add(rank)
+                added.append(rank)
+        if added and self._children:
+            live: List[tuple] = []
+            for ref, members in self._children:
+                child = ref()
+                if child is None:
+                    continue
+                live.append((ref, members))
+                translated = [members.index(r) for r in added if r in members]
+                if translated:
+                    child.suspect(*translated)
+            self._children = live
+
+    def add_boundary_hook(
+        self, hook: Callable[["Communicator"], None]
+    ) -> Callable[["Communicator"], None]:
+        """Fire ``hook(self)`` after every completed blocking collective.
+
+        Collective boundaries are the only points where every rank's
+        state is mutually consistent (Xu & Cooperman's collective-clock
+        argument), which makes them the safe trigger for checkpoint and
+        shrink decisions.  Hooks run on the dispatching thread, after the
+        result is published to :attr:`last_result`; a hook that itself
+        dispatches collectives (a recovery action) is not re-entered.
+        Returns the hook so callers can :meth:`remove_boundary_hook` it.
+        """
+        self._boundary_hooks.append(hook)
+        return hook
+
+    def remove_boundary_hook(
+        self, hook: Callable[["Communicator"], None]
+    ) -> None:
+        """Detach a boundary hook (no-op when absent)."""
+        try:
+            self._boundary_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _fire_boundary_hooks(self) -> None:
+        if not self._boundary_hooks or self._in_boundary_hook:
+            return
+        self._in_boundary_hook = True
+        try:
+            for hook in list(self._boundary_hooks):
+                hook(self)
+        finally:
+            self._in_boundary_hook = False
 
     def reinstate(self, *ranks: int) -> None:
         """Stop suspecting ranks (collective hygiene, call it on all ranks).
@@ -644,7 +730,9 @@ class Communicator:
         """
         tel = self._telemetry
         if not tel.enabled:
-            return self._dispatch_impl(collective, algorithm, request)
+            result = self._dispatch_impl(collective, algorithm, request)
+            self._fire_boundary_hooks()
+            return result
         self._c_calls.add()
         hits0 = self._plans._hits
         misses0 = self._plans._misses
@@ -672,6 +760,7 @@ class Communicator:
             else:
                 span.set(outcome="ok")
         self._h_latency.observe(CLOCK() - t0)
+        self._fire_boundary_hooks()
         return result
 
     def _dispatch_impl(
@@ -1312,23 +1401,33 @@ class Communicator:
     # ------------------------------------------------------------------ #
     # elasticity
     # ------------------------------------------------------------------ #
-    def checkpoint(self):
+    def checkpoint(
+        self,
+        *,
+        group: Optional[Group] = None,
+        timeout: float = GASPI_BLOCK,
+    ):
         """Snapshot this rank's communicator state at a collective boundary.
 
         Collective: call it on every rank at the same point.  Returns a
         :class:`~repro.elastic.checkpoint.CommSnapshot` that serializes
         to JSON (``snapshot.save(dir)``) and restores into a fresh world
         via :func:`repro.elastic.restore`.  See :mod:`repro.elastic`.
+        ``group``/``timeout`` bound the quiesce barrier when some ranks
+        are already dead (supervisor checkpoints over the survivors).
         """
         from ..elastic.checkpoint import checkpoint
 
-        return checkpoint(self)
+        return checkpoint(self, group=group, timeout=timeout)
 
     def shrink(
         self,
         failed: Optional[Iterable[int]] = None,
         *,
         detect_timeout: Optional[float] = None,
+        agreement_segment_id: Optional[int] = None,
+        remove_missing_voters: bool = True,
+        vote_resends: int = 0,
     ) -> "Communicator":
         """Renumber the survivors into a fresh full-strength communicator.
 
@@ -1348,6 +1447,30 @@ class Communicator:
         in survivor numbering.  The parent communicator remains usable
         only for teardown (``close()``); run collectives on the returned
         child.
+
+        ``agreement_segment_id`` pins the agreement's workspace segment
+        to a fixed id outside the pooled lock-step slice.  Supervised
+        recovery (:mod:`repro.health`) uses this so survivors reaching
+        the heal point a collective apart fold into the same agreement
+        instead of colliding with each other's ordinary traffic.
+
+        ``remove_missing_voters`` controls what happens to a survivor
+        whose agreement vote never arrives.  The default (``True``)
+        folds it into the removal set — safe when every live rank is
+        known to reach the agreement.  Supervised recovery passes
+        ``False``: its votes are already gated on detector confirmation,
+        and a vote lost to a transient link fault must not evict a live
+        rank from half the world (split-brain).  A rank that truly died
+        mid-heal then survives into the child, where the detector
+        re-confirms it and the next boundary heals again — eventual
+        consistency instead of divergence.
+
+        ``vote_resends`` re-broadcasts this rank's vote that many times
+        (spaced ~50 ms apart) after its own agreement completes.  A vote
+        swallowed by a transient link fault (a flap window) gets through
+        on a re-send — the fault window has moved on — so peers waiting
+        on it complete in milliseconds instead of stalling out their
+        whole detection window.
         """
         removing: Set[int] = (
             {int(r) for r in failed} if failed is not None else set(self._suspected)
@@ -1361,7 +1484,11 @@ class Communicator:
             self.rank not in removing,
             f"rank {self.rank} cannot shrink itself away",
         )
-        from ..faults.recovery import DEFAULT_DETECT_TIMEOUT, tolerant_allreduce
+        from ..faults.recovery import (
+            DEFAULT_DETECT_TIMEOUT,
+            send_late_contribution,
+            tolerant_allreduce,
+        )
 
         timeout = (
             detect_timeout
@@ -1377,7 +1504,11 @@ class Communicator:
         mask = np.zeros(self.size, dtype=np.int64)
         if removing:
             mask[sorted(removing)] = 1
-        self._collective_seq += 1
+        if agreement_segment_id is None:
+            # Lock-step allocation: every survivor calls shrink() at the
+            # same collective sequence point, so the pooled id matches.
+            self._collective_seq += 1
+            agreement_segment_id = self._allocate_segment_id()
         verdict = tolerant_allreduce(
             self.runtime,
             mask,
@@ -1386,10 +1517,25 @@ class Communicator:
             on_failure="complete",
             detect_timeout=timeout,
             known_failed=removing,
-            segment_id=self._allocate_segment_id(),
+            segment_id=agreement_segment_id,
         )
+        if vote_resends > 0:
+            # Re-broadcast our vote while peers may still be gathering:
+            # a first send lost to a transient link fault arrives here
+            # (the fault window is indexed by send count and has moved
+            # on), unblocking the peer well before its detection window.
+            peers = [
+                r for r in range(self.size)
+                if r != self.rank and r not in removing
+            ]
+            for i in range(vote_resends):
+                time.sleep(0.05 * (i + 1))
+                send_late_contribution(
+                    self.runtime, mask, agreement_segment_id, targets=peers,
+                )
         agreed = {r for r in range(self.size) if verdict.value[r] > 0}
-        agreed |= set(verdict.missing_ranks)
+        if remove_missing_voters:
+            agreed |= set(verdict.missing_ranks)
         verdict.close()
         require(
             self.rank not in agreed,
@@ -1463,6 +1609,7 @@ class Communicator:
         shrunk._suspected = {
             survivors.index(r) for r in self._suspected if r in survivors
         }
+        shrunk._parent_ranks = tuple(survivors)
         self._suspected.update(agreed)
         self._children.append((weakref.ref(shrunk), tuple(survivors)))
         logger.info(

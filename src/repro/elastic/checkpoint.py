@@ -41,6 +41,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..core.api import Communicator
+from ..gaspi.constants import GASPI_BLOCK
+from ..gaspi.group import Group
 from ..core.plan import PlanKey, PolicyFingerprint, policy_fingerprint, policy_from_fingerprint
 from ..gaspi.runtime import GaspiRuntime
 from ..telemetry.core import CLOCK
@@ -203,21 +205,31 @@ class CommSnapshot:
 # --------------------------------------------------------------------------- #
 # checkpoint / restore
 # --------------------------------------------------------------------------- #
-def checkpoint(comm: Communicator) -> CommSnapshot:
+def checkpoint(
+    comm: Communicator,
+    *,
+    group: Optional[Group] = None,
+    timeout: float = GASPI_BLOCK,
+) -> CommSnapshot:
     """Snapshot ``comm`` at a collective boundary (collective call).
 
     Drains any in-flight nonblocking handles first (the snapshot is
     always taken at a true boundary) and takes one quiesce barrier so
     every notification board is clean before the control state is frozen.
     The communicator stays fully usable afterwards.
+
+    ``group``/``timeout`` bound the quiesce barrier for checkpoints taken
+    with ranks already gone (the recovery supervisor checkpoints over the
+    survivors before repairing): the barrier covers only ``group`` and
+    gives up after ``timeout`` instead of waiting on the dead.
     """
     tel = comm.telemetry
     t0 = CLOCK() if tel.enabled else 0.0
     drained = 0
     if comm._progress.active:
         drained = comm._progress.active
-        comm.wait_all()
-    comm._quiesce_plans()
+        comm.wait_all(timeout)
+    comm._quiesce_plans(group, timeout=timeout)
     entries = tuple(
         PlanEntry(
             key=key,

@@ -21,16 +21,15 @@ Either way the actual re-convergence is the existing Küttler machinery:
 indexed contribution to the survivors, whose
 :meth:`~repro.faults.recovery.DegradedResult.correct` passes fold it in,
 and :meth:`~repro.core.api.Communicator.reinstate` clears the suspicion.
-:func:`rejoin` wraps the send in a bounded retry loop because the
-replacement races the survivors' workspace creation — a send landing
-before a peer created its workspace is silently dropped, so delivery is
-confirmed peer by peer (the survivors' already-counted dedup makes
-duplicate sends idempotent).
+:func:`rejoin` wraps the send in a bounded retry loop
+(:class:`~repro.utils.backoff.Backoff`) because the replacement races
+the survivors' workspace creation — a send landing before a peer created
+its workspace is silently dropped, so delivery is confirmed peer by peer
+(the survivors' already-counted dedup makes duplicate sends idempotent).
 """
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, List, Optional
 
 import numpy as np
@@ -39,6 +38,7 @@ from ..core.api import Communicator
 from ..faults.recovery import send_late_contribution
 from ..gaspi.runtime import GaspiRuntime
 from ..telemetry.core import CLOCK
+from ..utils.backoff import Backoff, BackoffPolicy
 from ..utils.logging import get_logger
 from ..utils.validation import require
 
@@ -47,8 +47,12 @@ logger = get_logger("elastic.respawn")
 #: Budget of one :func:`rejoin` delivery loop (seconds).
 DEFAULT_REJOIN_TIMEOUT = 10.0
 
-#: Pause between delivery retries while peers race their workspace setup.
-_RETRY_PAUSE = 0.002
+#: Delivery retries start near-immediate (the usual race is microseconds
+#: of workspace setup) and back off to a 50 ms cadence while a slow peer
+#: catches up, with jitter so simultaneous rejoiners desynchronize.
+_REJOIN_BACKOFF = BackoffPolicy(
+    initial=0.002, factor=2.0, max_pause=0.05, jitter=0.5
+)
 
 
 def _runtime_stack(runtime) -> Iterable:
@@ -197,7 +201,9 @@ def rejoin(
     )
     pending = set(peers)
     reached = 0
-    deadline = time.monotonic() + float(timeout)
+    backoff = Backoff(
+        _REJOIN_BACKOFF, timeout=float(timeout), seed=comm.rank
+    )
     while pending:
         got = send_late_contribution(
             comm.runtime, sendbuf, segment_id, targets=sorted(pending), queue=queue
@@ -206,9 +212,8 @@ def rejoin(
         reached = len(peers) - len(pending)
         if reached >= needed or not pending:
             break
-        if time.monotonic() >= deadline:
+        if not backoff.sleep():
             break
-        time.sleep(_RETRY_PAUSE)
     require(
         reached >= needed,
         f"rejoin reached only {reached}/{needed} peer(s) within {timeout}s "

@@ -47,6 +47,7 @@ from ..gaspi.errors import GaspiError, GaspiSegmentError
 from ..gaspi.group import Group
 from ..gaspi.runtime import GaspiRuntime
 from ..telemetry.core import CLOCK
+from ..utils.backoff import Backoff, BackoffPolicy
 from ..utils.logging import get_logger
 from ..utils.validation import check_fraction, require
 
@@ -62,6 +63,13 @@ DEFAULT_DETECT_TIMEOUT = 0.5
 
 #: Default budget of one :meth:`DegradedResult.correct` pass.
 DEFAULT_CORRECTION_TIMEOUT = 2.0
+
+#: Entry-handshake retry shape: the detection timeout is spent in a few
+#: barrier slices with jittered pauses between them, so a straggler can
+#: still synchronize mid-window instead of missing one full-budget try.
+_HANDSHAKE_BACKOFF = BackoffPolicy(
+    initial=0.005, factor=2.0, max_pause=0.05, jitter=0.5
+)
 
 #: Accepted ``on_failure`` policy values (see ConsistencyPolicy).
 ON_FAILURE_MODES = ("abort", "complete")
@@ -269,18 +277,28 @@ def _entry_handshake(
     ``known_failed`` views diverge (e.g. a rank crashed *mid*-send, so
     some survivors received its contribution and some did not): mismatched
     groups wait on mismatched barriers forever.  Instead the barrier is
-    taken with the detection timeout and a miss is tolerated — every rank
-    that entered the collective has already created its workspace, and a
-    write to a rank that never entered surfaces as a segment error the
-    senders catch (:func:`_safe_write_notify`), turning disagreement into
-    a detection latency cost rather than a hang.
+    retried in jittered-backoff slices of the detection timeout
+    (:class:`~repro.utils.backoff.Backoff`) and a final miss is tolerated
+    — a straggler that arrives mid-window still synchronizes on a later
+    slice, every rank that entered the collective has already created its
+    workspace, and a write to a rank that never entered surfaces as a
+    segment error the senders catch (:func:`_safe_write_notify`), turning
+    disagreement into a detection latency cost rather than a hang.
     """
     if len(alive) <= 1:
         return
-    try:
-        runtime.barrier(Group(alive), timeout=timeout)
-    except GaspiError:
-        pass
+    group = Group(alive)
+    backoff = Backoff(
+        _HANDSHAKE_BACKOFF, timeout=timeout, seed=runtime.rank
+    )
+    while True:
+        slice_timeout = max(timeout / 4.0, backoff.remaining() / 2.0)
+        try:
+            runtime.barrier(group, timeout=min(slice_timeout, backoff.remaining()))
+            return
+        except GaspiError:
+            if not backoff.sleep():
+                return
 
 
 def _safe_write_notify(runtime: GaspiRuntime, **kwargs) -> bool:

@@ -34,6 +34,16 @@ Catalog
 ``crash_then_respawn``
     The last rank dies mid-collective (some sends already out); a
     recovered or respawned incarnation rejoins and re-converges.
+``flapping_rank``
+    The last rank's outbound messages black-hole for a window (a
+    heartbeat detector suspects, maybe confirms, then reinstates when
+    the beats resume) before it finally crashes for good — the flap
+    discrimination case for :mod:`repro.health`.
+``supervised_crash``
+    The last rank dies silently at the entry of a later collective (no
+    survivor holds its contribution), the cleanest trigger for the
+    detect → checkpoint → shrink escalation of
+    :class:`~repro.health.supervisor.RecoverySupervisor`.
 """
 
 from __future__ import annotations
@@ -143,6 +153,41 @@ def _crash_then_respawn(num_ranks: int, seed: int) -> FaultPlan:
     )
 
 
+#: Op window in which the ``flapping_rank`` victim's messages black-hole
+#: (long enough for a 20 ms-period detector to suspect, short enough for
+#: the reinstate to land well before the final crash).
+FLAP_WINDOW = (8, 24)
+
+#: Op index at which the ``flapping_rank`` victim dies for good.
+FLAP_FINAL_CRASH = 64
+
+
+def _flapping_rank(num_ranks: int, seed: int) -> FaultPlan:
+    # One victim's outbound links black-hole inside FLAP_WINDOW — to a
+    # heartbeat detector that is silence (suspect, maybe confirm), then a
+    # resumption (reinstate + flap count) — before a real crash later.
+    victim = num_ranks - 1
+    return FaultPlan(
+        crash_at={victim: FLAP_FINAL_CRASH},
+        drop_links=frozenset(
+            (victim, peer) for peer in range(num_ranks) if peer != victim
+        ),
+        drop_window=FLAP_WINDOW,
+        seed=seed,
+    )
+
+
+def _supervised_crash(num_ranks: int, seed: int) -> FaultPlan:
+    # Dies at the entry of its second tolerant collective (each costs the
+    # flat degraded exchange num_ranks - 1 data-plane ops), so *no*
+    # survivor holds the contribution and every one of them observes the
+    # loss at the same collective boundary — the consistent trigger the
+    # supervised shrink escalation wants.
+    return FaultPlan.single_crash(
+        num_ranks - 1, at_op=max(1, num_ranks - 1), seed=seed
+    )
+
+
 #: The scenario catalog, keyed by name.
 SCENARIOS: Dict[str, FaultScenario] = {
     s.name: s
@@ -196,6 +241,17 @@ SCENARIOS: Dict[str, FaultScenario] = {
             "crash_then_respawn",
             "last rank dies mid-collective; a respawn rejoins and re-converges",
             _crash_then_respawn,
+        ),
+        FaultScenario(
+            "flapping_rank",
+            "one rank goes silent for a window, recovers, then dies for good",
+            _flapping_rank,
+        ),
+        FaultScenario(
+            "supervised_crash",
+            "last rank dies at a later collective's entry; the supervisor "
+            "detects, checkpoints and shrinks with no operator calls",
+            _supervised_crash,
         ),
     )
 }

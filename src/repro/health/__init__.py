@@ -1,0 +1,54 @@
+"""Self-healing worlds: failure detection and automatic recovery.
+
+Three layers turn "a rank died mid-epoch" into "the world healed"
+without operator code:
+
+* :mod:`~repro.health.detector` — a background heartbeat protocol on a
+  dedicated segment of any GASPI runtime, with per-peer phi-accrual
+  suspicion levels and suspect/confirm thresholds;
+* :mod:`~repro.health.supervisor` — a recovery supervisor that feeds
+  detector suspicion into the collectives, checkpoints at the next
+  collective boundary after a confirmed failure, and drives
+  ``shrink()``/respawn with bounded backoff and a recovery budget;
+* :mod:`~repro.health.soak` — a seeded chaos-soak harness
+  (``python -m repro.health.soak``) that composes randomized fault
+  plans, runs collective loops under them on both backends, checks
+  convergence/replay/leak invariants each round, and minimizes failing
+  seeds.
+"""
+
+from .detector import (
+    ALIVE,
+    CONFIRMED,
+    FAIL_FAST_SENDS,
+    HEALTH_QUEUE,
+    HEALTH_SEGMENT_ID,
+    SUSPECT,
+    HealthEvent,
+    HeartbeatDetector,
+    PhiAccrualEstimator,
+)
+from .supervisor import (
+    HEAL_SEGMENT_ID,
+    RecoverySupervisor,
+    SupervisorAborted,
+    SupervisorPolicy,
+    supervise,
+)
+
+__all__ = [
+    "ALIVE",
+    "SUSPECT",
+    "CONFIRMED",
+    "FAIL_FAST_SENDS",
+    "HEAL_SEGMENT_ID",
+    "HEALTH_QUEUE",
+    "HEALTH_SEGMENT_ID",
+    "HealthEvent",
+    "HeartbeatDetector",
+    "PhiAccrualEstimator",
+    "RecoverySupervisor",
+    "SupervisorAborted",
+    "SupervisorPolicy",
+    "supervise",
+]

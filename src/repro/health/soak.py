@@ -1,0 +1,462 @@
+"""Seeded chaos soak for the self-healing stack (``python -m repro.health.soak``).
+
+Each *seed* deterministically composes a fault cocktail — an
+entry-of-collective crash, a persistent straggler delay, operation
+jitter, and one link-level fault (a flapping rank, a healing partition,
+or probabilistic message loss) — into one
+:class:`~repro.faults.injection.FaultPlan`, then runs a supervised
+collective loop (:func:`repro.health.supervisor.supervise`) under it on
+the requested backend(s) and checks invariants:
+
+* **liveness** — the world never wedges: every rank returns within the
+  watchdog budget (a hung ProgressEngine or barrier shows up here);
+* **fate** — exactly the plan-crashed ranks crash; every other rank
+  finishes every round without an error, and nobody is falsely voted
+  out of the world;
+* **agreement** — all survivors report the *same* healed world
+  (identical ``world_ranks``), with exactly one heal incident when the
+  composition crashes a rank and zero otherwise;
+* **convergence** — post-heal rounds are bit-identical across survivors
+  *and* bit-identical to a native world of the surviving size replaying
+  the same payload schedule (the eventual-consistency contract);
+* **hygiene** — the shm backend leaks no ``/dev/shm`` blocks
+  (ResourceWarnings from the leak sweep fail the round).
+
+A failing seed is *minimized*: components are greedily removed while the
+violation reproduces, and the smallest failing composition is reported —
+``--seeds 8 --backend both`` is the CI chaos-soak job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import warnings
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.api import Communicator
+from ..core.policy import ConsistencyPolicy
+from ..faults.injection import FaultPlan, RankCrashedError
+from ..gaspi.launch import BACKENDS, run_backend
+from .supervisor import SupervisorPolicy, supervise
+
+#: Seeding salt separating soak compositions from every other RNG stream.
+_SOAK_SALT = 32452843
+
+#: Process-threshold policy of the soak loops: complete at half.
+DEGRADED = ConsistencyPolicy.process_threshold(0.5, on_failure="complete")
+
+#: Detection window of the soak collectives (generous for loaded CI).
+SOAK_DETECT_TIMEOUT = 1.0
+
+#: Heartbeat period of the soak detectors.
+SOAK_PERIOD = 0.02
+
+#: Collective round at whose entry the crash component kills its victim.
+CRASH_ROUND = 1
+
+#: Watchdog budget for one backend run — exceeding it means a wedged
+#: world (the "no hung ProgressEngine" invariant).
+SOAK_WATCHDOG = 120.0
+
+#: How long a finished rank keeps its heartbeats going while stragglers
+#: drain their last detection windows — an abrupt detector stop reads as
+#: a death to a peer still mid-round (and ranks drift by at most one
+#: detection window per degraded round).
+SOAK_LINGER = 2.5
+
+
+# --------------------------------------------------------------------------- #
+# composition
+# --------------------------------------------------------------------------- #
+def compose(seed: int, ranks: int) -> Dict[str, dict]:
+    """Deterministically pick this seed's fault components.
+
+    Components are independent draws; the link-shaped faults (flap,
+    partition, loss) are mutually exclusive because a plan carries one
+    ``drop_links``/``drop_window`` pair, and probabilistic loss is only
+    drawn for crash-free compositions (an agreement mask lost to random
+    drops would split the survivors' removal votes — a known limitation
+    of the tolerant agreement, not a soak regression).
+    """
+    rng = np.random.default_rng((int(seed), _SOAK_SALT))
+    comp: Dict[str, dict] = {}
+    crash = rng.random() < 0.75
+    if crash:
+        comp["crash"] = {"round": CRASH_ROUND}
+    if rng.random() < 0.5:
+        comp["delay"] = {
+            "rank": int(rng.integers(0, max(1, ranks - 1))),
+            "seconds": float(rng.uniform(0.002, 0.03)),
+        }
+    if rng.random() < 0.4:
+        comp["jitter"] = {"amplitude": float(rng.uniform(0.0005, 0.005))}
+    link = rng.random()
+    if link < 0.25:
+        comp["flap"] = {"rank": 0, "window": (3, 9)}
+    elif link < 0.45:
+        comp["partition"] = {"window": (0, max(2, ranks - 1))}
+    elif link < 0.60 and not crash:
+        comp["drop"] = {"probability": 0.01}
+    return comp
+
+
+def materialize(comp: Dict[str, dict], ranks: int, seed: int) -> FaultPlan:
+    """Turn a composition into one :class:`FaultPlan` for ``ranks`` ranks.
+
+    The crash fires at the *entry* of its round — the flat degraded
+    exchange costs ``ranks - 1`` data-plane operations per collective,
+    so no survivor holds the victim's contribution and every one of
+    them observes the loss at the same collective boundary.
+    """
+    crash_at: Dict[int, int] = {}
+    if "crash" in comp:
+        crash_at[ranks - 1] = comp["crash"]["round"] * (ranks - 1)
+    delay: Dict[int, float] = {}
+    if "delay" in comp:
+        delay[comp["delay"]["rank"]] = comp["delay"]["seconds"]
+    drop_links = frozenset()
+    drop_window = None
+    if "flap" in comp:
+        flapper = comp["flap"]["rank"]
+        drop_links = frozenset(
+            (flapper, peer) for peer in range(ranks) if peer != flapper
+        )
+        drop_window = tuple(comp["flap"]["window"])
+    elif "partition" in comp:
+        half = max(1, ranks // 2)
+        lower, upper = range(half), range(half, ranks)
+        drop_links = frozenset(
+            {(a, b) for a in lower for b in upper}
+            | {(b, a) for a in lower for b in upper}
+        )
+        drop_window = tuple(comp["partition"]["window"])
+    return FaultPlan(
+        crash_at=crash_at,
+        delay=delay,
+        jitter=comp.get("jitter", {}).get("amplitude", 0.0),
+        drop_probability=comp.get("drop", {}).get("probability", 0.0),
+        drop_links=drop_links,
+        drop_window=drop_window,
+        seed=int(seed),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# supervised loop (one rank)
+# --------------------------------------------------------------------------- #
+def _payload(rank: int, step: int, elements: int) -> np.ndarray:
+    """Deterministic per-(rank, step) payload, keyed on the *active* rank
+    so a healed world's sums match a native world of the same size.
+
+    Integer-valued on purpose: the degraded exchange folds contributions
+    in arrival order, so only exactly-representable values make the sums
+    bit-identical across ranks, runs, and world generations.
+    """
+    return np.arange(elements, dtype=np.float64) + rank * 1000.0 + step * 17.0
+
+
+def _soak_worker(runtime, plan, rounds, elements):
+    comm = Communicator(
+        runtime, faults=plan, detect_timeout=SOAK_DETECT_TIMEOUT
+    )
+    sup, det = supervise(
+        comm,
+        policy=SupervisorPolicy(confirm_timeout=10.0),
+        period=SOAK_PERIOD,
+    )
+    out = {
+        "rank": runtime.rank,
+        "results": [],
+        "sizes": [],
+        "crashed": False,
+        "error": None,
+        "incidents": 0,
+        "state": None,
+        "world": None,
+        "flaps": 0,
+    }
+    try:
+        for step in range(rounds):
+            active = sup.communicator
+            try:
+                res = active.allreduce(
+                    _payload(active.rank, step, elements), policy=DEGRADED
+                )
+            except RankCrashedError:
+                out["crashed"] = True
+                break
+            except Exception as exc:  # noqa: BLE001 - fate is an invariant
+                out["error"] = f"{type(exc).__name__}: {exc}"
+                break
+            out["results"].append(res.tobytes())
+            out["sizes"].append(sup.communicator.size)
+        out["incidents"] = sup.incidents
+        out["state"] = sup.state
+        out["world"] = sup.world_ranks
+        out["flaps"] = sum(det.flaps(p) for p in range(comm.size) if p != comm.rank)
+        # Detach from healing first, then keep beating while stragglers
+        # finish — stopping the detector here would read as a death to a
+        # peer still waiting out its last detection window.
+        sup.close()
+        if not out["crashed"] and out["error"] is None:
+            time.sleep(SOAK_LINGER)
+        return out
+    finally:
+        det.stop()
+        sup.close()
+        child = sup.communicator
+        child.close()
+        if child is not comm:
+            comm.close()
+
+
+def _native_worker(runtime, first_step, last_step, elements):
+    comm = Communicator(
+        runtime, faults=FaultPlan.none(), detect_timeout=SOAK_DETECT_TIMEOUT
+    )
+    try:
+        return [
+            comm.allreduce(
+                _payload(comm.rank, step, elements), policy=DEGRADED
+            ).tobytes()
+            for step in range(first_step, last_step)
+        ]
+    finally:
+        comm.close()
+
+
+def _shm_leaks(caught) -> List[str]:
+    """ResourceWarnings from run_shm's leak sweep, as messages."""
+    return [
+        str(w.message)
+        for w in caught
+        if issubclass(w.category, ResourceWarning) and "leaked" in str(w.message)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# invariants
+# --------------------------------------------------------------------------- #
+def check_invariants(
+    comp: Dict[str, dict],
+    plan: FaultPlan,
+    results: List[dict],
+    ranks: int,
+    rounds: int,
+    elements: int,
+    backend: str,
+    leaks: List[str],
+) -> List[str]:
+    """All violated invariants of one soak round (empty = clean)."""
+    violations: List[str] = []
+    if leaks:
+        violations.append(f"/dev/shm leak(s): {leaks}")
+    doomed = set(plan.crash_at)
+    for rank in sorted(doomed):
+        if not results[rank]["crashed"]:
+            violations.append(
+                f"rank {rank} was planned to crash but finished "
+                f"{len(results[rank]['results'])} round(s)"
+            )
+    survivors = [r for r in range(ranks) if r not in doomed]
+    for rank in survivors:
+        res = results[rank]
+        if res["error"] is not None:
+            violations.append(f"rank {rank} errored: {res['error']}")
+        elif res["crashed"]:
+            violations.append(f"rank {rank} crashed without a planned crash")
+        elif len(res["results"]) != rounds:
+            violations.append(
+                f"rank {rank} finished only {len(res['results'])}/{rounds} rounds"
+            )
+    if violations:
+        return violations  # fate violations make the rest vacuous
+
+    worlds = {results[r]["world"] for r in survivors}
+    if len(worlds) != 1:
+        violations.append(f"survivors disagree on the healed world: {worlds}")
+        return violations
+    world = worlds.pop()
+    expected_world = tuple(survivors)
+    if world != expected_world:
+        violations.append(
+            f"healed world is {world}, expected {expected_world} "
+            f"(a live rank was voted out, or a dead one kept)"
+        )
+    expected_incidents = 1 if doomed else 0
+    for rank in survivors:
+        if results[rank]["incidents"] != expected_incidents:
+            violations.append(
+                f"rank {rank} healed {results[rank]['incidents']} time(s), "
+                f"expected {expected_incidents}"
+            )
+    if violations:
+        return violations
+
+    if doomed:
+        # Post-heal rounds: bit-identical across survivors and vs a
+        # native world of the surviving size on the same schedule.
+        first_post = CRASH_ROUND + 1
+        blobs = {r: results[r]["results"][first_post:] for r in survivors}
+        if len({tuple(b) for b in blobs.values()}) != 1:
+            violations.append("post-heal rounds diverge across survivors")
+        else:
+            native = run_backend(
+                len(survivors), _native_worker, first_post, rounds, elements,
+                backend=backend, timeout=SOAK_WATCHDOG,
+            )
+            for idx, rank in enumerate(survivors):
+                if blobs[rank] != native[idx]:
+                    violations.append(
+                        f"rank {rank}: post-heal rounds differ from the "
+                        f"native {len(survivors)}-rank world"
+                    )
+                    break
+    elif not any(k in comp for k in ("drop", "partition", "flap")):
+        # Crash-free, loss-free compositions (delay/jitter only) must
+        # produce bit-identical rounds on every rank.
+        blobs = {tuple(results[r]["results"]) for r in survivors}
+        if len(blobs) != 1:
+            violations.append(
+                "rounds diverge across ranks despite a loss-free composition"
+            )
+    return violations
+
+
+# --------------------------------------------------------------------------- #
+# driver + minimization
+# --------------------------------------------------------------------------- #
+def run_round(
+    comp: Dict[str, dict],
+    seed: int,
+    backend: str,
+    ranks: int,
+    rounds: int,
+    elements: int,
+) -> List[str]:
+    """Run one composition on one backend; returns its violations."""
+    plan = materialize(comp, ranks, seed)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", ResourceWarning)
+            results = run_backend(
+                ranks, _soak_worker, plan, rounds, elements,
+                backend=backend, timeout=SOAK_WATCHDOG,
+            )
+        leaks = _shm_leaks(caught)
+    except Exception as exc:  # noqa: BLE001 - wedge/hang is an invariant
+        return [f"world wedged or harness failed: {type(exc).__name__}: {exc}"]
+    return check_invariants(
+        comp, plan, results, ranks, rounds, elements, backend, leaks
+    )
+
+
+def minimize(
+    comp: Dict[str, dict],
+    seed: int,
+    backend: str,
+    ranks: int,
+    rounds: int,
+    elements: int,
+) -> Dict[str, dict]:
+    """Greedily drop components while the failure still reproduces."""
+    current = dict(comp)
+    shrunk = True
+    while shrunk and len(current) > 1:
+        shrunk = False
+        for name in list(current):
+            candidate = {k: v for k, v in current.items() if k != name}
+            if run_round(candidate, seed, backend, ranks, rounds, elements):
+                current = candidate
+                shrunk = True
+                break
+    return current
+
+
+def run_soak(
+    seeds: List[int],
+    backends: List[str],
+    ranks: int = 4,
+    rounds: int = 4,
+    elements: int = 256,
+    do_minimize: bool = True,
+) -> int:
+    """Soak every (seed, backend) pair; returns the number of failures."""
+    failures = 0
+    for backend in backends:
+        for seed in seeds:
+            comp = compose(seed, ranks)
+            label = "+".join(sorted(comp)) or "benign"
+            t0 = time.perf_counter()
+            violations = run_round(comp, seed, backend, ranks, rounds, elements)
+            dt = time.perf_counter() - t0
+            status = "ok" if not violations else "FAILED"
+            print(
+                f"[{status:>6}] seed={seed:<4} backend={backend:<8} "
+                f"ranks={ranks} ({dt:.1f}s) - {label}"
+            )
+            for violation in violations:
+                print(f"         ! {violation}")
+            if violations:
+                failures += 1
+                if do_minimize and len(comp) > 1:
+                    minimal = minimize(
+                        comp, seed, backend, ranks, rounds, elements
+                    )
+                    print(
+                        f"         > minimized to: "
+                        f"{'+'.join(sorted(minimal))} ({minimal})"
+                    )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.health.soak",
+        description="seeded chaos soak of the self-healing stack",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=8, help="number of seeds (0..N-1)"
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0, help="first seed value"
+    )
+    parser.add_argument(
+        "--backend", choices=list(BACKENDS) + ["both"], default="threaded",
+        help="rank-world substrate(s) to soak",
+    )
+    parser.add_argument("--ranks", type=int, default=4, help="world size")
+    parser.add_argument(
+        "--rounds", type=int, default=4,
+        help=f"collective rounds per seed (crash fires at round {CRASH_ROUND})",
+    )
+    parser.add_argument(
+        "--elements", type=int, default=256, help="payload elements per rank"
+    )
+    parser.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip failing-seed minimization",
+    )
+    args = parser.parse_args(argv)
+    if args.rounds < CRASH_ROUND + 2:
+        parser.error(f"--rounds must be >= {CRASH_ROUND + 2}")
+    backends = list(BACKENDS) if args.backend == "both" else [args.backend]
+    seeds = [args.seed_base + i for i in range(args.seeds)]
+    failures = run_soak(
+        seeds, backends, ranks=args.ranks, rounds=args.rounds,
+        elements=args.elements, do_minimize=not args.no_minimize,
+    )
+    total = len(seeds) * len(backends)
+    print(
+        f"\n{total - failures}/{total} soak round(s) clean"
+        + (f"; {failures} FAILED" if failures else "")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

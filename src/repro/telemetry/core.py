@@ -290,6 +290,17 @@ class Telemetry:
             {"name": name, "cat": cat, "ts": t0, "dur": t1 - t0, "args": args or {}}
         )
 
+    def record_event(self, name: str, cat: str = "health", **args: Any) -> None:
+        """Record an instant (zero-duration) event on the timeline.
+
+        State transitions — a failure confirmed, a recovery escalation —
+        have no duration of their own but belong on the same per-rank
+        timeline as the spans; they export as zero-width slices in the
+        Chrome trace.
+        """
+        now = CLOCK()
+        self.record_span(name, cat, now, now, args)
+
     # ------------------------------------------------------------------ #
     def snapshot(self, events: bool = False) -> Dict[str, Any]:
         """Freeze the registry into a plain-JSON dict.
@@ -391,6 +402,9 @@ class NullTelemetry:
     def record_span(
         self, name: str, cat: str, t0: float, t1: float, args: Optional[Dict[str, Any]] = None
     ) -> None:
+        pass
+
+    def record_event(self, name: str, cat: str = "health", **args: Any) -> None:
         pass
 
     def snapshot(self, events: bool = False) -> Dict[str, Any]:

@@ -12,8 +12,12 @@ from .validation import (
 )
 from .logging import get_logger
 from .units import format_bytes, KIB, MIB, GIB
+from .backoff import Backoff, BackoffPolicy, DEFAULT_BACKOFF
 
 __all__ = [
+    "Backoff",
+    "BackoffPolicy",
+    "DEFAULT_BACKOFF",
     "require",
     "check_power_of_two",
     "check_positive",

@@ -1,0 +1,147 @@
+"""Bounded exponential backoff with deterministic jitter.
+
+Every retry loop in the recovery paths used to carry its own fixed
+pause (``time.sleep(0.002)`` between rejoin re-drives, one full-budget
+barrier attempt in the degraded-entry handshake).  Fixed pauses
+synchronise the retriers: after a shared failure event all ranks wake
+at the same instant and collide again.  This module centralises the
+policy — exponential growth up to a cap, with *deterministic* jitter so
+SPMD runs stay replayable: the jitter is a pure function of
+``(seed, attempt)`` via the same tuple-seeded generator idiom as
+:class:`repro.faults.injection.FaultPlan`, never of process-salted
+``hash()`` or wall-clock entropy.
+
+Two layers:
+
+* :class:`BackoffPolicy` — the frozen shape (initial pause, growth
+  factor, cap, jitter fraction); :meth:`BackoffPolicy.pause` is a pure
+  function of the attempt index.
+* :class:`Backoff` — one retry loop's stateful sleeper, bounding the
+  loop by a deadline and/or an attempt budget::
+
+      backoff = Backoff(policy, timeout=5.0, seed=rank)
+      while not try_once():
+          if not backoff.sleep():
+              break            # budget exhausted (deadline or attempts)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .validation import require
+
+#: Seeding salt separating backoff jitter streams from the fault plans'.
+_BACKOFF_SALT = 15485863
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Shape of a bounded exponential backoff schedule.
+
+    ``pause(attempt)`` grows as ``initial * factor**attempt`` capped at
+    ``max_pause``, then shrinks by up to ``jitter`` of itself (downward
+    decorrelation: the cap stays an upper bound, and concurrent retriers
+    with different seeds spread out instead of thundering together).
+    """
+
+    initial: float = 0.002
+    factor: float = 2.0
+    max_pause: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        require(self.initial > 0.0, "initial pause must be > 0")
+        require(self.factor >= 1.0, "growth factor must be >= 1")
+        require(self.max_pause >= self.initial, "max_pause must be >= initial")
+        require(0.0 <= self.jitter <= 1.0, "jitter must be a fraction in [0, 1]")
+
+    def pause(self, attempt: int, seed: int = 0) -> float:
+        """Pause before retry ``attempt`` (0-based), jittered by ``seed``."""
+        require(attempt >= 0, "attempt must be >= 0")
+        base = min(self.initial * self.factor ** attempt, self.max_pause)
+        if self.jitter == 0.0:
+            return base
+        rng = np.random.default_rng((int(seed) & 0x7FFFFFFF, _BACKOFF_SALT, attempt))
+        return base * (1.0 - self.jitter * float(rng.random()))
+
+
+#: Default policy of the recovery paths: starts at the old fixed rejoin
+#: pause, caps well under any detection timeout.
+DEFAULT_BACKOFF = BackoffPolicy()
+
+
+class Backoff:
+    """One retry loop's sleeper: pauses grow per attempt, budget bounded.
+
+    ``sleep()`` returns ``True`` after pausing (retry again) and
+    ``False`` once the budget — a wall-clock ``deadline``/``timeout``
+    and/or a ``max_attempts`` count — is exhausted, without ever
+    sleeping past the deadline.
+    """
+
+    def __init__(
+        self,
+        policy: BackoffPolicy = DEFAULT_BACKOFF,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        require(
+            timeout is None or deadline is None,
+            "pass timeout= or deadline=, not both",
+        )
+        self._policy = policy
+        self._clock = clock
+        self._sleep = sleep
+        self._seed = int(seed)
+        self._attempt = 0
+        self._max_attempts = None if max_attempts is None else int(max_attempts)
+        if timeout is not None:
+            deadline = clock() + float(timeout)
+        self._deadline = deadline
+
+    @property
+    def attempts(self) -> int:
+        """Number of pauses taken so far."""
+        return self._attempt
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline or attempt budget is exhausted."""
+        if self._max_attempts is not None and self._attempt >= self._max_attempts:
+            return True
+        return self._deadline is not None and self._clock() >= self._deadline
+
+    def remaining(self) -> float:
+        """Seconds left until the deadline (``inf`` without one)."""
+        if self._deadline is None:
+            return float("inf")
+        return max(0.0, self._deadline - self._clock())
+
+    def next_pause(self) -> float:
+        """The pause ``sleep()`` would take now, clipped to the deadline."""
+        pause = self._policy.pause(self._attempt, seed=self._seed)
+        return min(pause, self.remaining())
+
+    def sleep(self) -> bool:
+        """Pause before the next retry; ``False`` when the budget is gone."""
+        if self.expired:
+            return False
+        pause = self.next_pause()
+        self._attempt += 1
+        if pause > 0.0:
+            self._sleep(pause)
+        return not self.expired
+
+    def reset(self) -> None:
+        """Restart the exponential schedule (budget deadlines stand)."""
+        self._attempt = 0

@@ -1,0 +1,164 @@
+"""Heartbeat detector behavior in detector-only worlds.
+
+These worlds run *no* collectives: each rank starts a detector on a
+:class:`FaultyRuntime` and watches its peers.  With zero data-plane ops,
+the detector interprets a rank's ``crash_at`` step in the beat domain
+(beats sent), so deaths and flaps can be scripted purely by plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.injection import FaultyRuntime
+from repro.gaspi import run_spmd
+from repro.health import ALIVE, CONFIRMED, HeartbeatDetector
+
+PERIOD = 0.01
+
+
+def detector_world(plan, body, *, num_ranks=3, timeout=60.0, **kwargs):
+    """SPMD world where each rank runs only a detector and ``body``."""
+
+    def worker(runtime):
+        faulty = FaultyRuntime(runtime, plan)
+        with HeartbeatDetector(faulty, period=PERIOD, **kwargs) as det:
+            return body(det, faulty)
+
+    return run_spmd(num_ranks, worker, timeout=timeout)
+
+
+class TestHealthyWorld:
+    def test_no_events_and_all_alive(self):
+        plan = FaultPlan.none()
+
+        def body(det, faulty):
+            import time
+
+            time.sleep(0.5)
+            peers = [p for p in range(faulty.size) if p != faulty.rank]
+            return (
+                [e.kind for e in det.events],
+                all(det.state(p) == ALIVE for p in peers),
+            )
+
+        for kinds, all_alive in detector_world(plan, body):
+            assert kinds == []
+            assert all_alive
+
+
+class TestCrash:
+    def test_dead_rank_is_suspected_then_confirmed(self):
+        victim = 2
+        plan = FaultPlan(crash_at={victim: 0})
+
+        def body(det, faulty):
+            if faulty.rank == victim:
+                return None
+            assert det.wait_for("confirm", victim, timeout=30.0)
+            kinds = [e.kind for e in det.events_for(victim)]
+            return kinds, det.state(victim), sorted(det.confirmed())
+
+        results = [r for r in detector_world(plan, body) if r is not None]
+        assert len(results) == 2
+        for kinds, state, confirmed in results:
+            assert kinds[:2] == ["suspect", "confirm"]
+            assert state == CONFIRMED
+            assert confirmed == [victim]
+
+    def test_survivors_never_suspect_each_other(self):
+        victim = 2
+        plan = FaultPlan(crash_at={victim: 0})
+
+        def body(det, faulty):
+            if faulty.rank == victim:
+                return None
+            det.wait_for("confirm", victim, timeout=30.0)
+            others = [
+                p for p in range(faulty.size)
+                if p not in (faulty.rank, victim)
+            ]
+            return [det.state(p) for p in others]
+
+        for states in detector_world(plan, body):
+            if states is not None:
+                assert all(s == ALIVE for s in states)
+
+
+class TestFlap:
+    def test_flapping_rank_is_reinstated_when_beats_resume(self):
+        # Rank 0's beats to everyone are dropped for a bounded window,
+        # then flow again: peers must suspect during the silence and
+        # reinstate (clearing suspicion, counting a flap) on resumption —
+        # regardless of how deep the suspicion got meanwhile.  This is
+        # the property the supervisor's confirm gate relies on.
+        victim, num_ranks = 0, 3
+        links = frozenset(
+            (victim, peer) for peer in range(num_ranks) if peer != victim
+        )
+        plan = FaultPlan(drop_links=links, drop_window=(5, 25))
+
+        def body(det, faulty):
+            if faulty.rank == victim:
+                import time
+
+                time.sleep(2.0)
+                return None
+            assert det.wait_for("suspect", victim, timeout=30.0)
+            assert det.wait_for("reinstate", victim, timeout=30.0)
+            return (
+                [e.kind for e in det.events_for(victim)],
+                det.state(victim),
+                det.flaps(victim),
+            )
+
+        results = [
+            r
+            for r in detector_world(plan, body, num_ranks=num_ranks)
+            if r is not None
+        ]
+        assert len(results) == 2
+        for kinds, state, flaps in results:
+            assert kinds[0] == "suspect"
+            assert "reinstate" in kinds
+            assert state == ALIVE
+            assert flaps >= 1
+
+
+class TestSubscriptions:
+    def test_listener_sees_the_same_events(self):
+        victim = 1
+        plan = FaultPlan(crash_at={victim: 0})
+
+        def body(det, faulty):
+            if faulty.rank == victim:
+                return None
+            seen = []
+            det.subscribe(lambda event: seen.append(event.kind))
+            det.wait_for("confirm", victim, timeout=30.0)
+            return seen
+
+        for seen in detector_world(plan, body, num_ranks=2):
+            if seen is not None:
+                assert seen[:2] == ["suspect", "confirm"]
+
+    def test_wait_for_times_out_cleanly(self):
+        plan = FaultPlan.none()
+
+        def body(det, faulty):
+            return det.wait_for("confirm", (faulty.rank + 1) % 2, timeout=0.2)
+
+        assert detector_world(plan, body, num_ranks=2) == [None, None]
+
+
+class TestValidation:
+    def test_bad_thresholds_rejected(self):
+        def body(det, faulty):  # pragma: no cover - never reached
+            return None
+
+        with pytest.raises(Exception):
+            detector_world(
+                FaultPlan.none(), body, num_ranks=2,
+                suspect_phi=5.0, confirm_phi=2.0,
+            )

@@ -1,0 +1,91 @@
+"""Backend equivalence: the same fault plan yields the same verdicts.
+
+The detector's *timing* differs between a threaded world and forked shm
+processes (process start-up skew can even cause a transient suspicion
+that resolves right back to alive), but the verdict it *settles* on —
+which peers end confirmed dead, and that a death was seen as
+suspect-then-confirm — is a function of the fault plan, not the
+backend.  That eventual agreement is exactly what the supervisor's
+confirm gate consumes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.injection import FaultyRuntime
+from repro.gaspi import BACKENDS, run_backend
+from repro.health import HeartbeatDetector
+
+PERIOD = 0.01
+
+
+def _observe_world(runtime, plan_kwargs, settle):
+    import time
+
+    plan = FaultPlan(**plan_kwargs)
+    faulty = FaultyRuntime(runtime, plan)
+    with HeartbeatDetector(faulty, period=PERIOD) as det:
+        deadline = time.monotonic() + settle
+        while time.monotonic() < deadline:
+            time.sleep(PERIOD)
+        # The plan-determined signature is the verdict each peer settles
+        # on.  Suspicion episodes that resolved back to alive (start-up
+        # skew, scheduling stalls) are timing noise, so only the events
+        # after the last reinstate count.
+        out = {}
+        for peer in range(faulty.size):
+            if peer == faulty.rank:
+                continue
+            kinds = [e.kind for e in det.events_for(peer)]
+            while "reinstate" in kinds:
+                kinds = kinds[kinds.index("reinstate") + 1:]
+            out[peer] = (kinds, det.state(peer))
+        return faulty.rank, out
+
+
+def _signature(backend, plan_kwargs, *, num_ranks=3, settle=1.5):
+    results = run_backend(
+        num_ranks, _observe_world, plan_kwargs, settle,
+        backend=backend, timeout=60.0,
+    )
+    victims = set(plan_kwargs.get("crash_at", {}))
+    return {
+        rank: verdicts
+        for rank, verdicts in results
+        if rank not in victims  # a dead rank's view is not defined
+    }
+
+
+CASES = [
+    pytest.param({}, id="healthy"),
+    pytest.param({"crash_at": {2: 0}}, id="crash"),
+    pytest.param({"crash_at": {2: 0}, "delay": {1: 0.002}}, id="crash+delay"),
+]
+
+
+@pytest.mark.parametrize("plan_kwargs", CASES)
+def test_same_plan_same_verdicts_across_backends(plan_kwargs):
+    signatures = {
+        backend: _signature(backend, plan_kwargs) for backend in BACKENDS
+    }
+    reference = signatures[BACKENDS[0]]
+    for backend, sig in signatures.items():
+        assert sig == reference, (
+            f"backend {backend} disagrees with {BACKENDS[0]}: "
+            f"{sig} != {reference}"
+        )
+
+
+def test_crash_signature_is_the_expected_one():
+    sig = _signature("threaded", {"crash_at": {2: 0}})
+    assert set(sig) == {0, 1}
+    for verdicts in sig.values():
+        kinds, state = verdicts[2]
+        assert kinds == ["suspect", "confirm"]
+        assert state == "confirmed"
+        for peer, (peer_kinds, peer_state) in verdicts.items():
+            if peer != 2:
+                assert peer_kinds == []
+                assert peer_state == "alive"

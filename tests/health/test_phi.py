@@ -1,0 +1,72 @@
+"""Phi-accrual estimator model behavior (pure, no runtime)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.health import PhiAccrualEstimator
+
+
+def beat_regularly(est: PhiAccrualEstimator, start: float, n: int, dt: float):
+    t = start
+    for _ in range(n):
+        est.heartbeat(t)
+        t += dt
+    return t - dt  # time of the last beat
+
+
+class TestPhiAccrual:
+    def test_no_history_means_no_suspicion(self):
+        est = PhiAccrualEstimator(0.02)
+        assert est.phi(123.0) == 0.0
+
+    def test_phi_grows_monotonically_with_silence(self):
+        est = PhiAccrualEstimator(0.02)
+        last = beat_regularly(est, 0.0, 10, 0.02)
+        phis = [est.phi(last + s) for s in (0.05, 0.1, 0.2, 0.5, 1.0)]
+        assert phis == sorted(phis)
+        assert phis[-1] > 6.0  # outright silence confirms
+
+    def test_acceptable_pause_absorbs_benign_hiccups(self):
+        strict = PhiAccrualEstimator(0.02, acceptable_pause=0.0)
+        lax = PhiAccrualEstimator(0.02, acceptable_pause=0.5)
+        last = beat_regularly(strict, 0.0, 10, 0.02)
+        beat_regularly(lax, 0.0, 10, 0.02)
+        assert strict.phi(last + 0.2) > 2.0
+        assert lax.phi(last + 0.2) < 0.5
+
+    def test_phi_stays_finite(self):
+        est = PhiAccrualEstimator(0.02)
+        last = beat_regularly(est, 0.0, 10, 0.02)
+        assert est.phi(last + 1e6) <= 30.0 + 1e-9
+
+    def test_bootstrap_window_is_generous(self):
+        est = PhiAccrualEstimator(0.02)
+        est.heartbeat(0.0)  # one sample: still bootstrapping
+        assert est.samples == 0
+        assert est.phi(0.15) < PhiAccrualEstimator(0.02, min_std=0.001).phi(0.15) + 5
+
+    def test_min_std_floors_overconfidence(self):
+        # A metronomic sender has ~zero variance; without the floor, a
+        # tiny delay would spike phi to the cap.
+        est = PhiAccrualEstimator(0.02, min_std=0.01)
+        last = beat_regularly(est, 0.0, 50, 0.02)
+        assert est.phi(last + 0.13) < 10.0
+
+    def test_reset_drops_the_silence_from_the_window(self):
+        est = PhiAccrualEstimator(0.02)
+        last = beat_regularly(est, 0.0, 10, 0.02)
+        # Long silence, then the peer comes back: reset re-anchors.
+        est.reset(last + 5.0)
+        assert est.samples == 0
+        assert est.phi(last + 5.0 + 0.02) < 0.5
+        # Without reset, the 5 s gap would have poisoned the mean; a new
+        # regular cadence re-establishes fast detection.
+        last2 = beat_regularly(est, last + 5.0, 10, 0.02)
+        assert est.phi(last2 + 0.5) > 3.0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            PhiAccrualEstimator(0.0)
+        with pytest.raises(Exception):
+            PhiAccrualEstimator(0.02, min_std=0.0)

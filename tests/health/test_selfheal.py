@@ -1,0 +1,107 @@
+"""End-to-end self-heal acceptance: crash -> confirm -> shrink -> replay.
+
+The ``supervised_crash`` scenario kills the last rank at the entry of a
+later collective.  With zero operator calls, the detector confirms the
+death, the supervisor checkpoints at the boundary and shrinks, and the
+survivors' subsequent collectives must be bit-identical to a native
+world of the surviving size running the same steps — on both backends.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import Communicator
+from repro.core.policy import ConsistencyPolicy
+from repro.faults import FaultPlan, RankCrashedError
+from repro.faults.scenarios import get_scenario
+from repro.gaspi import BACKENDS, run_backend
+from repro.health import SupervisorPolicy, supervise
+
+DEGRADED = ConsistencyPolicy.process_threshold(0.5, on_failure="complete")
+N, STEPS, ELEMS = 4, 5, 128
+CRASH_STEP = 1  # supervised_crash dies entering its 2nd collective
+LINGER = 2.5
+
+
+def _payload(rank, step):
+    # Integer-valued on purpose: the tolerant exchange folds in arrival
+    # order, so only exactly-representable sums are bitwise comparable.
+    return np.arange(ELEMS, dtype=np.float64) + rank * 1000.0 + step * 17.0
+
+
+def _supervised_worker(runtime, plan):
+    comm = Communicator(runtime, faults=plan, detect_timeout=0.5)
+    sup, det = supervise(
+        comm, policy=SupervisorPolicy(confirm_timeout=5.0), period=0.02
+    )
+    blobs, sizes = [], []
+    crashed = False
+    try:
+        for step in range(STEPS):
+            try:
+                out = sup.communicator.allreduce(
+                    _payload(sup.communicator.rank, step), policy=DEGRADED
+                )
+            except RankCrashedError:
+                crashed = True
+                return None
+            blobs.append(out.copy())
+            sizes.append(sup.communicator.size)
+        return {
+            "incidents": sup.incidents,
+            "world": sup.world_ranks,
+            "sizes": sizes,
+            "post": np.concatenate(blobs[CRASH_STEP + 1:]).tobytes(),
+        }
+    finally:
+        sup.close()
+        if not crashed:
+            time.sleep(LINGER)
+        det.stop()
+        child = sup.communicator
+        child.close()
+        if child is not comm:
+            comm.close()
+
+
+def _native_worker(runtime):
+    # The reference: a world born at the surviving size running the same
+    # post-crash steps (same payloads, same degraded policy, no faults).
+    comm = Communicator(runtime, faults=FaultPlan.none(), detect_timeout=0.5)
+    try:
+        blobs = [
+            comm.allreduce(_payload(comm.rank, step), policy=DEGRADED).copy()
+            for step in range(CRASH_STEP + 1, STEPS)
+        ]
+        return np.concatenate(blobs).tobytes()
+    finally:
+        comm.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_selfheal_end_to_end(backend):
+    plan = get_scenario("supervised_crash").plan(N, seed=1)
+    results = run_backend(
+        N, _supervised_worker, plan, backend=backend, timeout=120.0
+    )
+    survivors = [r for r in results if r is not None]
+    assert len(survivors) == N - 1  # the victim crashed, nobody else
+
+    for r in survivors:
+        assert r["incidents"] == 1
+        assert r["world"] == tuple(range(N - 1))
+        assert r["sizes"][0] == N
+        assert r["sizes"][-1] == N - 1
+
+    # Survivors agree bitwise among themselves...
+    posts = {r["post"] for r in survivors}
+    assert len(posts) == 1
+    # ...and with a native world of the surviving size.
+    native = run_backend(
+        N - 1, _native_worker, backend=backend, timeout=120.0
+    )
+    assert set(native) == posts

@@ -1,0 +1,79 @@
+"""Chaos-soak harness: composition determinism, invariants, minimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.health import soak
+
+
+class TestCompose:
+    def test_composition_is_seed_deterministic(self):
+        for seed in range(16):
+            assert soak.compose(seed, 4) == soak.compose(seed, 4)
+        assert any(
+            soak.compose(s, 4) != soak.compose(s + 1, 4) for s in range(8)
+        )
+
+    def test_every_component_appears_somewhere(self):
+        kinds = set()
+        for seed in range(64):
+            kinds.update(soak.compose(seed, 4))
+        assert {"crash", "delay", "flap", "partition"} <= kinds
+
+    def test_drop_never_composed_with_crash(self):
+        # A lost agreement mask would split the removal vote; the
+        # composer keeps these two apart on purpose.
+        for seed in range(128):
+            comp = soak.compose(seed, 4)
+            assert not ("drop" in comp and "crash" in comp)
+
+
+class TestMaterialize:
+    def test_crash_lands_at_a_collective_entry(self):
+        ranks = 4
+        comp = {"crash": {"round": soak.CRASH_ROUND}}
+        plan = soak.materialize(comp, ranks, seed=0)
+        at_op = plan.crash_step(ranks - 1)
+        # Entry of a collective: a multiple of the flat exchange's
+        # n-1 data-plane ops, so no survivor holds the contribution.
+        assert at_op == soak.CRASH_ROUND * (ranks - 1)
+
+    def test_payload_is_integer_valued(self):
+        vec = soak._payload(3, 7, 64)
+        assert np.array_equal(vec, np.trunc(vec))
+
+
+class TestRunRound:
+    @pytest.mark.parametrize("seed", [2, 3])
+    def test_fixed_crash_seeds_are_clean(self, seed):
+        # Seeds whose composition is a pure entry-of-collective crash:
+        # the full detect -> confirm -> checkpoint -> shrink -> replay
+        # pipeline must hold every invariant.
+        comp = soak.compose(seed, 4)
+        assert comp == {"crash": {"round": soak.CRASH_ROUND}}
+        violations = soak.run_round(
+            comp, seed=seed, ranks=4, rounds=3, elements=64,
+            backend="threaded",
+        )
+        assert violations == []
+
+
+class TestMinimize:
+    def test_minimizer_strips_irrelevant_components(self, monkeypatch):
+        # Pretend only the crash component matters: the minimizer must
+        # strip everything else and keep reproducing the failure.
+        def fake_run_round(comp, *args, **kwargs):
+            return ["boom"] if "crash" in comp else []
+
+        monkeypatch.setattr(soak, "run_round", fake_run_round)
+        comp = {
+            "crash": {"round": 1},
+            "delay": {"rank": 0, "seconds": 0.01},
+            "jitter": {"amplitude": 0.001},
+        }
+        minimized = soak.minimize(
+            comp, seed=0, ranks=4, rounds=3, elements=64, backend="threaded"
+        )
+        assert minimized == {"crash": {"round": 1}}

@@ -1,0 +1,126 @@
+"""Recovery supervisor: escalation, quorum guard, flap tolerance."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Communicator
+from repro.core.policy import ConsistencyPolicy
+from repro.faults import FaultPlan, RankCrashedError
+from repro.gaspi import run_spmd
+from repro.health import SupervisorPolicy, supervise
+
+DEGRADED = ConsistencyPolicy.process_threshold(0.5, on_failure="complete")
+ELEMS = 64
+
+
+def _payload(rank, step):
+    return np.arange(ELEMS, dtype=np.float64) + rank * 1000.0 + step * 17.0
+
+
+# How long a finished rank keeps its detector beating so stragglers (a
+# flapped world can run a detection window out of phase) do not read the
+# shutdown as a death.  Mirrors repro.health.soak.SOAK_LINGER.
+LINGER = 2.5
+
+
+def _supervised_loop(runtime, plan, steps):
+    """Run ``steps`` supervised allreduces; report the world's fate."""
+    import time
+
+    comm = Communicator(runtime, faults=plan, detect_timeout=1.0)
+    sup, det = supervise(
+        comm, policy=SupervisorPolicy(confirm_timeout=10.0), period=0.02
+    )
+    sizes = []
+    crashed = False
+    try:
+        for step in range(steps):
+            try:
+                sup.communicator.allreduce(
+                    _payload(sup.communicator.rank, step), policy=DEGRADED
+                )
+            except RankCrashedError:
+                crashed = True
+                return None
+            sizes.append(sup.communicator.size)
+        return {
+            "state": sup.state,
+            "incidents": sup.incidents,
+            "world": sup.world_ranks,
+            "sizes": sizes,
+        }
+    finally:
+        sup.close()
+        if not crashed:
+            time.sleep(LINGER)
+        det.stop()
+        child = sup.communicator
+        child.close()
+        if child is not comm:
+            comm.close()
+
+
+class TestSupervisedCrash:
+    def test_entry_crash_heals_exactly_once(self):
+        n, steps = 4, 4
+        # Victim dies at the entry of its second collective: no survivor
+        # holds its contribution, so all trigger at the same boundary.
+        plan = FaultPlan(crash_at={n - 1: n - 1}, seed=3)
+        results = [
+            r for r in run_spmd(n, _supervised_loop, plan, steps, timeout=90.0)
+            if r is not None
+        ]
+        assert len(results) == n - 1
+        for r in results:
+            assert r["incidents"] == 1
+            assert r["world"] == tuple(range(n - 1))
+            # One degraded step at the crash boundary, then full strength
+            # in the shrunk world.
+            assert r["sizes"][0] == n
+            assert r["sizes"][-1] == n - 1
+
+
+class TestQuorumGuard:
+    def test_no_heal_without_surviving_majority(self):
+        # Two of four die: the two survivors are not a strict majority of
+        # the old world, so the supervisor must refuse to shrink (a
+        # symmetric partition would otherwise split-brain) and stay
+        # degraded instead.
+        n, steps = 4, 4
+        plan = FaultPlan(crash_at={2: n - 1, 3: n - 1}, seed=3)
+        results = [
+            r for r in run_spmd(n, _supervised_loop, plan, steps, timeout=90.0)
+            if r is not None
+        ]
+        assert len(results) == 2
+        for r in results:
+            assert r["incidents"] == 0
+            assert r["world"] == tuple(range(n))
+            assert all(size == n for size in r["sizes"])
+
+
+class TestFlapTolerance:
+    def test_transient_silence_does_not_shrink_the_world(self):
+        # One rank's outbound data-plane messages black-hole for a
+        # window, then flow again; its heartbeats never stop.  The
+        # boundary sees it missing, but the confirm gate resolves it
+        # alive — no heal, no eviction.
+        n, steps = 4, 4
+        victim = 0
+        plan = FaultPlan(
+            drop_links=frozenset(
+                (victim, peer) for peer in range(n) if peer != victim
+            ),
+            drop_window=(n - 1, 2 * (n - 1)),  # exactly its 2nd collective
+            seed=3,
+        )
+        results = [
+            r for r in run_spmd(n, _supervised_loop, plan, steps, timeout=90.0)
+            if r is not None
+        ]
+        assert len(results) == n
+        for r in results:
+            assert r["incidents"] == 0
+            assert r["world"] == tuple(range(n))
+            assert all(size == n for size in r["sizes"])

@@ -1,0 +1,108 @@
+"""Bounded exponential backoff with deterministic jitter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.backoff import DEFAULT_BACKOFF, Backoff, BackoffPolicy
+
+
+class FakeClock:
+    """Deterministic clock + sleep pair for budget tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestBackoffPolicy:
+    def test_pause_is_deterministic_in_seed_and_attempt(self):
+        policy = BackoffPolicy(initial=0.01, factor=2.0, max_pause=1.0)
+        for attempt in range(6):
+            assert policy.pause(attempt, seed=3) == policy.pause(attempt, seed=3)
+        assert policy.pause(2, seed=1) != policy.pause(2, seed=2)
+
+    def test_growth_and_cap(self):
+        policy = BackoffPolicy(initial=0.01, factor=2.0, max_pause=0.05, jitter=0.0)
+        assert [policy.pause(a) for a in range(5)] == [
+            0.01, 0.02, 0.04, 0.05, 0.05
+        ]
+
+    def test_jitter_only_shrinks(self):
+        policy = BackoffPolicy(initial=0.01, factor=2.0, max_pause=1.0, jitter=0.5)
+        for attempt in range(8):
+            for seed in range(8):
+                pause = policy.pause(attempt, seed=seed)
+                base = min(0.01 * 2.0 ** attempt, 1.0)
+                assert base * 0.5 <= pause <= base
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            BackoffPolicy(initial=0.0)
+        with pytest.raises(Exception):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(Exception):
+            BackoffPolicy(initial=0.2, max_pause=0.1)
+        with pytest.raises(Exception):
+            BackoffPolicy(jitter=1.5)
+
+
+class TestBackoff:
+    def test_sleep_counts_attempts_and_grows(self):
+        fake = FakeClock()
+        policy = BackoffPolicy(initial=0.01, factor=2.0, max_pause=1.0, jitter=0.0)
+        backoff = Backoff(policy, sleep=fake.sleep, clock=fake.clock)
+        assert backoff.sleep() and backoff.sleep()
+        assert backoff.attempts == 2
+        assert fake.sleeps == [0.01, 0.02]
+
+    def test_timeout_budget_never_oversleeps(self):
+        fake = FakeClock()
+        policy = BackoffPolicy(initial=0.4, factor=2.0, max_pause=5.0, jitter=0.0)
+        backoff = Backoff(
+            policy, timeout=1.0, sleep=fake.sleep, clock=fake.clock
+        )
+        while backoff.sleep():
+            pass
+        assert fake.now <= 1.0 + 1e-9
+        assert backoff.expired
+
+    def test_max_attempts_budget(self):
+        fake = FakeClock()
+        backoff = Backoff(
+            DEFAULT_BACKOFF, max_attempts=2, sleep=fake.sleep, clock=fake.clock
+        )
+        assert backoff.sleep()
+        assert not backoff.sleep()  # second pause exhausts the budget
+        assert not backoff.sleep()
+        assert backoff.attempts == 2
+
+    def test_timeout_and_deadline_are_exclusive(self):
+        with pytest.raises(Exception):
+            Backoff(DEFAULT_BACKOFF, timeout=1.0, deadline=2.0)
+
+    def test_remaining_and_reset(self):
+        fake = FakeClock()
+        policy = BackoffPolicy(initial=0.1, factor=2.0, max_pause=1.0, jitter=0.0)
+        backoff = Backoff(policy, timeout=10.0, sleep=fake.sleep, clock=fake.clock)
+        assert backoff.remaining() == pytest.approx(10.0)
+        backoff.sleep()
+        backoff.sleep()
+        assert backoff.next_pause() == pytest.approx(0.4)
+        backoff.reset()
+        assert backoff.next_pause() == pytest.approx(0.1)
+        assert backoff.remaining() == pytest.approx(10.0 - 0.1 - 0.2)
+
+    def test_unbounded_backoff_never_expires(self):
+        fake = FakeClock()
+        backoff = Backoff(DEFAULT_BACKOFF, sleep=fake.sleep, clock=fake.clock)
+        assert backoff.remaining() == float("inf")
+        for _ in range(50):
+            assert backoff.sleep()
